@@ -1,0 +1,139 @@
+// Ablation: the paper's three-stage Stackelberg incentive mechanism vs a
+// truthful reverse-auction baseline (the related-work mechanism class of
+// [9], [10]) on identical instances. Sweeps ω and compares PoC, PoP,
+// PoS(total) and the social surplus φ − ΣC_i − C^J.
+//
+//   ./ablation_auction_vs_hs [--seed=<n>] [--out=<dir>]
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "game/auction.h"
+#include "game/profit.h"
+#include "sim/series.h"
+
+namespace {
+
+using namespace cdt;
+
+double SocialSurplus(const game::GameConfig& config,
+                     const std::vector<int>& participants,
+                     const std::vector<double>& tau, double mean_quality) {
+  double total_time = 0.0, collection_cost = 0.0;
+  for (std::size_t j = 0; j < participants.size(); ++j) {
+    std::size_t i = static_cast<std::size_t>(participants[j]);
+    total_time += tau[j];
+    collection_cost +=
+        game::SellerCost(config.sellers[i], tau[j], config.qualities[i]);
+  }
+  return game::ConsumerValuation(config.valuation, mean_quality,
+                                 total_time) -
+         collection_cost - game::PlatformCost(config.platform, total_time);
+}
+
+int Run(const sim::BenchFlags& flags) {
+  sim::Reporter reporter(flags.output_dir, std::cout);
+  sim::ExperimentSpec spec{
+      "ablation_auction", "Auction vs HS",
+      "three-stage Stackelberg vs truthful reverse auction, omega sweep",
+      "K=10 of M'=20 candidates, theta=0.1, lambda=1, seed=" +
+          std::to_string(flags.seed)};
+  reporter.Begin(spec);
+
+  sim::FigureData poc("auction_poc", "PoC: HS vs auction", "omega", "PoC");
+  sim::FigureData pop("auction_pop", "PoP: HS vs auction", "omega", "PoP");
+  sim::FigureData pos("auction_pos", "PoS(total): HS vs auction", "omega",
+                      "PoS");
+  sim::FigureData welfare("auction_welfare", "social surplus", "omega",
+                          "surplus");
+  sim::Series* poc_hs = poc.AddSeries("hs-game");
+  sim::Series* poc_au = poc.AddSeries("auction");
+  sim::Series* pop_hs = pop.AddSeries("hs-game");
+  sim::Series* pop_au = pop.AddSeries("auction");
+  sim::Series* pos_hs = pos.AddSeries("hs-game");
+  sim::Series* pos_au = pos.AddSeries("auction");
+  sim::Series* wel_hs = welfare.AddSeries("hs-game");
+  sim::Series* wel_au = welfare.AddSeries("auction");
+
+  for (double omega : {600.0, 800.0, 1000.0, 1200.0, 1400.0}) {
+    // 20 candidates; the HS mechanism plays with the 10 best-quality ones
+    // (the bandit layer's role), the auction selects its own 10 winners by
+    // ask from the same 20.
+    game::GameConfig instance = benchx::MakeGameInstance(20, flags.seed);
+    instance.valuation.omega = omega;
+
+    // --- HS game over the top-10 by quality ---
+    std::vector<int> by_quality(20);
+    for (int i = 0; i < 20; ++i) by_quality[static_cast<std::size_t>(i)] = i;
+    std::sort(by_quality.begin(), by_quality.end(), [&](int x, int y) {
+      return instance.qualities[static_cast<std::size_t>(x)] >
+             instance.qualities[static_cast<std::size_t>(y)];
+    });
+    by_quality.resize(10);
+    game::GameConfig hs_config;
+    for (int i : by_quality) {
+      hs_config.sellers.push_back(
+          instance.sellers[static_cast<std::size_t>(i)]);
+      hs_config.qualities.push_back(
+          instance.qualities[static_cast<std::size_t>(i)]);
+    }
+    hs_config.platform = instance.platform;
+    hs_config.valuation = instance.valuation;
+    hs_config.consumer_price_bounds = instance.consumer_price_bounds;
+    hs_config.collection_price_bounds = instance.collection_price_bounds;
+    auto solver = game::StackelbergSolver::Create(hs_config);
+    if (!solver.ok()) return benchx::Fail(solver.status());
+    game::StrategyProfile eq = solver.value().Solve();
+    double hs_pos = 0.0;
+    for (double psi : eq.seller_profits) hs_pos += psi;
+    poc_hs->Add(omega, eq.consumer_profit);
+    pop_hs->Add(omega, eq.platform_profit);
+    pos_hs->Add(omega, hs_pos);
+    std::vector<int> hs_ids(10);
+    for (int j = 0; j < 10; ++j) hs_ids[static_cast<std::size_t>(j)] = j;
+    wel_hs->Add(omega, SocialSurplus(hs_config, hs_ids, eq.tau,
+                                     solver.value().aggregates().mean_quality));
+
+    // --- reverse auction over all 20 candidates ---
+    game::AuctionConfig auction;
+    auction.sellers = instance.sellers;
+    auction.qualities = instance.qualities;
+    auction.num_winners = 10;
+    auction.platform = instance.platform;
+    auction.valuation = instance.valuation;
+    auto outcome = game::RunProcurementAuction(auction);
+    if (!outcome.ok()) return benchx::Fail(outcome.status());
+    double au_pos = 0.0;
+    for (double psi : outcome.value().winner_profits) au_pos += psi;
+    poc_au->Add(omega, outcome.value().consumer_profit);
+    pop_au->Add(omega, outcome.value().platform_profit);
+    pos_au->Add(omega, au_pos);
+    double quality_sum = 0.0;
+    for (int w : outcome.value().winners) {
+      quality_sum += instance.qualities[static_cast<std::size_t>(w)];
+    }
+    wel_au->Add(omega,
+                SocialSurplus(instance, outcome.value().winners,
+                              outcome.value().tau, quality_sum / 10.0));
+  }
+
+  for (const sim::FigureData* fig : {&poc, &pop, &pos, &welfare}) {
+    util::Status st = reporter.Report(*fig);
+    if (!st.ok()) return benchx::Fail(st);
+  }
+  reporter.Note(
+      "expected: the auction (cost-driven, thin margins) hands the consumer\n"
+      "a larger share while the HS game balances all three parties; the HS\n"
+      "platform profit exceeds the auction's margin-capped profit. Seller\n"
+      "selection also differs: quality-top-K (HS, via the bandit layer) vs\n"
+      "cost-top-K (auction).");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = cdt::sim::ParseBenchFlags(argc, argv);
+  if (!flags.ok()) return cdt::benchx::Fail(flags.status());
+  return Run(flags.value());
+}

@@ -1,0 +1,171 @@
+// Non-stationary ablation (DESIGN.md §6 / EXPERIMENTS.md): dynamic regret
+// of the stationary CMAB-HS estimator vs the sliding-window and discounted
+// UCB extensions under (a) random-walk quality drift of increasing speed
+// and (b) an abrupt collapse of the best seller's quality.
+//
+//   ./ablation_nonstationary [--quick=true] [--seed=<n>] [--out=<dir>]
+
+#include <functional>
+#include <iostream>
+
+#include "bandit/cucb_policy.h"
+#include "bandit/drift_environment.h"
+#include "bandit/nonstationary_policies.h"
+#include "bench_common.h"
+#include "sim/series.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace cdt;
+
+double RunDynamicRegret(bandit::SelectionPolicy& policy,
+                        bandit::DriftingEnvironment& env, std::int64_t rounds,
+                        const std::function<void(std::int64_t)>& script) {
+  double achieved = 0.0, oracle = 0.0;
+  for (std::int64_t t = 1; t <= rounds; ++t) {
+    if (script) script(t);
+    auto selected = policy.SelectRound(t);
+    if (!selected.ok()) return -1.0;
+    std::vector<std::vector<double>> obs;
+    for (int i : selected.value()) {
+      obs.push_back(env.ObserveSeller(i));
+      achieved += env.effective_quality(i);
+    }
+    oracle += env.OracleTopK(static_cast<int>(selected.value().size()));
+    if (!policy.Observe(selected.value(), obs).ok()) return -1.0;
+    env.AdvanceRound();
+  }
+  return oracle - achieved;
+}
+
+std::vector<double> InitialQualities(int m, std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  std::vector<double> q(static_cast<std::size_t>(m));
+  for (double& x : q) x = rng.NextDouble(0.05, 0.95);
+  return q;
+}
+
+int Run(const sim::BenchFlags& flags) {
+  sim::Reporter reporter(flags.output_dir, std::cout);
+  const int kSellers = 50, kSelect = 5;
+  const std::int64_t rounds = flags.quick ? 2000 : 20000;
+
+  sim::ExperimentSpec spec{
+      "ablation_nonstationary", "Non-stationary ablation",
+      "dynamic regret under quality drift: stationary vs window/discounted",
+      "M=50 K=5 L=10 N=" + std::to_string(rounds) +
+          " seed=" + std::to_string(flags.seed)};
+  reporter.Begin(spec);
+
+  // (a) random-walk drift speed sweep.
+  sim::FigureData walk("nonstat_walk", "dynamic regret vs drift step",
+                       "step_stddev", "dynamic regret");
+  sim::Series* s_stat = walk.AddSeries("cmab-hs (stationary)");
+  sim::Series* s_win = walk.AddSeries("sw-cucb(500)");
+  sim::Series* s_disc = walk.AddSeries("d-ucb(0.999)");
+  for (double step : {0.0005, 0.002, 0.005, 0.01, 0.02}) {
+    bandit::DriftConfig drift;
+    drift.kind = bandit::DriftKind::kRandomWalk;
+    drift.step_stddev = step;
+    std::vector<double> initial = InitialQualities(kSellers, flags.seed);
+
+    bandit::CucbOptions options;
+    options.num_sellers = kSellers;
+    options.num_selected = kSelect;
+    auto stationary = bandit::CucbPolicy::Create(options);
+    auto window =
+        bandit::SlidingWindowCucbPolicy::Create(kSellers, kSelect, 500);
+    auto discounted =
+        bandit::DiscountedUcbPolicy::Create(kSellers, kSelect, 0.999);
+    if (!stationary.ok()) return benchx::Fail(stationary.status());
+    if (!window.ok()) return benchx::Fail(window.status());
+    if (!discounted.ok()) return benchx::Fail(discounted.status());
+
+    auto make_env = [&] {
+      auto env = bandit::DriftingEnvironment::Create(initial, 10, 0.1,
+                                                     drift, flags.seed + 7);
+      return std::move(env).value();
+    };
+    auto env_a = make_env();
+    auto env_b = make_env();
+    auto env_c = make_env();
+    s_stat->Add(step, RunDynamicRegret(stationary.value(), env_a, rounds,
+                                       nullptr));
+    s_win->Add(step,
+               RunDynamicRegret(window.value(), env_b, rounds, nullptr));
+    s_disc->Add(step, RunDynamicRegret(discounted.value(), env_c, rounds,
+                                       nullptr));
+  }
+  util::Status st = reporter.Report(walk);
+  if (!st.ok()) return benchx::Fail(st);
+
+  // (b) abrupt collapse of the best seller halfway through.
+  sim::FigureData abrupt("nonstat_abrupt",
+                         "dynamic regret with abrupt collapse at N/2",
+                         "policy_idx", "dynamic regret");
+  sim::Series* s_abrupt = abrupt.AddSeries("regret");
+  bandit::DriftConfig none;
+  none.kind = bandit::DriftKind::kNone;
+  std::vector<double> initial = InitialQualities(kSellers, flags.seed);
+  int best = 0;
+  for (int i = 1; i < kSellers; ++i) {
+    if (initial[static_cast<std::size_t>(i)] >
+        initial[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+
+  reporter.Note("abrupt collapse scenario (best seller -> 0.05 at N/2):");
+  int idx = 0;
+  auto run_abrupt = [&](bandit::SelectionPolicy& policy,
+                        const std::string& label) -> util::Status {
+    auto env = bandit::DriftingEnvironment::Create(initial, 10, 0.1, none,
+                                                   flags.seed + 13);
+    if (!env.ok()) return env.status();
+    double regret = RunDynamicRegret(
+        policy, env.value(), rounds, [&](std::int64_t t) {
+          if (t == rounds / 2) {
+            (void)env.value().SetNominalQuality(best, 0.05);
+          }
+        });
+    s_abrupt->Add(idx++, regret);
+    reporter.Note("  " + label + ": dynamic regret = " +
+                  util::FormatDouble(regret, 1));
+    return util::Status::OK();
+  };
+
+  bandit::CucbOptions options;
+  options.num_sellers = kSellers;
+  options.num_selected = kSelect;
+  auto stationary = bandit::CucbPolicy::Create(options);
+  auto window =
+      bandit::SlidingWindowCucbPolicy::Create(kSellers, kSelect, 500);
+  auto discounted =
+      bandit::DiscountedUcbPolicy::Create(kSellers, kSelect, 0.999);
+  if (!stationary.ok()) return benchx::Fail(stationary.status());
+  if (!window.ok()) return benchx::Fail(window.status());
+  if (!discounted.ok()) return benchx::Fail(discounted.status());
+  st = run_abrupt(stationary.value(), "cmab-hs (stationary)");
+  if (!st.ok()) return benchx::Fail(st);
+  st = run_abrupt(window.value(), "sw-cucb(500)");
+  if (!st.ok()) return benchx::Fail(st);
+  st = run_abrupt(discounted.value(), "d-ucb(0.999)");
+  if (!st.ok()) return benchx::Fail(st);
+
+  st = reporter.Report(abrupt);
+  if (!st.ok()) return benchx::Fail(st);
+  reporter.Note(
+      "expected shape: all policies tie at negligible drift; the window\n"
+      "and discounted variants dominate as drift accelerates and recover\n"
+      "far faster from the abrupt collapse.");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = cdt::sim::ParseBenchFlags(argc, argv);
+  if (!flags.ok()) return cdt::benchx::Fail(flags.status());
+  return Run(flags.value());
+}

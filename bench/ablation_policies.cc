@@ -1,0 +1,100 @@
+// Ablation bench for the design choices called out in DESIGN.md §6:
+//   (1) the UCB exploration constant — the paper's (K+1) vs UCB1's 2 vs 0.5;
+//   (2) Algorithm 1's round-1 select-all initial exploration vs cold start;
+//   (3) the extension policies (ε-greedy, Thompson) vs the paper's set.
+// Reports regret and revenue on a shared instance.
+//
+//   ./ablation_policies [--quick=true] [--seed=<n>] [--out=<dir>]
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/series.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace cdt;
+
+int Run(const sim::BenchFlags& flags) {
+  sim::Reporter reporter(flags.output_dir, std::cout);
+  core::MechanismConfig base = benchx::PaperConfig(flags);
+  base.num_sellers = 100;
+  base.num_rounds = flags.quick ? 2000 : 50000;
+
+  sim::ExperimentSpec spec{
+      "ablation", "Ablations",
+      "UCB exploration constant, initial exploration, policy zoo",
+      benchx::SettingsString(base) + (flags.quick ? " [quick]" : "")};
+  reporter.Begin(spec);
+
+  // (1) + (2): exploration constant x initial-exploration ablation for the
+  // CMAB-HS policy.
+  sim::FigureData ablation("ablation_cucb", "CMAB-HS design ablations",
+                           "variant_idx", "regret");
+  sim::Series* series = ablation.AddSeries("regret");
+  struct Variant {
+    const char* label;
+    double exploration;  // <= 0 -> paper's K+1
+    bool select_all;
+  };
+  const Variant variants[] = {
+      {"paper (K+1, select-all)", 0.0, true},
+      {"ucb1 constant 2.0", 2.0, true},
+      {"aggressive 0.5", 0.5, true},
+      {"cold start (no select-all)", 0.0, false},
+      {"ucb1 + cold start", 2.0, false},
+  };
+  reporter.Note("CMAB-HS ablations (regret after N rounds):");
+  int idx = 0;
+  for (const Variant& variant : variants) {
+    core::MechanismConfig config = base;
+    config.exploration = variant.exploration;
+    config.select_all_first_round = variant.select_all;
+    auto run = core::CmabHs::Create(config);
+    if (!run.ok()) return benchx::Fail(run.status());
+    util::Status status = run.value()->RunAll();
+    if (!status.ok()) return benchx::Fail(status);
+    double regret = run.value()->metrics().regret();
+    series->Add(idx++, regret);
+    reporter.Note("  " + std::string(variant.label) + ": regret=" +
+                  util::FormatDouble(regret, 1));
+  }
+  util::Status st = reporter.Report(ablation);
+  if (!st.ok()) return benchx::Fail(st);
+
+  // (3) policy zoo on the same instance.
+  core::ComparisonOptions options;
+  options.policies = {
+      {core::PolicyKind::kCmabHs, 0.0},
+      {core::PolicyKind::kEpsilonFirst, 0.1},
+      {core::PolicyKind::kEpsilonGreedy, 0.1},
+      {core::PolicyKind::kThompson, 0.0},
+      {core::PolicyKind::kRandom, 0.0},
+  };
+  options.compute_deltas = false;
+  auto result = core::RunComparison(base, options);
+  if (!result.ok()) return benchx::Fail(result.status());
+  sim::FigureData zoo("ablation_policy_zoo", "policy zoo regret",
+                      "policy_idx", "regret");
+  sim::Series* zoo_series = zoo.AddSeries("regret");
+  reporter.Note("\nPolicy zoo (same instance):");
+  idx = 0;
+  for (const core::AlgorithmResult& algo : result.value().algorithms) {
+    zoo_series->Add(idx++, algo.regret);
+    reporter.Note("  " + algo.name + ": regret=" +
+                  util::FormatDouble(algo.regret, 1) + " revenue=" +
+                  util::FormatDouble(algo.expected_revenue, 1));
+  }
+  st = reporter.Report(zoo);
+  if (!st.ok()) return benchx::Fail(st);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = cdt::sim::ParseBenchFlags(argc, argv);
+  if (!flags.ok()) return cdt::benchx::Fail(flags.status());
+  return Run(flags.value());
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the figure-reproduction harnesses under bench/.
+//
+// Every harness accepts --out=<dir> (CSV output, default "results"),
+// --quick=true (scaled-down smoke run) and --seed=<n>, parsed via
+// sim::ParseBenchFlags.
+
+#ifndef CDT_BENCH_BENCH_COMMON_H_
+#define CDT_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/comparison.h"
+#include "core/config.h"
+#include "game/stackelberg.h"
+#include "sim/experiment.h"
+#include "stats/rng.h"
+
+namespace cdt {
+namespace benchx {
+
+/// Table-II defaults with the harness seed applied.
+inline core::MechanismConfig PaperConfig(const sim::BenchFlags& flags) {
+  core::MechanismConfig config;
+  config.seed = flags.seed;
+  return config;
+}
+
+/// Renders "M=300 K=10 L=10 N=100000 theta=0.1 lambda=1 omega=1000".
+inline std::string SettingsString(const core::MechanismConfig& config) {
+  std::ostringstream os;
+  os << "M=" << config.num_sellers << " K=" << config.num_selected
+     << " L=" << config.num_pois << " N=" << config.num_rounds
+     << " theta=" << config.theta << " lambda=" << config.lambda
+     << " omega=" << config.omega << " seed=" << config.seed;
+  return os.str();
+}
+
+/// Finds an algorithm row by name (nullptr when absent).
+inline const core::AlgorithmResult* FindAlgorithm(
+    const core::ComparisonResult& result, const std::string& name) {
+  for (const core::AlgorithmResult& algo : result.algorithms) {
+    if (algo.name == name) return &algo;
+  }
+  return nullptr;
+}
+
+/// One round's HS-game instance with Table-II parameter draws (used by the
+/// Fig. 13-18 harnesses, which evaluate "one randomly selected round").
+inline game::GameConfig MakeGameInstance(int k, std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  game::GameConfig config;
+  for (int i = 0; i < k; ++i) {
+    config.sellers.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+    config.qualities.push_back(rng.NextDouble(0.1, 1.0));
+  }
+  config.platform = {0.1, 1.0};
+  config.valuation = {1000.0};
+  config.consumer_price_bounds = {0.01, 1000.0};
+  config.collection_price_bounds = {0.01, 1000.0};
+  return config;
+}
+
+/// Standard exit path: print the error and fail the binary.
+inline int Fail(const util::Status& status) {
+  std::cerr << "bench failed: " << status.ToString() << std::endl;
+  return 1;
+}
+
+}  // namespace benchx
+}  // namespace cdt
+
+#endif  // CDT_BENCH_BENCH_COMMON_H_

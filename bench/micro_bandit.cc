@@ -1,0 +1,84 @@
+// Micro-benchmarks for the bandit substrate: UCB index computation, top-K
+// selection at paper scale (M=300), estimator updates and environment
+// observation draws.
+
+#include <benchmark/benchmark.h>
+
+#include "bandit/arm.h"
+#include "bandit/cucb_policy.h"
+#include "bandit/environment.h"
+
+namespace {
+
+using namespace cdt;
+
+bandit::EstimatorBank MakeWarmBank(int arms) {
+  auto bank = bandit::EstimatorBank::Create(arms, 11.0);
+  std::vector<double> batch(10, 0.5);
+  for (int i = 0; i < arms; ++i) {
+    (void)bank.value().Update(i, batch);
+  }
+  return std::move(bank).value();
+}
+
+void BM_EstimatorUpdate(benchmark::State& state) {
+  bandit::EstimatorBank bank = MakeWarmBank(300);
+  std::vector<double> batch(10, 0.7);
+  int arm = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.Update(arm, batch));
+    arm = (arm + 1) % 300;
+  }
+}
+BENCHMARK(BM_EstimatorUpdate);
+
+void BM_UcbValues(benchmark::State& state) {
+  bandit::EstimatorBank bank = MakeWarmBank(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.UcbValues());
+  }
+}
+BENCHMARK(BM_UcbValues)->Arg(50)->Arg(300);
+
+void BM_TopKByUcb(benchmark::State& state) {
+  bandit::EstimatorBank bank = MakeWarmBank(300);
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.TopKByUcb(k));
+  }
+}
+BENCHMARK(BM_TopKByUcb)->Arg(10)->Arg(60);
+
+void BM_CucbSelectRound(benchmark::State& state) {
+  bandit::CucbOptions options;
+  options.num_sellers = 300;
+  options.num_selected = static_cast<int>(state.range(0));
+  auto policy = bandit::CucbPolicy::Create(options);
+  std::vector<double> batch(10, 0.5);
+  std::vector<int> all(300);
+  std::vector<std::vector<double>> obs(300, batch);
+  for (int i = 0; i < 300; ++i) all[i] = i;
+  (void)policy.value().Observe(all, obs);
+  std::int64_t round = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.value().SelectRound(round++));
+  }
+}
+BENCHMARK(BM_CucbSelectRound)->Arg(10)->Arg(60);
+
+void BM_EnvironmentObserve(benchmark::State& state) {
+  bandit::EnvironmentConfig config;
+  config.num_sellers = 300;
+  config.num_pois = 10;
+  auto env = bandit::QualityEnvironment::Create(config);
+  int seller = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.value().ObserveSeller(seller));
+    seller = (seller + 1) % 300;
+  }
+}
+BENCHMARK(BM_EnvironmentObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Micro-benchmark for the full trading round: selection + HS game + data
+// collection + settlement at paper scale (M=300, L=10).
+
+#include <benchmark/benchmark.h>
+
+#include "core/cmab_hs.h"
+
+namespace {
+
+using namespace cdt;
+
+void BM_FullTradingRound(benchmark::State& state) {
+  core::MechanismConfig config;
+  config.num_selected = static_cast<int>(state.range(0));
+  config.num_rounds = 1 << 30;  // never exhausts within the benchmark
+  auto run = core::CmabHs::Create(config);
+  (void)run.value()->RunRound();  // initial exploration outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run.value()->RunRound());
+  }
+}
+BENCHMARK(BM_FullTradingRound)->Arg(10)->Arg(60);
+
+void BM_FullRunThousandRounds(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MechanismConfig config;
+    config.num_sellers = 100;
+    config.num_selected = 10;
+    config.num_rounds = 1000;
+    auto run = core::CmabHs::Create(config);
+    benchmark::DoNotOptimize(run.value()->RunAll());
+  }
+}
+BENCHMARK(BM_FullRunThousandRounds)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Micro-benchmarks for the Stackelberg game: closed-form backward
+// induction, the exact piecewise stage-2 sweep, the numeric stage-1
+// fallback, and the Def.-13 equilibrium verification.
+
+#include <benchmark/benchmark.h>
+
+#include "game/equilibrium.h"
+#include "game/numeric.h"
+#include "game/stackelberg.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace cdt;
+
+game::GameConfig MakeConfig(int k, std::uint64_t seed = 1) {
+  stats::Xoshiro256 rng(seed);
+  game::GameConfig config;
+  for (int i = 0; i < k; ++i) {
+    config.sellers.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+    config.qualities.push_back(rng.NextDouble(0.1, 1.0));
+  }
+  config.platform = {0.1, 1.0};
+  config.valuation = {1000.0};
+  config.consumer_price_bounds = {0.01, 1000.0};
+  config.collection_price_bounds = {0.01, 1000.0};
+  return config;
+}
+
+void BM_SolverCreate(benchmark::State& state) {
+  game::GameConfig config = MakeConfig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::StackelbergSolver::Create(config));
+  }
+}
+BENCHMARK(BM_SolverCreate)->Arg(10)->Arg(60);
+
+void BM_Solve(benchmark::State& state) {
+  auto solver =
+      game::StackelbergSolver::Create(MakeConfig(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.value().Solve());
+  }
+}
+BENCHMARK(BM_Solve)->Arg(10)->Arg(60);
+
+void BM_PlatformBestPriceExactSweep(benchmark::State& state) {
+  auto solver =
+      game::StackelbergSolver::Create(MakeConfig(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.value().PlatformBestPrice(12.0));
+  }
+}
+BENCHMARK(BM_PlatformBestPriceExactSweep)->Arg(10)->Arg(60);
+
+void BM_ConsumerNumericFallback(benchmark::State& state) {
+  // Force the numeric path by capping the collection price below the
+  // interior optimum.
+  game::GameConfig config = MakeConfig(10);
+  config.collection_price_bounds = {0.01, 1.0};
+  auto solver = game::StackelbergSolver::Create(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.value().ConsumerBestPrice());
+  }
+}
+BENCHMARK(BM_ConsumerNumericFallback);
+
+void BM_EquilibriumCheck(benchmark::State& state) {
+  auto solver = game::StackelbergSolver::Create(MakeConfig(10));
+  game::StrategyProfile profile = solver.value().Solve();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        game::CheckEquilibrium(solver.value(), profile));
+  }
+}
+BENCHMARK(BM_EquilibriumCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,175 @@
+// Campaign runner: the "operations" workflow a platform team would use.
+// Reads mechanism parameters from a key=value config file (or flags), runs
+// the campaign while streaming every round to a CSV run log, then loads
+// the log back and prints the offline analysis (summary, smoothed profit,
+// regret curve checkpoints, selection convergence).
+//
+//   ./campaign_runner [--config=<file>] [--log=<csv>] [--m=50] [--k=5]
+//                     [--rounds=2000] [--seed=11]
+//
+// Config file lines mirror the flags, e.g.:
+//   m = 100
+//   k = 10
+//   rounds = 5000
+//   omega = 1200
+
+#include <fstream>
+#include <iostream>
+
+#include "analysis/run_analysis.h"
+#include "core/cmab_hs.h"
+#include "market/run_log.h"
+#include "util/config.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+cdt::util::Result<cdt::util::ConfigMap> LoadOptions(int argc, char** argv) {
+  using cdt::util::ConfigMap;
+  auto flags = ConfigMap::FromArgs(argc, argv);
+  if (!flags.ok()) return flags.status();
+  auto config_path = flags.value().GetString("config", "");
+  if (!config_path.ok()) return config_path.status();
+  if (config_path.value().empty()) return flags;
+
+  std::ifstream in(config_path.value());
+  if (!in.is_open()) {
+    return cdt::util::Status::IoError("cannot open config file: " +
+                                      config_path.value());
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  auto from_file = ConfigMap::FromLines(lines);
+  if (!from_file.ok()) return from_file.status();
+  // Command-line flags override file entries.
+  ConfigMap merged = from_file.value();
+  for (const auto& [key, value] : flags.value().entries()) {
+    merged.Set(key, value);
+  }
+  return merged;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdt;
+
+  auto opts = LoadOptions(argc, argv);
+  if (!opts.ok()) {
+    std::cerr << opts.status().ToString() << "\n";
+    return 1;
+  }
+
+  core::MechanismConfig config;
+  config.num_sellers =
+      static_cast<int>(opts.value().GetInt("m", 50).value_or(50));
+  config.num_selected =
+      static_cast<int>(opts.value().GetInt("k", 5).value_or(5));
+  config.num_pois =
+      static_cast<int>(opts.value().GetInt("l", 10).value_or(10));
+  config.num_rounds = opts.value().GetInt("rounds", 2000).value_or(2000);
+  config.omega = opts.value().GetDouble("omega", 1000.0).value_or(1000.0);
+  config.theta = opts.value().GetDouble("theta", 0.1).value_or(0.1);
+  config.lambda = opts.value().GetDouble("lambda", 1.0).value_or(1.0);
+  config.consumer_budget =
+      opts.value().GetDouble("budget", 0.0).value_or(0.0);
+  config.seed = static_cast<std::uint64_t>(
+      opts.value().GetInt("seed", 11).value_or(11));
+  std::string log_path =
+      opts.value().GetString("log", "campaign_log.csv").value_or("");
+
+  if (!config.Validate().ok()) {
+    std::cerr << "invalid configuration: "
+              << config.Validate().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "Campaign: M=" << config.num_sellers << " K="
+            << config.num_selected << " L=" << config.num_pois << " N="
+            << config.num_rounds << " omega=" << config.omega
+            << (config.consumer_budget > 0.0
+                    ? " budget=" + util::FormatDouble(config.consumer_budget, 0)
+                    : "")
+            << "\n";
+
+  auto run = core::CmabHs::Create(config);
+  if (!run.ok()) {
+    std::cerr << run.status().ToString() << "\n";
+    return 1;
+  }
+  auto writer = market::RunLogWriter::Open(log_path);
+  if (!writer.ok()) {
+    std::cerr << writer.status().ToString() << "\n";
+    return 1;
+  }
+  util::Status status =
+      run.value()->RunAll([&](const market::RoundReport& report) {
+        util::Status append = writer.value().Append(report);
+        if (!append.ok()) std::cerr << append.ToString() << "\n";
+      });
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  if (!writer.value().Close().ok()) {
+    std::cerr << "failed to close run log\n";
+    return 1;
+  }
+  std::cout << "Run log: " << log_path << " ("
+            << writer.value().rows_written() << " rounds)\n\n";
+
+  // --- offline analysis from the persisted log ---
+  auto rows = market::LoadRunLog(log_path);
+  if (!rows.ok()) {
+    std::cerr << rows.status().ToString() << "\n";
+    return 1;
+  }
+  auto stats = analysis::Summarize(rows.value());
+  if (!stats.ok()) {
+    std::cerr << stats.status().ToString() << "\n";
+    return 1;
+  }
+  util::TablePrinter summary({"metric", "value"});
+  summary.AddRow({"rounds executed", std::to_string(stats.value().rounds)});
+  summary.AddRow({"total PoC",
+                  util::FormatDouble(stats.value().total_consumer_profit, 1)});
+  summary.AddRow({"total PoP",
+                  util::FormatDouble(stats.value().total_platform_profit, 1)});
+  summary.AddRow({"total PoS",
+                  util::FormatDouble(stats.value().total_seller_profit, 1)});
+  summary.AddRow({"quality revenue (expected)",
+                  util::FormatDouble(stats.value().total_expected_revenue, 1)});
+  summary.AddRow({"quality revenue (observed)",
+                  util::FormatDouble(stats.value().total_observed_revenue, 1)});
+  summary.AddRow({"mean p^J",
+                  util::FormatDouble(stats.value().mean_consumer_price, 3)});
+  summary.AddRow({"mean p",
+                  util::FormatDouble(stats.value().mean_collection_price, 3)});
+  summary.Print(std::cout);
+
+  double optimal_round =
+      run.value()->environment().OptimalSetQuality(config.num_selected) *
+      config.num_pois;
+  auto regret = analysis::CumulativeRegretCurve(rows.value(), optimal_round);
+  if (regret.ok() && !regret.value().empty()) {
+    std::cout << "\nCumulative regret checkpoints:\n";
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+      std::size_t idx = static_cast<std::size_t>(
+          frac * static_cast<double>(regret.value().size())) - 1;
+      std::cout << "  round " << idx + 1 << ": "
+                << util::FormatDouble(regret.value()[idx], 1) << "\n";
+    }
+  }
+  auto converged = analysis::DetectSelectionConvergence(rows.value(), 50);
+  if (converged.ok()) {
+    if (converged.value() > 0) {
+      std::cout << "\nSelection converged at round " << converged.value()
+                << " (stable for the rest of the campaign).\n";
+    } else {
+      std::cout << "\nSelection still exploring at campaign end.\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Multi-consumer marketplace example: two consumers with different data
+// valuations run concurrent jobs over one shared seller pool. Shows the
+// rotating-priority seller contention, the shared quality learning, and
+// each consumer's equilibrium prices/profits.
+//
+//   ./multi_consumer_market [--m=40] [--rounds=200] [--seed=5]
+
+#include <iostream>
+
+#include "market/marketplace.h"
+#include "stats/rng.h"
+#include "util/config.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace cdt;
+
+  auto flags = util::ConfigMap::FromArgs(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status().ToString() << "\n";
+    return 1;
+  }
+  const auto& opts = flags.value();
+  int m = static_cast<int>(opts.GetInt("m", 40).value_or(40));
+  std::int64_t rounds = opts.GetInt("rounds", 200).value_or(200);
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.GetInt("seed", 5).value_or(5));
+
+  bandit::EnvironmentConfig env_config;
+  env_config.num_sellers = m;
+  env_config.num_pois = 10;
+  env_config.seed = seed;
+  auto env = bandit::QualityEnvironment::Create(env_config);
+  if (!env.ok()) {
+    std::cerr << env.status().ToString() << "\n";
+    return 1;
+  }
+
+  market::MarketplaceConfig config;
+  config.base_job.num_pois = 10;
+  config.base_job.num_rounds = rounds;
+  config.base_job.round_duration = 1000.0;
+  config.base_job.description = "shared sensing campaign";
+
+  market::MarketplaceJob training;
+  training.name = "ml-training";
+  training.num_selected = 8;
+  training.valuation = {1200.0};  // values data highly
+  training.consumer_price_bounds = {0.01, 100.0};
+  training.collection_price_bounds = {0.01, 5.0};
+  market::MarketplaceJob monitoring;
+  monitoring.name = "env-monitoring";
+  monitoring.num_selected = 5;
+  monitoring.valuation = {700.0};
+  monitoring.consumer_price_bounds = {0.01, 100.0};
+  monitoring.collection_price_bounds = {0.01, 5.0};
+  config.jobs = {training, monitoring};
+
+  stats::Xoshiro256 rng(seed ^ 0xC0FFEE);
+  for (int i = 0; i < m; ++i) {
+    config.seller_costs.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+  }
+  config.platform_cost = {0.1, 1.0};
+
+  auto marketplace = market::Marketplace::Create(config, &env.value());
+  if (!marketplace.ok()) {
+    std::cerr << marketplace.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "Marketplace: " << m << " shared sellers, 2 consumers ("
+            << "K=8 @ omega=1200, K=5 @ omega=700), " << rounds
+            << " rounds\n\n";
+
+  // Show the first three rounds' assignments in detail.
+  for (int t = 1; t <= 3; ++t) {
+    auto report = marketplace.value()->RunRound();
+    if (!report.ok()) {
+      std::cerr << report.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "round " << t << ":\n";
+    for (const auto& job : report.value().jobs) {
+      std::cout << "  " << job.job_name << " <- sellers {";
+      for (std::size_t j = 0; j < job.report.selected.size(); ++j) {
+        if (j > 0) std::cout << ",";
+        std::cout << job.report.selected[j];
+      }
+      std::cout << "} p^J=" << util::FormatDouble(job.report.consumer_price, 2)
+                << " p=" << util::FormatDouble(job.report.collection_price, 2)
+                << " PoC=" << util::FormatDouble(job.report.consumer_profit, 1)
+                << "\n";
+    }
+  }
+  util::Status status = marketplace.value()->RunAll();
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "\nPer-job totals after " << rounds << " rounds:\n";
+  util::TablePrinter table({"job", "rounds", "PoC total", "PoP total",
+                            "PoS total", "quality revenue"});
+  for (const market::JobSummary& summary :
+       marketplace.value()->summaries()) {
+    table.AddRow({summary.job_name, std::to_string(summary.rounds),
+                  util::FormatDouble(summary.consumer_profit_total, 1),
+                  util::FormatDouble(summary.platform_profit_total, 1),
+                  util::FormatDouble(summary.seller_profit_total, 1),
+                  util::FormatDouble(summary.expected_quality_revenue, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe high-omega consumer wins the contention for the best\n"
+               "sellers half the rounds (rotating priority) and pays a\n"
+               "higher equilibrium unit price throughout.\n";
+  return 0;
+}

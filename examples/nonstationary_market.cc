@@ -1,0 +1,124 @@
+// Non-stationary crowdsensing example: seller qualities drift over the
+// campaign (the exogenous factors of the paper's Def.-3 Remark). Shows the
+// dynamic-regret gap between the paper's stationary CMAB-HS estimator and
+// the sliding-window / discounted extensions, round-block by round-block.
+//
+//   ./nonstationary_market [--m=30] [--k=3] [--rounds=6000]
+//                          [--step=0.01] [--seed=7]
+
+#include <functional>
+#include <iostream>
+
+#include "bandit/cucb_policy.h"
+#include "bandit/drift_environment.h"
+#include "bandit/nonstationary_policies.h"
+#include "util/config.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace cdt;
+
+struct BlockStats {
+  std::vector<double> per_block_regret;
+};
+
+BlockStats RunBlocks(bandit::SelectionPolicy& policy,
+                     bandit::DriftingEnvironment& env, std::int64_t rounds,
+                     std::int64_t block) {
+  BlockStats stats;
+  double achieved = 0.0, oracle = 0.0;
+  for (std::int64_t t = 1; t <= rounds; ++t) {
+    auto selected = policy.SelectRound(t);
+    if (!selected.ok()) break;
+    std::vector<std::vector<double>> obs;
+    for (int i : selected.value()) {
+      obs.push_back(env.ObserveSeller(i));
+      achieved += env.effective_quality(i);
+    }
+    oracle += env.OracleTopK(static_cast<int>(selected.value().size()));
+    if (!policy.Observe(selected.value(), obs).ok()) break;
+    env.AdvanceRound();
+    if (t % block == 0) {
+      stats.per_block_regret.push_back(oracle - achieved);
+      achieved = 0.0;
+      oracle = 0.0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = util::ConfigMap::FromArgs(argc, argv);
+  if (!flags.ok()) {
+    std::cerr << flags.status().ToString() << "\n";
+    return 1;
+  }
+  const auto& opts = flags.value();
+  int m = static_cast<int>(opts.GetInt("m", 30).value_or(30));
+  int k = static_cast<int>(opts.GetInt("k", 3).value_or(3));
+  std::int64_t rounds = opts.GetInt("rounds", 6000).value_or(6000);
+  double step = opts.GetDouble("step", 0.01).value_or(0.01);
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.GetInt("seed", 7).value_or(7));
+  std::int64_t block = rounds / 6;
+
+  std::cout << "Non-stationary CDT market: M=" << m << " K=" << k
+            << " N=" << rounds << ", random-walk drift step=" << step
+            << "\n\n";
+
+  bandit::DriftConfig drift;
+  drift.kind = bandit::DriftKind::kRandomWalk;
+  drift.step_stddev = step;
+  std::vector<double> initial;
+  stats::Xoshiro256 qrng(seed);
+  for (int i = 0; i < m; ++i) initial.push_back(qrng.NextDouble(0.05, 0.95));
+
+  bandit::CucbOptions options;
+  options.num_sellers = m;
+  options.num_selected = k;
+  auto stationary = bandit::CucbPolicy::Create(options);
+  auto window = bandit::SlidingWindowCucbPolicy::Create(m, k, 400);
+  auto discounted = bandit::DiscountedUcbPolicy::Create(m, k, 0.999);
+  if (!stationary.ok() || !window.ok() || !discounted.ok()) {
+    std::cerr << "policy construction failed\n";
+    return 1;
+  }
+
+  auto make_env = [&] {
+    auto env = bandit::DriftingEnvironment::Create(initial, 10, 0.1, drift,
+                                                   seed + 1);
+    return std::move(env).value();
+  };
+  auto env_a = make_env();
+  auto env_b = make_env();
+  auto env_c = make_env();
+  BlockStats s1 = RunBlocks(stationary.value(), env_a, rounds, block);
+  BlockStats s2 = RunBlocks(window.value(), env_b, rounds, block);
+  BlockStats s3 = RunBlocks(discounted.value(), env_c, rounds, block);
+
+  util::TablePrinter table({"rounds", "cmab-hs", "sw-cucb(400)",
+                            "d-ucb(0.999)"});
+  double t1 = 0, t2 = 0, t3 = 0;
+  for (std::size_t b = 0; b < s1.per_block_regret.size(); ++b) {
+    t1 += s1.per_block_regret[b];
+    t2 += b < s2.per_block_regret.size() ? s2.per_block_regret[b] : 0.0;
+    t3 += b < s3.per_block_regret.size() ? s3.per_block_regret[b] : 0.0;
+    table.AddRow({std::to_string((b + 1) * static_cast<std::size_t>(block)),
+                  util::FormatDouble(s1.per_block_regret[b], 1),
+                  util::FormatDouble(s2.per_block_regret[b], 1),
+                  util::FormatDouble(s3.per_block_regret[b], 1)});
+  }
+  std::cout << "Dynamic regret per block of " << block << " rounds:\n";
+  table.Print(std::cout);
+  std::cout << "\nTotals: cmab-hs=" << util::FormatDouble(t1, 1)
+            << " sw-cucb=" << util::FormatDouble(t2, 1)
+            << " d-ucb=" << util::FormatDouble(t3, 1) << "\n"
+            << "\nThe stationary estimator's per-block regret grows as its\n"
+            << "stale evidence diverges from the drifting truth; the window\n"
+            << "and discounted variants keep it bounded.\n";
+  return 0;
+}

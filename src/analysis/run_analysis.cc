@@ -1,0 +1,127 @@
+#include "analysis/run_analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cdt {
+namespace analysis {
+
+using market::RunLogRow;
+using util::Result;
+using util::Status;
+
+Result<RunStatistics> Summarize(const std::vector<RunLogRow>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot summarise an empty run log");
+  }
+  RunStatistics stats;
+  stats.rounds = static_cast<std::int64_t>(rows.size());
+  for (const RunLogRow& row : rows) {
+    stats.total_consumer_profit += row.consumer_profit;
+    stats.total_platform_profit += row.platform_profit;
+    stats.total_seller_profit += row.seller_profit_total;
+    stats.total_expected_revenue += row.expected_quality_revenue;
+    stats.total_observed_revenue += row.observed_quality_revenue;
+    stats.mean_consumer_price += row.consumer_price;
+    stats.mean_collection_price += row.collection_price;
+    stats.mean_total_time += row.total_time;
+    if (row.initial_exploration) ++stats.exploration_rounds;
+  }
+  double n = static_cast<double>(rows.size());
+  stats.mean_consumer_price /= n;
+  stats.mean_collection_price /= n;
+  stats.mean_total_time /= n;
+  return stats;
+}
+
+std::vector<double> ExtractMetric(const std::vector<RunLogRow>& rows,
+                                  Metric metric) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const RunLogRow& row : rows) {
+    switch (metric) {
+      case Metric::kConsumerProfit:
+        out.push_back(row.consumer_profit);
+        break;
+      case Metric::kPlatformProfit:
+        out.push_back(row.platform_profit);
+        break;
+      case Metric::kSellerProfitTotal:
+        out.push_back(row.seller_profit_total);
+        break;
+      case Metric::kConsumerPrice:
+        out.push_back(row.consumer_price);
+        break;
+      case Metric::kCollectionPrice:
+        out.push_back(row.collection_price);
+        break;
+      case Metric::kTotalTime:
+        out.push_back(row.total_time);
+        break;
+      case Metric::kExpectedQualityRevenue:
+        out.push_back(row.expected_quality_revenue);
+        break;
+      case Metric::kObservedQualityRevenue:
+        out.push_back(row.observed_quality_revenue);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> MovingAverage(const std::vector<double>& values,
+                                          std::size_t window) {
+  if (window == 0) {
+    return Status::InvalidArgument("window must be >= 1");
+  }
+  std::vector<double> out(values.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    running += values[i];
+    if (i >= window) running -= values[i - window];
+    std::size_t denom = std::min(i + 1, window);
+    out[i] = running / static_cast<double>(denom);
+  }
+  return out;
+}
+
+Result<std::vector<double>> CumulativeRegretCurve(
+    const std::vector<RunLogRow>& rows, double optimal_round_revenue) {
+  if (optimal_round_revenue <= 0.0) {
+    return Status::InvalidArgument("optimal_round_revenue must be > 0");
+  }
+  std::vector<double> out(rows.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    total += optimal_round_revenue - rows[i].expected_quality_revenue;
+    out[i] = total;
+  }
+  return out;
+}
+
+Result<std::int64_t> DetectSelectionConvergence(
+    const std::vector<RunLogRow>& rows, std::int64_t stable_rounds) {
+  if (stable_rounds <= 0) {
+    return Status::InvalidArgument("stable_rounds must be > 0");
+  }
+  if (rows.empty()) return static_cast<std::int64_t>(0);
+
+  std::vector<std::set<int>> sets;
+  sets.reserve(rows.size());
+  for (const RunLogRow& row : rows) {
+    Result<std::vector<int>> ids = market::ParseSelectedSet(row.selected);
+    if (!ids.ok()) return ids.status();
+    sets.emplace_back(ids.value().begin(), ids.value().end());
+  }
+  // Walk backwards: find the start of the final stable streak.
+  std::size_t start = sets.size() - 1;
+  while (start > 0 && sets[start - 1] == sets.back()) --start;
+  std::int64_t streak = static_cast<std::int64_t>(sets.size() - start);
+  if (streak >= stable_rounds) {
+    return static_cast<std::int64_t>(start + 1);  // 1-based round
+  }
+  return static_cast<std::int64_t>(0);
+}
+
+}  // namespace analysis
+}  // namespace cdt

@@ -1,0 +1,94 @@
+#include "bandit/arm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/confidence.h"
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+std::vector<int> TopKIndices(const std::vector<double>& values, int k) {
+  std::vector<int> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  int take = std::min<int>(k, static_cast<int>(order.size()));
+  if (take <= 0) return {};
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&values](int a, int b) {
+                      double va = values[static_cast<std::size_t>(a)];
+                      double vb = values[static_cast<std::size_t>(b)];
+                      if (va != vb) return va > vb;
+                      return a < b;
+                    });
+  order.resize(static_cast<std::size_t>(take));
+  return order;
+}
+
+EstimatorBank::EstimatorBank(int num_arms, double exploration)
+    : arms_(static_cast<std::size_t>(num_arms)), exploration_(exploration) {}
+
+Result<EstimatorBank> EstimatorBank::Create(int num_arms,
+                                            double exploration) {
+  if (num_arms <= 0) {
+    return Status::InvalidArgument("EstimatorBank requires >= 1 arm");
+  }
+  if (exploration <= 0.0) {
+    return Status::InvalidArgument("exploration constant must be > 0");
+  }
+  return EstimatorBank(num_arms, exploration);
+}
+
+Status EstimatorBank::Update(int i, const std::vector<double>& observations) {
+  if (i < 0 || i >= num_arms()) {
+    return Status::OutOfRange("arm index " + std::to_string(i) +
+                              " out of range");
+  }
+  if (observations.empty()) {
+    return Status::InvalidArgument("empty observation batch");
+  }
+  for (double q : observations) {
+    if (q < 0.0 || q > 1.0) {
+      return Status::OutOfRange("quality observation outside [0, 1]");
+    }
+  }
+  ArmState& arm = arms_[static_cast<std::size_t>(i)];
+  // Eq. (18): q̄ <- (q̄ * n + Σ q_l) / (n + L); Eq. (17): n <- n + L.
+  double batch_sum = 0.0;
+  for (double q : observations) batch_sum += q;
+  double n_old = static_cast<double>(arm.observations);
+  double n_new = n_old + static_cast<double>(observations.size());
+  arm.mean = (arm.mean * n_old + batch_sum) / n_new;
+  arm.observations += observations.size();
+  total_observations_ += observations.size();
+  return Status::OK();
+}
+
+double EstimatorBank::UcbValue(int i) const {
+  const ArmState& arm = arms_.at(static_cast<std::size_t>(i));
+  return arm.mean + stats::UcbRadius(arm.observations, total_observations_,
+                                     exploration_);
+}
+
+std::vector<double> EstimatorBank::UcbValues() const {
+  std::vector<double> out(arms_.size());
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    out[i] = UcbValue(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> EstimatorBank::TopKByUcb(int k) const {
+  return TopKIndices(UcbValues(), k);
+}
+
+std::vector<int> EstimatorBank::TopKByMean(int k) const {
+  std::vector<double> means(arms_.size());
+  for (std::size_t i = 0; i < arms_.size(); ++i) means[i] = arms_[i].mean;
+  return TopKIndices(means, k);
+}
+
+}  // namespace bandit
+}  // namespace cdt

@@ -1,0 +1,75 @@
+// Per-arm quality estimation: the paper's learning state (Eqs. 17–18) and
+// UCB index (Eq. 19), maintained for all M sellers by an EstimatorBank.
+
+#ifndef CDT_BANDIT_ARM_H_
+#define CDT_BANDIT_ARM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cdt {
+namespace bandit {
+
+/// Learning state of one arm (seller).
+struct ArmState {
+  /// n_i^t: number of quality samples observed so far (L per selection).
+  std::uint64_t observations = 0;
+  /// q̄_i^t: running mean of observed qualities.
+  double mean = 0.0;
+};
+
+/// The bank of all M arm estimators. Implements the incremental updates of
+/// Eqs. (17)–(18) and the extended-UCB index of Eq. (19):
+///
+///   q̂_i^t = q̄_i^t + sqrt(exploration * ln(Σ_j n_j^t) / n_i^t)
+///
+/// with exploration = K+1 in the paper (configurable for ablations).
+class EstimatorBank {
+ public:
+  /// Creates M unexplored arms. `exploration` must be > 0.
+  static util::Result<EstimatorBank> Create(int num_arms, double exploration);
+
+  int num_arms() const { return static_cast<int>(arms_.size()); }
+  double exploration() const { return exploration_; }
+
+  /// Σ_j n_j^t across all arms.
+  std::uint64_t total_observations() const { return total_observations_; }
+
+  const ArmState& arm(int i) const { return arms_.at(i); }
+
+  /// Feeds one round of observations for arm `i` (the L per-PoI samples).
+  /// Observations outside [0,1] are rejected.
+  util::Status Update(int i, const std::vector<double>& observations);
+
+  /// UCB index q̂_i^t; +infinity for an unexplored arm, so cold-start
+  /// selection naturally prefers unseen arms.
+  double UcbValue(int i) const;
+
+  /// All UCB indices (size M).
+  std::vector<double> UcbValues() const;
+
+  /// Indices of the k arms with the largest UCB values (descending,
+  /// deterministic tie-break by index).
+  std::vector<int> TopKByUcb(int k) const;
+
+  /// Indices of the k arms with the largest empirical means.
+  std::vector<int> TopKByMean(int k) const;
+
+ private:
+  EstimatorBank(int num_arms, double exploration);
+
+  std::vector<ArmState> arms_;
+  double exploration_;
+  std::uint64_t total_observations_ = 0;
+};
+
+/// Returns indices of the k largest entries of `values` (descending value,
+/// ascending index on ties). Shared by the bank and the policies.
+std::vector<int> TopKIndices(const std::vector<double>& values, int k);
+
+}  // namespace bandit
+}  // namespace cdt
+
+#endif  // CDT_BANDIT_ARM_H_

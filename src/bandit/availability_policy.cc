@@ -1,0 +1,72 @@
+#include "bandit/availability_policy.h"
+
+#include <limits>
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+Result<AvailabilityAwareCucbPolicy> AvailabilityAwareCucbPolicy::Create(
+    int num_sellers, int k, AvailabilityFn availability, double exploration) {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (k <= 0 || k > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  if (!availability) {
+    return Status::InvalidArgument("availability callback must be set");
+  }
+  double resolved =
+      exploration > 0.0 ? exploration : static_cast<double>(k + 1);
+  Result<EstimatorBank> bank = EstimatorBank::Create(num_sellers, resolved);
+  if (!bank.ok()) return bank.status();
+  return AvailabilityAwareCucbPolicy(std::move(bank).value(), k,
+                                     std::move(availability));
+}
+
+Result<std::vector<int>> AvailabilityAwareCucbPolicy::SelectRound(
+    std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  std::vector<int> available;
+  available.reserve(static_cast<std::size_t>(bank_.num_arms()));
+  for (int i = 0; i < bank_.num_arms(); ++i) {
+    if (availability_(i, round)) available.push_back(i);
+  }
+  if (available.empty()) {
+    return Status::FailedPrecondition("no seller available in round " +
+                                      std::to_string(round));
+  }
+  if (round == 1) return available;  // restricted initial exploration
+
+  // Top-K among the available by UCB.
+  std::vector<double> masked(static_cast<std::size_t>(bank_.num_arms()),
+                             -std::numeric_limits<double>::infinity());
+  for (int i : available) {
+    masked[static_cast<std::size_t>(i)] = bank_.UcbValue(i);
+  }
+  std::vector<int> top =
+      TopKIndices(masked, std::min<int>(k_, static_cast<int>(
+                                                available.size())));
+  return top;
+}
+
+Status AvailabilityAwareCucbPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    // Empty batches (an unavailable seller produced no data) carry no
+    // information and are skipped rather than rejected.
+    if (observations[j].empty()) continue;
+    CDT_RETURN_NOT_OK(bank_.Update(selected[j], observations[j]));
+  }
+  return Status::OK();
+}
+
+}  // namespace bandit
+}  // namespace cdt

@@ -1,0 +1,137 @@
+#include "bandit/baseline_policies.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+std::vector<int> SampleDistinct(stats::Xoshiro256& rng, int n, int k) {
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  k = std::min(k, n);
+  for (int i = 0; i < k; ++i) {
+    std::size_t j = static_cast<std::size_t>(i) +
+                    static_cast<std::size_t>(rng.NextBounded(
+                        static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+// ---------------------------------------------------------------- Oracle --
+
+Result<OraclePolicy> OraclePolicy::Create(std::vector<double> qualities,
+                                          int k) {
+  if (qualities.empty()) {
+    return Status::InvalidArgument("oracle needs >= 1 quality");
+  }
+  if (k <= 0 || static_cast<std::size_t>(k) > qualities.size()) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  std::vector<int> selection = TopKIndices(qualities, k);
+  return OraclePolicy(std::move(selection),
+                      static_cast<int>(qualities.size()));
+}
+
+Result<std::vector<int>> OraclePolicy::SelectRound(std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  return selection_;
+}
+
+Status OraclePolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  return Status::OK();  // The oracle has nothing to learn.
+}
+
+// -------------------------------------------------------------- ε-first --
+
+Result<EpsilonFirstPolicy> EpsilonFirstPolicy::Create(
+    int num_sellers, int k, std::int64_t total_rounds, double epsilon,
+    std::uint64_t seed) {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (k <= 0 || k > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  if (total_rounds <= 0) {
+    return Status::InvalidArgument("total_rounds must be > 0");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::OutOfRange("epsilon must lie in (0, 1)");
+  }
+  // Exploration constant is irrelevant here (the bank only tracks means),
+  // but the bank requires a positive value.
+  Result<EstimatorBank> bank = EstimatorBank::Create(num_sellers, 1.0);
+  if (!bank.ok()) return bank.status();
+  std::int64_t expl = static_cast<std::int64_t>(
+      std::ceil(epsilon * static_cast<double>(total_rounds)));
+  expl = std::max<std::int64_t>(1, expl);
+  return EpsilonFirstPolicy(std::move(bank).value(), k, expl, epsilon, seed);
+}
+
+std::string EpsilonFirstPolicy::name() const {
+  std::ostringstream os;
+  os << epsilon_ << "-first";
+  return os.str();
+}
+
+Result<std::vector<int>> EpsilonFirstPolicy::SelectRound(std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  if (round <= exploration_rounds_) {
+    return SampleDistinct(rng_, bank_.num_arms(), k_);
+  }
+  return bank_.TopKByMean(k_);
+}
+
+Status EpsilonFirstPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    CDT_RETURN_NOT_OK(bank_.Update(selected[j], observations[j]));
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- Random --
+
+Result<RandomPolicy> RandomPolicy::Create(int num_sellers, int k,
+                                          std::uint64_t seed) {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (k <= 0 || k > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  return RandomPolicy(num_sellers, k, seed);
+}
+
+Result<std::vector<int>> RandomPolicy::SelectRound(std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  return SampleDistinct(rng_, num_sellers_, k_);
+}
+
+Status RandomPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace bandit
+}  // namespace cdt

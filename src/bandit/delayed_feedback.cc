@@ -1,0 +1,52 @@
+#include "bandit/delayed_feedback.h"
+
+#include <sstream>
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+Result<DelayedFeedbackPolicy> DelayedFeedbackPolicy::Create(
+    std::unique_ptr<SelectionPolicy> inner, int delay) {
+  if (inner == nullptr) {
+    return Status::InvalidArgument("inner policy must not be null");
+  }
+  if (delay < 0) {
+    return Status::InvalidArgument("delay must be >= 0");
+  }
+  return DelayedFeedbackPolicy(std::move(inner), delay);
+}
+
+std::string DelayedFeedbackPolicy::name() const {
+  std::ostringstream os;
+  os << inner_->name() << "+delay(" << delay_ << ")";
+  return os.str();
+}
+
+Result<std::vector<int>> DelayedFeedbackPolicy::SelectRound(
+    std::int64_t round) {
+  return inner_->SelectRound(round);
+}
+
+Status DelayedFeedbackPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  if (delay_ == 0) {
+    return inner_->Observe(selected, observations);
+  }
+  buffer_.push_back({selected, observations});
+  if (buffer_.size() > static_cast<std::size_t>(delay_)) {
+    PendingRound due = std::move(buffer_.front());
+    buffer_.pop_front();
+    return inner_->Observe(due.selected, due.observations);
+  }
+  return Status::OK();
+}
+
+}  // namespace bandit
+}  // namespace cdt

@@ -1,0 +1,122 @@
+#include "bandit/drift_environment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+Status DriftConfig::Validate() const {
+  if (kind == DriftKind::kRandomWalk && step_stddev <= 0.0) {
+    return Status::InvalidArgument("random-walk drift needs step_stddev > 0");
+  }
+  if (kind == DriftKind::kAbrupt && period <= 0) {
+    return Status::InvalidArgument("abrupt drift needs period > 0");
+  }
+  if (quality_lo < 0.0 || quality_hi > 1.0 || quality_lo >= quality_hi) {
+    return Status::InvalidArgument("quality support must be within [0, 1]");
+  }
+  return Status::OK();
+}
+
+Result<DriftingEnvironment> DriftingEnvironment::Create(
+    std::vector<double> initial_qualities, int num_pois,
+    double observation_stddev, const DriftConfig& drift, std::uint64_t seed) {
+  if (initial_qualities.empty()) {
+    return Status::InvalidArgument("need >= 1 seller quality");
+  }
+  if (num_pois <= 0) return Status::InvalidArgument("num_pois must be > 0");
+  if (observation_stddev <= 0.0) {
+    return Status::InvalidArgument("observation_stddev must be > 0");
+  }
+  CDT_RETURN_NOT_OK(drift.Validate());
+  for (double q : initial_qualities) {
+    if (q < drift.quality_lo || q > drift.quality_hi) {
+      return Status::OutOfRange("initial quality outside the drift support");
+    }
+  }
+  return DriftingEnvironment(std::move(initial_qualities), num_pois,
+                             observation_stddev, drift, seed);
+}
+
+double DriftingEnvironment::effective_quality(int seller) const {
+  return stats::TruncatedGaussianMean(nominal_.at(seller),
+                                      observation_stddev_, 0.0, 1.0);
+}
+
+std::vector<double> DriftingEnvironment::EffectiveQualities() const {
+  std::vector<double> out(nominal_.size());
+  for (std::size_t i = 0; i < nominal_.size(); ++i) {
+    out[i] = effective_quality(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<double> DriftingEnvironment::ObserveSeller(int seller) {
+  double centre = nominal_.at(seller);
+  std::vector<double> out(static_cast<std::size_t>(num_pois_));
+  for (double& x : out) {
+    // Rejection sampling against [0, 1], mirroring the stationary
+    // environment's truncated Gaussian.
+    double draw;
+    int attempts = 0;
+    do {
+      draw = gaussian_.Sample(rng_, centre, observation_stddev_);
+    } while ((draw < 0.0 || draw > 1.0) && ++attempts < 256);
+    x = std::min(1.0, std::max(0.0, draw));
+  }
+  return out;
+}
+
+void DriftingEnvironment::AdvanceRound() {
+  ++round_;
+  switch (drift_.kind) {
+    case DriftKind::kNone:
+      break;
+    case DriftKind::kRandomWalk: {
+      for (double& q : nominal_) {
+        q += gaussian_.Sample(rng_, 0.0, drift_.step_stddev);
+        // Reflect into the support so the walk does not absorb at edges.
+        if (q < drift_.quality_lo) q = 2.0 * drift_.quality_lo - q;
+        if (q > drift_.quality_hi) q = 2.0 * drift_.quality_hi - q;
+        q = std::min(drift_.quality_hi, std::max(drift_.quality_lo, q));
+      }
+      break;
+    }
+    case DriftKind::kAbrupt: {
+      if (round_ % drift_.period == 0) {
+        std::size_t victim = static_cast<std::size_t>(
+            rng_.NextBounded(nominal_.size()));
+        nominal_[victim] =
+            rng_.NextDouble(drift_.quality_lo, drift_.quality_hi);
+      }
+      break;
+    }
+  }
+}
+
+Status DriftingEnvironment::SetNominalQuality(int seller, double quality) {
+  if (seller < 0 || static_cast<std::size_t>(seller) >= nominal_.size()) {
+    return Status::OutOfRange("seller index out of range");
+  }
+  if (quality < drift_.quality_lo || quality > drift_.quality_hi) {
+    return Status::OutOfRange("quality outside the drift support");
+  }
+  nominal_[static_cast<std::size_t>(seller)] = quality;
+  return Status::OK();
+}
+
+double DriftingEnvironment::OracleTopK(int k) const {
+  std::vector<double> effective = EffectiveQualities();
+  std::sort(effective.begin(), effective.end(), std::greater<double>());
+  int take = std::min<int>(k, static_cast<int>(effective.size()));
+  double total = 0.0;
+  for (int i = 0; i < take; ++i) total += effective[static_cast<std::size_t>(i)];
+  return total;
+}
+
+}  // namespace bandit
+}  // namespace cdt

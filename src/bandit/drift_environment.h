@@ -1,0 +1,102 @@
+// Non-stationary quality environment — the extension motivated by the
+// Remark under Def. 3: "the actual sensing quality might be affected by
+// some exogenous factors (personal willingness, sensing context, daily
+// routine...)". The paper fixes q_i; this environment lets the *expected*
+// quality itself drift between rounds so the tracking behaviour of the
+// policies can be studied (see bench/ablation_nonstationary).
+
+#ifndef CDT_BANDIT_DRIFT_ENVIRONMENT_H_
+#define CDT_BANDIT_DRIFT_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace bandit {
+
+/// How expected qualities evolve between rounds.
+enum class DriftKind {
+  kNone,        // stationary (the paper's model)
+  kRandomWalk,  // q_i += N(0, step²), reflected into [lo, hi]
+  kAbrupt,      // every `period` rounds, a random seller's q resamples
+};
+
+/// Configuration of a drifting environment.
+struct DriftConfig {
+  DriftKind kind = DriftKind::kRandomWalk;
+  /// Random-walk step std-dev per round (kRandomWalk).
+  double step_stddev = 0.002;
+  /// Change period in rounds (kAbrupt).
+  std::int64_t period = 1000;
+  /// Quality support.
+  double quality_lo = 0.0;
+  double quality_hi = 1.0;
+
+  util::Status Validate() const;
+};
+
+/// Ground truth with time-varying expected qualities. Observations are
+/// truncated Gaussians centred on the *current* nominal quality.
+class DriftingEnvironment {
+ public:
+  static util::Result<DriftingEnvironment> Create(
+      std::vector<double> initial_qualities, int num_pois,
+      double observation_stddev, const DriftConfig& drift,
+      std::uint64_t seed);
+
+  int num_sellers() const { return static_cast<int>(nominal_.size()); }
+  int num_pois() const { return num_pois_; }
+
+  /// Current nominal quality of a seller.
+  double nominal_quality(int seller) const { return nominal_.at(seller); }
+
+  /// Current *effective* expected observation (analytic truncated mean).
+  double effective_quality(int seller) const;
+
+  /// All current effective qualities.
+  std::vector<double> EffectiveQualities() const;
+
+  /// Draws the L per-PoI observations for `seller` at the current
+  /// qualities.
+  std::vector<double> ObserveSeller(int seller);
+
+  /// Advances the drift process by one round.
+  void AdvanceRound();
+
+  /// Overrides one seller's nominal quality (scenario scripting in tests
+  /// and benches, e.g. an abrupt device failure). Errors outside [lo, hi].
+  util::Status SetNominalQuality(int seller, double quality);
+
+  /// Sum of the top-k current effective qualities (the dynamic-oracle
+  /// per-round revenue divided by L).
+  double OracleTopK(int k) const;
+
+  std::int64_t round() const { return round_; }
+
+ private:
+  DriftingEnvironment(std::vector<double> nominal, int num_pois,
+                      double observation_stddev, const DriftConfig& drift,
+                      std::uint64_t seed)
+      : nominal_(std::move(nominal)),
+        num_pois_(num_pois),
+        observation_stddev_(observation_stddev),
+        drift_(drift),
+        rng_(seed) {}
+
+  std::vector<double> nominal_;
+  int num_pois_;
+  double observation_stddev_;
+  DriftConfig drift_;
+  stats::Xoshiro256 rng_;
+  stats::GaussianSampler gaussian_;
+  std::int64_t round_ = 0;
+};
+
+}  // namespace bandit
+}  // namespace cdt
+
+#endif  // CDT_BANDIT_DRIFT_ENVIRONMENT_H_

@@ -1,0 +1,106 @@
+#include "bandit/environment.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+Status EnvironmentConfig::Validate() const {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (num_pois <= 0) return Status::InvalidArgument("num_pois must be > 0");
+  if (observation_stddev <= 0.0) {
+    return Status::InvalidArgument("observation_stddev must be > 0");
+  }
+  if (quality_lo < 0.0 || quality_hi > 1.0 || quality_lo >= quality_hi) {
+    return Status::InvalidArgument(
+        "quality range must satisfy 0 <= lo < hi <= 1");
+  }
+  return Status::OK();
+}
+
+QualityEnvironment::QualityEnvironment(
+    std::vector<double> nominal,
+    std::vector<stats::TruncatedGaussianSampler> samplers, int num_pois,
+    double observation_stddev, std::uint64_t seed)
+    : nominal_(std::move(nominal)),
+      num_pois_(num_pois),
+      observation_stddev_(observation_stddev),
+      rng_(seed),
+      samplers_(std::move(samplers)) {
+  effective_.reserve(nominal_.size());
+  for (double q : nominal_) {
+    effective_.push_back(
+        stats::TruncatedGaussianMean(q, observation_stddev_, 0.0, 1.0));
+  }
+}
+
+Result<QualityEnvironment> QualityEnvironment::Create(
+    const EnvironmentConfig& config) {
+  CDT_RETURN_NOT_OK(config.Validate());
+  stats::Xoshiro256 seeder(config.seed);
+  std::vector<double> qualities(static_cast<std::size_t>(config.num_sellers));
+  for (double& q : qualities) {
+    q = seeder.NextDouble(config.quality_lo, config.quality_hi);
+  }
+  return CreateWithQualities(std::move(qualities), config.num_pois,
+                             config.observation_stddev, seeder.Next());
+}
+
+Result<QualityEnvironment> QualityEnvironment::CreateWithQualities(
+    std::vector<double> qualities, int num_pois, double observation_stddev,
+    std::uint64_t seed) {
+  if (qualities.empty()) {
+    return Status::InvalidArgument("need at least one seller quality");
+  }
+  if (num_pois <= 0) return Status::InvalidArgument("num_pois must be > 0");
+  std::vector<stats::TruncatedGaussianSampler> samplers;
+  samplers.reserve(qualities.size());
+  for (double q : qualities) {
+    if (q < 0.0 || q > 1.0) {
+      return Status::OutOfRange("quality must lie in [0, 1]");
+    }
+    Result<stats::TruncatedGaussianSampler> sampler =
+        stats::TruncatedGaussianSampler::Create(q, observation_stddev, 0.0,
+                                                1.0);
+    if (!sampler.ok()) return sampler.status();
+    samplers.push_back(sampler.value());
+  }
+  return QualityEnvironment(std::move(qualities), std::move(samplers),
+                            num_pois, observation_stddev, seed);
+}
+
+std::vector<double> QualityEnvironment::ObserveSeller(int seller) {
+  std::vector<double> out(static_cast<std::size_t>(num_pois_));
+  auto& sampler = samplers_.at(static_cast<std::size_t>(seller));
+  for (double& x : out) x = sampler.Sample(rng_);
+  return out;
+}
+
+std::vector<int> QualityEnvironment::OptimalSet(int k) const {
+  std::vector<int> order(nominal_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return effective_[static_cast<std::size_t>(a)] >
+           effective_[static_cast<std::size_t>(b)];
+  });
+  int take = std::min<int>(k, static_cast<int>(order.size()));
+  order.resize(static_cast<std::size_t>(take));
+  return order;
+}
+
+double QualityEnvironment::OptimalSetQuality(int k) const {
+  double total = 0.0;
+  for (int i : OptimalSet(k)) {
+    total += effective_[static_cast<std::size_t>(i)];
+  }
+  return total;
+}
+
+}  // namespace bandit
+}  // namespace cdt

@@ -1,0 +1,85 @@
+// The quality environment: ground truth for the CMAB game. Each seller i
+// has an unknown expected quality q_i (Def. 3); every time a selected seller
+// collects data at one of the L PoIs, the platform observes one sample
+// q_{i,l}^t drawn from a truncated Gaussian around q_i (paper Sec. V-A).
+
+#ifndef CDT_BANDIT_ENVIRONMENT_H_
+#define CDT_BANDIT_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace bandit {
+
+/// Configuration of a randomly generated environment.
+struct EnvironmentConfig {
+  int num_sellers = 300;  // M
+  int num_pois = 10;      // L
+  /// Std-dev of the per-observation truncated Gaussian noise.
+  double observation_stddev = 0.1;
+  /// Expected qualities are drawn uniformly from this range (paper: [0,1]).
+  double quality_lo = 0.0;
+  double quality_hi = 1.0;
+  std::uint64_t seed = 1;
+
+  util::Status Validate() const;
+};
+
+/// Ground-truth seller qualities plus the observation process.
+///
+/// Distinguishes the *nominal* quality q_i (the Gaussian centre) from the
+/// *effective* quality E[q_{i,l}^t] (the truncated-Gaussian mean, computed
+/// analytically). All regret accounting and the oracle policy use effective
+/// qualities so that "optimal" is optimal w.r.t. what is actually observable.
+class QualityEnvironment {
+ public:
+  /// Generates an environment with random qualities per `config`.
+  static util::Result<QualityEnvironment> Create(
+      const EnvironmentConfig& config);
+
+  /// Builds an environment from explicit nominal qualities (all in [0,1]).
+  static util::Result<QualityEnvironment> CreateWithQualities(
+      std::vector<double> qualities, int num_pois, double observation_stddev,
+      std::uint64_t seed);
+
+  int num_sellers() const { return static_cast<int>(nominal_.size()); }
+  int num_pois() const { return num_pois_; }
+  double observation_stddev() const { return observation_stddev_; }
+
+  double nominal_quality(int seller) const { return nominal_.at(seller); }
+  double effective_quality(int seller) const { return effective_.at(seller); }
+  const std::vector<double>& effective_qualities() const { return effective_; }
+
+  /// Draws the L per-PoI observations for `seller` (consumes RNG state).
+  std::vector<double> ObserveSeller(int seller);
+
+  /// Indices of the top-k sellers by effective quality (descending),
+  /// deterministic tie-break by index.
+  std::vector<int> OptimalSet(int k) const;
+
+  /// Sum of effective qualities over OptimalSet(k).
+  double OptimalSetQuality(int k) const;
+
+ private:
+  QualityEnvironment(std::vector<double> nominal,
+                     std::vector<stats::TruncatedGaussianSampler> samplers,
+                     int num_pois, double observation_stddev,
+                     std::uint64_t seed);
+
+  std::vector<double> nominal_;
+  std::vector<double> effective_;
+  int num_pois_;
+  double observation_stddev_;
+  stats::Xoshiro256 rng_;
+  std::vector<stats::TruncatedGaussianSampler> samplers_;
+};
+
+}  // namespace bandit
+}  // namespace cdt
+
+#endif  // CDT_BANDIT_ENVIRONMENT_H_

@@ -1,0 +1,101 @@
+#include "bandit/extension_policies.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "bandit/baseline_policies.h"
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+// ------------------------------------------------------------- ε-greedy --
+
+Result<EpsilonGreedyPolicy> EpsilonGreedyPolicy::Create(int num_sellers,
+                                                        int k, double epsilon,
+                                                        std::uint64_t seed) {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (k <= 0 || k > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::OutOfRange("epsilon must lie in (0, 1)");
+  }
+  Result<EstimatorBank> bank = EstimatorBank::Create(num_sellers, 1.0);
+  if (!bank.ok()) return bank.status();
+  return EpsilonGreedyPolicy(std::move(bank).value(), k, epsilon, seed);
+}
+
+std::string EpsilonGreedyPolicy::name() const {
+  std::ostringstream os;
+  os << epsilon_ << "-greedy";
+  return os.str();
+}
+
+Result<std::vector<int>> EpsilonGreedyPolicy::SelectRound(
+    std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  if (rng_.NextDouble() < epsilon_) {
+    return SampleDistinct(rng_, bank_.num_arms(), k_);
+  }
+  return bank_.TopKByMean(k_);
+}
+
+Status EpsilonGreedyPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    CDT_RETURN_NOT_OK(bank_.Update(selected[j], observations[j]));
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- Thompson --
+
+Result<ThompsonPolicy> ThompsonPolicy::Create(int num_sellers, int k,
+                                              std::uint64_t seed) {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (k <= 0 || k > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  Result<EstimatorBank> bank = EstimatorBank::Create(num_sellers, 1.0);
+  if (!bank.ok()) return bank.status();
+  return ThompsonPolicy(std::move(bank).value(), k, seed);
+}
+
+Result<std::vector<int>> ThompsonPolicy::SelectRound(std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  std::vector<double> draws(static_cast<std::size_t>(bank_.num_arms()));
+  for (int i = 0; i < bank_.num_arms(); ++i) {
+    const ArmState& arm = bank_.arm(i);
+    double mean = arm.observations > 0 ? arm.mean : 0.5;
+    double stddev =
+        1.0 / std::sqrt(static_cast<double>(arm.observations) + 1.0);
+    draws[static_cast<std::size_t>(i)] = gaussian_.Sample(rng_, mean, stddev);
+  }
+  return TopKIndices(draws, k_);
+}
+
+Status ThompsonPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    CDT_RETURN_NOT_OK(bank_.Update(selected[j], observations[j]));
+  }
+  return Status::OK();
+}
+
+}  // namespace bandit
+}  // namespace cdt

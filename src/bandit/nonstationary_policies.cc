@@ -1,0 +1,182 @@
+#include "bandit/nonstationary_policies.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace cdt {
+namespace bandit {
+
+using util::Result;
+using util::Status;
+
+// ------------------------------------------------------ sliding window --
+
+Result<SlidingWindowCucbPolicy> SlidingWindowCucbPolicy::Create(
+    int num_sellers, int k, std::size_t window, double exploration) {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (k <= 0 || k > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  if (window == 0) {
+    return Status::InvalidArgument("window must be >= 1");
+  }
+  double resolved =
+      exploration > 0.0 ? exploration : static_cast<double>(k + 1);
+  return SlidingWindowCucbPolicy(num_sellers, k, window, resolved);
+}
+
+std::string SlidingWindowCucbPolicy::name() const {
+  std::ostringstream os;
+  os << "sw-cucb(" << window_ << ")";
+  return os.str();
+}
+
+double SlidingWindowCucbPolicy::WindowedMean(int arm) const {
+  const WindowArm& a = arms_.at(static_cast<std::size_t>(arm));
+  if (a.samples.empty()) return 0.0;
+  return a.sum / static_cast<double>(a.samples.size());
+}
+
+std::size_t SlidingWindowCucbPolicy::WindowedCount(int arm) const {
+  return arms_.at(static_cast<std::size_t>(arm)).samples.size();
+}
+
+Result<std::vector<int>> SlidingWindowCucbPolicy::SelectRound(
+    std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  if (round == 1) {
+    // Initial exploration (Algorithm 1): select everyone once.
+    std::vector<int> all(arms_.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  std::size_t total = 0;
+  for (const WindowArm& a : arms_) total += a.samples.size();
+  double log_term = std::log(std::max<double>(static_cast<double>(total), 2.0));
+  std::vector<double> ucb(arms_.size());
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    std::size_t n = arms_[i].samples.size();
+    if (n == 0) {
+      ucb[i] = std::numeric_limits<double>::infinity();
+    } else {
+      ucb[i] = arms_[i].sum / static_cast<double>(n) +
+               std::sqrt(exploration_ * log_term / static_cast<double>(n));
+    }
+  }
+  return TopKIndices(ucb, k_);
+}
+
+Status SlidingWindowCucbPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    int i = selected[j];
+    if (i < 0 || static_cast<std::size_t>(i) >= arms_.size()) {
+      return Status::OutOfRange("arm index out of range");
+    }
+    WindowArm& arm = arms_[static_cast<std::size_t>(i)];
+    for (double q : observations[j]) {
+      if (q < 0.0 || q > 1.0) {
+        return Status::OutOfRange("quality observation outside [0, 1]");
+      }
+      arm.samples.push_back(q);
+      arm.sum += q;
+      if (arm.samples.size() > window_) {
+        arm.sum -= arm.samples.front();
+        arm.samples.pop_front();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------- discounted --
+
+Result<DiscountedUcbPolicy> DiscountedUcbPolicy::Create(int num_sellers,
+                                                        int k, double gamma,
+                                                        double exploration) {
+  if (num_sellers <= 0) {
+    return Status::InvalidArgument("num_sellers must be > 0");
+  }
+  if (k <= 0 || k > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  if (gamma <= 0.0 || gamma > 1.0) {
+    return Status::OutOfRange("gamma must lie in (0, 1]");
+  }
+  double resolved =
+      exploration > 0.0 ? exploration : static_cast<double>(k + 1);
+  return DiscountedUcbPolicy(num_sellers, k, gamma, resolved);
+}
+
+std::string DiscountedUcbPolicy::name() const {
+  std::ostringstream os;
+  os << "d-ucb(" << gamma_ << ")";
+  return os.str();
+}
+
+double DiscountedUcbPolicy::DiscountedMean(int arm) const {
+  double n = counts_.at(static_cast<std::size_t>(arm));
+  if (n <= 0.0) return 0.0;
+  return sums_.at(static_cast<std::size_t>(arm)) / n;
+}
+
+Result<std::vector<int>> DiscountedUcbPolicy::SelectRound(
+    std::int64_t round) {
+  if (round < 1) return Status::InvalidArgument("rounds are 1-based");
+  if (round == 1) {
+    std::vector<int> all(counts_.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  double total = 0.0;
+  for (double n : counts_) total += n;
+  double log_term = std::log(std::max(total, 2.0));
+  std::vector<double> ucb(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 1e-12) {
+      ucb[i] = std::numeric_limits<double>::infinity();
+    } else {
+      ucb[i] = sums_[i] / counts_[i] +
+               std::sqrt(exploration_ * log_term / counts_[i]);
+    }
+  }
+  return TopKIndices(ucb, k_);
+}
+
+Status DiscountedUcbPolicy::Observe(
+    const std::vector<int>& selected,
+    const std::vector<std::vector<double>>& observations) {
+  if (selected.size() != observations.size()) {
+    return Status::InvalidArgument("selected/observations size mismatch");
+  }
+  // Per-round decay of every arm's evidence.
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] *= gamma_;
+    sums_[i] *= gamma_;
+  }
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    int i = selected[j];
+    if (i < 0 || static_cast<std::size_t>(i) >= counts_.size()) {
+      return Status::OutOfRange("arm index out of range");
+    }
+    for (double q : observations[j]) {
+      if (q < 0.0 || q > 1.0) {
+        return Status::OutOfRange("quality observation outside [0, 1]");
+      }
+      counts_[static_cast<std::size_t>(i)] += 1.0;
+      sums_[static_cast<std::size_t>(i)] += q;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bandit
+}  // namespace cdt

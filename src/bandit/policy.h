@@ -1,0 +1,49 @@
+// The bandit-policy interface (Def. 7): a policy emits one arm-pulling
+// decision per round and consumes the resulting quality observations.
+
+#ifndef CDT_BANDIT_POLICY_H_
+#define CDT_BANDIT_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bandit/arm.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace bandit {
+
+/// Abstract seller-selection policy.
+///
+/// Protocol per round t (1-based): call SelectRound(t) to obtain the chosen
+/// seller indices, collect observations, then call Observe() with exactly
+/// the selected set and one observation batch per selected seller.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  /// Human-readable policy name ("cmab-hs", "0.1-first", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of sellers this policy draws from.
+  virtual int num_sellers() const = 0;
+
+  /// Sellers selected in round `round`. Policies may select more than K in
+  /// designated exploration rounds (Algorithm 1 selects all M in round 1).
+  virtual util::Result<std::vector<int>> SelectRound(std::int64_t round) = 0;
+
+  /// Feedback for the round: `observations[j]` are the per-PoI quality
+  /// samples of `selected[j]`.
+  virtual util::Status Observe(
+      const std::vector<int>& selected,
+      const std::vector<std::vector<double>>& observations) = 0;
+
+  /// The learning state, when the policy maintains one (else nullptr).
+  virtual const EstimatorBank* estimator() const { return nullptr; }
+};
+
+}  // namespace bandit
+}  // namespace cdt
+
+#endif  // CDT_BANDIT_POLICY_H_

@@ -1,0 +1,91 @@
+#include "core/comparison.h"
+
+#include <cmath>
+
+namespace cdt {
+namespace core {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+AlgorithmResult Summarize(const CmabHs& run) {
+  const MetricsCollector& m = run.metrics();
+  AlgorithmResult out;
+  out.name = run.policy_spec().Name();
+  out.expected_revenue = m.expected_revenue();
+  out.observed_revenue = m.observed_revenue();
+  out.regret = m.regret();
+  out.mean_consumer_profit = m.consumer_profit().mean();
+  out.mean_platform_profit = m.platform_profit().mean();
+  out.mean_seller_profit_total = m.seller_profit_total().mean();
+  out.mean_seller_profit_each = m.seller_profit_each().mean();
+  out.checkpoints = m.checkpoints();
+  return out;
+}
+
+double MeanAbsDelta(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += std::fabs(a[i] - b[i]);
+  return total / static_cast<double>(n);
+}
+
+}  // namespace
+
+Result<ComparisonResult> RunComparison(const MechanismConfig& config,
+                                       const ComparisonOptions& options) {
+  CDT_RETURN_NOT_OK(config.Validate());
+
+  ComparisonResult result;
+
+  // Optimal baseline first (Δ reference).
+  PolicySpec optimal_spec{PolicyKind::kOptimal, 0.0};
+  Result<std::unique_ptr<CmabHs>> optimal =
+      CmabHs::Create(config, optimal_spec, options.checkpoints);
+  if (!optimal.ok()) return optimal.status();
+  optimal.value()->metrics().set_keep_trajectories(options.compute_deltas);
+  CDT_RETURN_NOT_OK(optimal.value()->RunAll());
+  result.algorithms.push_back(Summarize(*optimal.value()));
+
+  // Instance-level gap statistics + Theorem 19 bound (need K < M).
+  if (config.num_selected < config.num_sellers) {
+    Result<bandit::GapStatistics> gaps = bandit::ComputeGaps(
+        optimal.value()->environment().effective_qualities(),
+        config.num_selected);
+    if (!gaps.ok()) return gaps.status();
+    result.gaps = gaps.value();
+    result.theorem19_bound = bandit::Theorem19RegretBound(
+        config.num_sellers, config.num_selected, config.num_rounds,
+        config.num_pois, result.gaps);
+  }
+
+  const MetricsCollector& base = optimal.value()->metrics();
+
+  for (const PolicySpec& spec : options.policies) {
+    if (spec.kind == PolicyKind::kOptimal) continue;  // already run
+    Result<std::unique_ptr<CmabHs>> run =
+        CmabHs::Create(config, spec, options.checkpoints);
+    if (!run.ok()) return run.status();
+    run.value()->metrics().set_keep_trajectories(options.compute_deltas);
+    CDT_RETURN_NOT_OK(run.value()->RunAll());
+    AlgorithmResult algo = Summarize(*run.value());
+    if (options.compute_deltas) {
+      const MetricsCollector& m = run.value()->metrics();
+      algo.delta_consumer =
+          MeanAbsDelta(base.consumer_trajectory(), m.consumer_trajectory());
+      algo.delta_platform =
+          MeanAbsDelta(base.platform_trajectory(), m.platform_trajectory());
+      algo.delta_seller =
+          MeanAbsDelta(base.seller_trajectory(), m.seller_trajectory());
+    }
+    result.algorithms.push_back(std::move(algo));
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace cdt

@@ -1,0 +1,71 @@
+// Algorithm comparison runner for the paper's evaluation (Sec. V): runs the
+// same environment (identical true qualities and cost draws) under several
+// seller-selection policies and reports total revenue, regret, mean profits
+// and the Δ-profit-vs-optimal metrics (Δ-PoC, Δ-PoP, Δ-PoS).
+
+#ifndef CDT_CORE_COMPARISON_H_
+#define CDT_CORE_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "bandit/regret.h"
+#include "core/cmab_hs.h"
+#include "core/config.h"
+
+namespace cdt {
+namespace core {
+
+/// Per-algorithm outcome of a comparison run.
+struct AlgorithmResult {
+  std::string name;
+  double expected_revenue = 0.0;
+  double observed_revenue = 0.0;
+  double regret = 0.0;
+  double mean_consumer_profit = 0.0;
+  double mean_platform_profit = 0.0;
+  double mean_seller_profit_total = 0.0;
+  double mean_seller_profit_each = 0.0;
+  /// Mean per-round |profit − optimal's profit| (the paper's Δ metrics);
+  /// zero for the optimal algorithm itself.
+  double delta_consumer = 0.0;
+  double delta_platform = 0.0;
+  double delta_seller = 0.0;
+  /// Checkpointed snapshots when requested.
+  std::vector<MetricsCheckpoint> checkpoints;
+};
+
+/// Whole-comparison outcome.
+struct ComparisonResult {
+  std::vector<AlgorithmResult> algorithms;
+  /// Δmin/Δmax gaps of the shared environment.
+  bandit::GapStatistics gaps;
+  /// Theorem-19 bound for the CMAB-HS policy on this instance.
+  double theorem19_bound = 0.0;
+};
+
+/// Options for RunComparison.
+struct ComparisonOptions {
+  /// Policies to run. The optimal policy is always run (first) as the
+  /// Δ baseline, whether or not listed here.
+  std::vector<PolicySpec> policies = {
+      {PolicyKind::kCmabHs, 0.0},
+      {PolicyKind::kEpsilonFirst, 0.1},
+      {PolicyKind::kEpsilonFirst, 0.5},
+      {PolicyKind::kRandom, 0.0},
+  };
+  /// Metric checkpoints (ascending rounds; empty = final only).
+  std::vector<std::int64_t> checkpoints;
+  /// Keep per-round profit trajectories for Δ metrics. Costs O(N) memory
+  /// per run; disable to skip the Δ columns.
+  bool compute_deltas = true;
+};
+
+/// Runs every policy over an identically seeded environment.
+util::Result<ComparisonResult> RunComparison(const MechanismConfig& config,
+                                             const ComparisonOptions& options);
+
+}  // namespace core
+}  // namespace cdt
+
+#endif  // CDT_CORE_COMPARISON_H_

@@ -1,0 +1,117 @@
+#include "game/auction.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "game/profit.h"
+
+namespace cdt {
+namespace game {
+
+using util::Result;
+using util::Status;
+
+Status AuctionConfig::Validate() const {
+  if (sellers.empty() || sellers.size() != qualities.size()) {
+    return Status::InvalidArgument(
+        "auction needs matching non-empty sellers/qualities");
+  }
+  for (const SellerCostParams& s : sellers) {
+    CDT_RETURN_NOT_OK(s.Validate());
+  }
+  for (double q : qualities) {
+    if (q <= 0.0 || q > 1.0) {
+      return Status::OutOfRange("qualities must lie in (0, 1]");
+    }
+  }
+  if (num_winners <= 0 ||
+      static_cast<std::size_t>(num_winners) >= sellers.size()) {
+    return Status::InvalidArgument(
+        "need 1 <= num_winners < #sellers (the clearing price is the first "
+        "rejected ask)");
+  }
+  if (!(reference_time > 0.0)) {
+    return Status::InvalidArgument("reference_time must be > 0");
+  }
+  CDT_RETURN_NOT_OK(platform.Validate());
+  if (platform_margin < 0.0) {
+    return Status::InvalidArgument("platform_margin must be >= 0");
+  }
+  CDT_RETURN_NOT_OK(valuation.Validate());
+  if (!(max_sensing_time > 0.0)) {
+    return Status::InvalidArgument("max_sensing_time must be > 0");
+  }
+  return Status::OK();
+}
+
+double QualityAdjustedAsk(const SellerCostParams& seller,
+                          double reference_time) {
+  // C(τ̂, q̄) / (τ̂ q̄) = a τ̂ + b — the q̄ factors cancel, so the ask ranks
+  // sellers by cost per quality-weighted unit of sensing time.
+  return seller.a * reference_time + seller.b;
+}
+
+Result<AuctionOutcome> RunProcurementAuction(const AuctionConfig& config) {
+  CDT_RETURN_NOT_OK(config.Validate());
+
+  std::vector<int> order(config.sellers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> asks(config.sellers.size());
+  for (std::size_t i = 0; i < asks.size(); ++i) {
+    asks[i] = QualityAdjustedAsk(config.sellers[i], config.reference_time);
+  }
+  std::stable_sort(order.begin(), order.end(), [&asks](int x, int y) {
+    return asks[static_cast<std::size_t>(x)] <
+           asks[static_cast<std::size_t>(y)];
+  });
+
+  AuctionOutcome outcome;
+  int k = config.num_winners;
+  outcome.winners.assign(order.begin(), order.begin() + k);
+  // Critical payment: the first rejected quality-adjusted ask. A winner is
+  // paid clearing_price · q̄_i per unit time — exactly the highest unit
+  // rate at which it would still have won, so truthful asking is optimal.
+  outcome.clearing_price =
+      asks[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])];
+
+  double total_payment = 0.0;
+  outcome.tau.resize(outcome.winners.size());
+  outcome.winner_profits.resize(outcome.winners.size());
+  double quality_sum = 0.0;
+  for (std::size_t j = 0; j < outcome.winners.size(); ++j) {
+    int i = outcome.winners[j];
+    double q = config.qualities[static_cast<std::size_t>(i)];
+    const SellerCostParams& s =
+        config.sellers[static_cast<std::size_t>(i)];
+    double unit_price = outcome.clearing_price * q;
+    // Stage-3 best response to the awarded unit price (Thm. 14 applies to
+    // any posted price), clamped to [0, T].
+    double tau = (unit_price - q * s.b) / (2.0 * q * s.a);
+    tau = std::min(config.max_sensing_time, std::max(0.0, tau));
+    outcome.tau[j] = tau;
+    outcome.total_time += tau;
+    total_payment += unit_price * tau;
+    outcome.winner_profits[j] = SellerProfit(unit_price, tau, s, q);
+    quality_sum += q;
+  }
+
+  double mean_quality =
+      quality_sum / static_cast<double>(outcome.winners.size());
+  double aggregation_cost = PlatformCost(config.platform, outcome.total_time);
+  double platform_cost_total = total_payment + aggregation_cost;
+  if (outcome.total_time > 0.0) {
+    outcome.consumer_price = (1.0 + config.platform_margin) *
+                             platform_cost_total / outcome.total_time;
+  } else {
+    outcome.consumer_price = 0.0;
+  }
+  double reward = outcome.consumer_price * outcome.total_time;
+  outcome.platform_profit = reward - platform_cost_total;
+  outcome.consumer_profit =
+      ConsumerValuation(config.valuation, mean_quality, outcome.total_time) -
+      reward;
+  return outcome;
+}
+
+}  // namespace game
+}  // namespace cdt

@@ -1,0 +1,74 @@
+// Reverse-auction incentive baseline, standing in for the auction-based
+// mechanisms of the paper's related work ([9], [10]): instead of the
+// three-stage Stackelberg game, the platform procures sensing time through
+// a sealed-bid reverse auction with a uniform critical-payment clearing
+// price (truthful by the standard Myerson argument for single-parameter
+// bidders). Used by ablation benches to compare the HS mechanism against
+// an auction mechanism on the same instances.
+
+#ifndef CDT_GAME_AUCTION_H_
+#define CDT_GAME_AUCTION_H_
+
+#include <vector>
+
+#include "game/cost.h"
+#include "game/valuation.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace game {
+
+/// Configuration of one round's procurement auction.
+struct AuctionConfig {
+  /// Candidate sellers (cost parameters + learned qualities, size M' >= 1;
+  /// typically the K pre-selected sellers plus alternates).
+  std::vector<SellerCostParams> sellers;
+  std::vector<double> qualities;
+  /// Number of winners (1 <= K < M' for a defined clearing price).
+  int num_winners = 0;
+  /// Reference workload used to quote unit asks: a seller's ask is its
+  /// average unit cost at τ̂, (a τ̂ + b) q̄.
+  double reference_time = 1.0;
+  /// Platform economics: the consumer price is set to give the platform a
+  /// relative margin over its total cost (auction payments + aggregation).
+  PlatformCostParams platform;
+  double platform_margin = 0.1;
+  ValuationParams valuation;
+  /// Cap applied to each winner's chosen sensing time.
+  double max_sensing_time = 1e9;
+
+  util::Status Validate() const;
+};
+
+/// Outcome of one auction round.
+struct AuctionOutcome {
+  /// Winning seller indices (ascending quality-adjusted ask).
+  std::vector<int> winners;
+  /// Uniform per-unit-time payment: the first rejected quality-adjusted
+  /// ask, scaled back by each winner's quality — every winner is paid the
+  /// same unit price `clearing_price`.
+  double clearing_price = 0.0;
+  /// Winners' chosen sensing times (best response to clearing_price).
+  std::vector<double> tau;
+  double total_time = 0.0;
+  double consumer_price = 0.0;  // margin-based pass-through price
+  double consumer_profit = 0.0;
+  double platform_profit = 0.0;
+  std::vector<double> winner_profits;  // Ψ per winner
+};
+
+/// Runs the auction: quote asks, pick the K cheapest per quality unit, pay
+/// the critical (first-rejected) price, let winners choose τ, and price
+/// the consumer at cost(1 + margin).
+util::Result<AuctionOutcome> RunProcurementAuction(
+    const AuctionConfig& config);
+
+/// The quality-adjusted unit ask of seller i: (a_i τ̂ + b_i) — the cost per
+/// unit of *quality-weighted* sensing time (the q̄ factors cancel).
+double QualityAdjustedAsk(const SellerCostParams& seller,
+                          double reference_time);
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_AUCTION_H_

@@ -1,0 +1,44 @@
+#include "game/cost.h"
+
+namespace cdt {
+namespace game {
+
+using util::Status;
+
+Status SellerCostParams::Validate() const {
+  if (a <= 0.0) {
+    return Status::InvalidArgument("seller cost parameter a must be > 0");
+  }
+  if (b < 0.0) {
+    return Status::InvalidArgument("seller cost parameter b must be >= 0");
+  }
+  return Status::OK();
+}
+
+double SellerCost(const SellerCostParams& params, double tau,
+                  double quality) {
+  return (params.a * tau * tau + params.b * tau) * quality;
+}
+
+double SellerMarginalCost(const SellerCostParams& params, double tau,
+                          double quality) {
+  return (2.0 * params.a * tau + params.b) * quality;
+}
+
+Status PlatformCostParams::Validate() const {
+  if (theta <= 0.0) {
+    return Status::InvalidArgument("platform cost parameter theta must be > 0");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument(
+        "platform cost parameter lambda must be >= 0");
+  }
+  return Status::OK();
+}
+
+double PlatformCost(const PlatformCostParams& params, double total_time) {
+  return params.theta * total_time * total_time + params.lambda * total_time;
+}
+
+}  // namespace game
+}  // namespace cdt

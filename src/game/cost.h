@@ -1,0 +1,43 @@
+// Cost models of Def. 4: the seller's quadratic data-collection cost
+// (Eq. 6) and the platform's quadratic data-aggregation cost (Eq. 8).
+
+#ifndef CDT_GAME_COST_H_
+#define CDT_GAME_COST_H_
+
+#include "util/status.h"
+
+namespace cdt {
+namespace game {
+
+/// Per-seller cost parameters: C_i(τ, q̄) = (a τ² + b τ) q̄ with a > 0,
+/// b >= 0 (strict convexity in τ).
+struct SellerCostParams {
+  double a = 0.0;
+  double b = 0.0;
+
+  util::Status Validate() const;
+};
+
+/// Seller i's data-collection cost for sensing time `tau` at estimated
+/// quality `quality` (Eq. 6).
+double SellerCost(const SellerCostParams& params, double tau, double quality);
+
+/// Marginal cost dC_i/dτ = (2aτ + b) q̄.
+double SellerMarginalCost(const SellerCostParams& params, double tau,
+                          double quality);
+
+/// Platform cost parameters: C^J(τ) = θ(Στ)² + λΣτ with θ > 0, λ >= 0.
+struct PlatformCostParams {
+  double theta = 0.0;
+  double lambda = 0.0;
+
+  util::Status Validate() const;
+};
+
+/// Platform aggregation cost for total sensing time `total_time` (Eq. 8).
+double PlatformCost(const PlatformCostParams& params, double total_time);
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_COST_H_

@@ -1,0 +1,86 @@
+#include "game/equilibrium.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace cdt {
+namespace game {
+
+using util::Result;
+using util::Status;
+
+Result<EquilibriumReport> CheckEquilibrium(
+    const StackelbergSolver& solver, const StrategyProfile& profile,
+    const EquilibriumCheckOptions& options) {
+  if (options.probes < 2) {
+    return Status::InvalidArgument("need >= 2 probes");
+  }
+  if (profile.tau.size() !=
+      static_cast<std::size_t>(solver.num_sellers())) {
+    return Status::InvalidArgument("profile/solver size mismatch");
+  }
+  EquilibriumReport report;
+  report.max_violation = 0.0;
+
+  auto consider = [&report](double improvement, const std::string& who) {
+    if (improvement > report.max_violation) {
+      report.max_violation = improvement;
+      report.worst_deviator = who;
+    }
+  };
+
+  const GameConfig& config = solver.config();
+
+  // Stage 1: consumer deviations over the consumer price box.
+  {
+    double base = solver.ConsumerProfitAnticipating(profile.consumer_price);
+    Result<std::vector<double>> grid =
+        util::Linspace(config.consumer_price_bounds.lo,
+                       config.consumer_price_bounds.hi, options.probes);
+    if (!grid.ok()) return grid.status();
+    for (double pj : grid.value()) {
+      consider(solver.ConsumerProfitAnticipating(pj) - base, "consumer");
+    }
+  }
+
+  // Stage 2: platform deviations over the collection price box.
+  {
+    double base = solver.PlatformProfitAnticipating(
+        profile.consumer_price, profile.collection_price);
+    Result<std::vector<double>> grid =
+        util::Linspace(config.collection_price_bounds.lo,
+                       config.collection_price_bounds.hi, options.probes);
+    if (!grid.ok()) return grid.status();
+    for (double p : grid.value()) {
+      consider(
+          solver.PlatformProfitAnticipating(profile.consumer_price, p) - base,
+          "platform");
+    }
+  }
+
+  // Stage 3: per-seller deviations in τ_i with everything else fixed
+  // (Eq. 16; Ψ_i depends on a seller's own τ only).
+  for (int i = 0; i < solver.num_sellers(); ++i) {
+    std::size_t idx = static_cast<std::size_t>(i);
+    double base = profile.seller_profits[idx];
+    double hi = std::min(config.max_sensing_time,
+                         options.tau_probe_span * profile.tau[idx] + 1.0);
+    Result<std::vector<double>> grid =
+        util::Linspace(0.0, hi, options.probes);
+    if (!grid.ok()) return grid.status();
+    for (double tau : grid.value()) {
+      double deviated = SellerProfit(profile.collection_price, tau,
+                                     config.sellers[idx],
+                                     config.qualities[idx]);
+      consider(deviated - base, "seller" + std::to_string(i));
+    }
+  }
+
+  report.is_equilibrium = report.max_violation <= options.tolerance;
+  if (report.is_equilibrium) report.worst_deviator.clear();
+  return report;
+}
+
+}  // namespace game
+}  // namespace cdt

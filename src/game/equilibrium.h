@@ -1,0 +1,52 @@
+// Stackelberg-Equilibrium verification (Def. 13 / Theorem 20).
+//
+// The checker probes unilateral deviations from a strategy profile:
+//  * consumer deviations in p^J — evaluated with the platform and sellers
+//    re-playing their best responses (the stage-1 objective the consumer
+//    actually optimises, per Theorems 14–16);
+//  * platform deviations in p — with the sellers re-playing best responses;
+//  * seller deviations in τ_i — with every other strategy held fixed
+//    (Eq. 16 verbatim).
+// A profile passes when no probed deviation improves the deviator's profit
+// by more than `tolerance`.
+
+#ifndef CDT_GAME_EQUILIBRIUM_H_
+#define CDT_GAME_EQUILIBRIUM_H_
+
+#include <string>
+
+#include "game/stackelberg.h"
+
+namespace cdt {
+namespace game {
+
+/// Outcome of an equilibrium check.
+struct EquilibriumReport {
+  bool is_equilibrium = false;
+  /// Largest profit improvement any probed deviation achieved (<= tolerance
+  /// when is_equilibrium).
+  double max_violation = 0.0;
+  /// Which party achieved max_violation: "consumer", "platform",
+  /// "seller<i>", or "" when no violation.
+  std::string worst_deviator;
+};
+
+/// Options controlling the deviation probes.
+struct EquilibriumCheckOptions {
+  /// Deviations probed per dimension (grid over the feasible box).
+  std::size_t probes = 128;
+  /// Allowed numeric slack.
+  double tolerance = 1e-6;
+  /// Seller deviations are probed over [0, tau_probe_span * τ_i* + 1].
+  double tau_probe_span = 3.0;
+};
+
+/// Verifies Def. 13 for `profile` under `solver`'s game.
+util::Result<EquilibriumReport> CheckEquilibrium(
+    const StackelbergSolver& solver, const StrategyProfile& profile,
+    const EquilibriumCheckOptions& options = {});
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_EQUILIBRIUM_H_

@@ -1,0 +1,52 @@
+#include "game/numeric.h"
+
+#include <algorithm>
+
+namespace cdt {
+namespace game {
+
+using util::Result;
+using util::Status;
+
+Result<MaximizeResult> MaximizeOnInterval(
+    const std::function<double(double)>& f, const util::Interval& domain,
+    std::size_t grid_points, double tol) {
+  if (!domain.valid()) {
+    return Status::InvalidArgument("invalid maximisation domain");
+  }
+  if (grid_points < 3) {
+    return Status::InvalidArgument("grid_points must be >= 3");
+  }
+  if (domain.width() == 0.0) {
+    return MaximizeResult{domain.lo, f(domain.lo)};
+  }
+  Result<std::vector<double>> grid =
+      util::Linspace(domain.lo, domain.hi, grid_points);
+  if (!grid.ok()) return grid.status();
+
+  std::size_t best = 0;
+  double best_value = f(grid.value()[0]);
+  for (std::size_t i = 1; i < grid.value().size(); ++i) {
+    double v = f(grid.value()[i]);
+    if (v > best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  // Refine on the bracket spanning the neighbours of the best sample.
+  double lo = grid.value()[best > 0 ? best - 1 : 0];
+  double hi = grid.value()[std::min(best + 1, grid.value().size() - 1)];
+  auto [argmax, value] = util::GoldenSectionMax(f, lo, hi, tol);
+  MaximizeResult result;
+  if (value >= best_value) {
+    result.argmax = argmax;
+    result.max_value = value;
+  } else {
+    result.argmax = grid.value()[best];
+    result.max_value = best_value;
+  }
+  return result;
+}
+
+}  // namespace game
+}  // namespace cdt

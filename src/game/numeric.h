@@ -1,0 +1,38 @@
+// Derivative-free numeric optimisation used to *verify* the closed-form
+// Stackelberg solution: a coarse grid scan followed by golden-section
+// refinement around the best cell. Robust to the mild non-concavity of the
+// consumer objective (Fig. 3 of the paper).
+
+#ifndef CDT_GAME_NUMERIC_H_
+#define CDT_GAME_NUMERIC_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "util/math_util.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace game {
+
+/// Result of a 1-D maximisation.
+struct MaximizeResult {
+  double argmax = 0.0;
+  double max_value = 0.0;
+};
+
+/// Maximises `f` on the closed interval `domain`.
+///
+/// Scans `grid_points` equally spaced samples, then refines with a
+/// golden-section search on the bracket around the best sample. Exact up to
+/// `tol` for functions that are unimodal on that bracket, which the grid
+/// guarantees for the piecewise-monotone objectives in this library when
+/// grid_points is large enough (>= 64 recommended).
+util::Result<MaximizeResult> MaximizeOnInterval(
+    const std::function<double(double)>& f, const util::Interval& domain,
+    std::size_t grid_points = 256, double tol = 1e-10);
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_NUMERIC_H_

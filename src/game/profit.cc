@@ -1,0 +1,30 @@
+#include "game/profit.h"
+
+namespace cdt {
+namespace game {
+
+double SellerProfit(double unit_price, double tau,
+                    const SellerCostParams& cost, double quality) {
+  return unit_price * tau - SellerCost(cost, tau, quality);
+}
+
+double PlatformProfit(double consumer_price, double collection_price,
+                      double total_time, const PlatformCostParams& cost) {
+  return (consumer_price - collection_price) * total_time -
+         PlatformCost(cost, total_time);
+}
+
+double ConsumerProfit(double consumer_price, double mean_quality,
+                      double total_time, const ValuationParams& valuation) {
+  return ConsumerValuation(valuation, mean_quality, total_time) -
+         consumer_price * total_time;
+}
+
+double TotalTime(const std::vector<double>& tau) {
+  double total = 0.0;
+  for (double t : tau) total += t;
+  return total;
+}
+
+}  // namespace game
+}  // namespace cdt

@@ -1,0 +1,35 @@
+// Profit functions of the three parties (Defs. 9–11, Eqs. 5, 7, 9).
+// These are pure evaluators; the Stackelberg solver optimises over them.
+
+#ifndef CDT_GAME_PROFIT_H_
+#define CDT_GAME_PROFIT_H_
+
+#include <vector>
+
+#include "game/cost.h"
+#include "game/valuation.h"
+
+namespace cdt {
+namespace game {
+
+/// Ψ_i (Eq. 5): seller i's payment minus data-collection cost, for a
+/// *selected* seller (χ_i = 1).
+double SellerProfit(double unit_price, double tau,
+                    const SellerCostParams& cost, double quality);
+
+/// Ω (Eq. 7): platform reward from the consumer, minus payments to sellers,
+/// minus the aggregation cost.
+double PlatformProfit(double consumer_price, double collection_price,
+                      double total_time, const PlatformCostParams& cost);
+
+/// Φ (Eq. 9): consumer valuation minus total payment.
+double ConsumerProfit(double consumer_price, double mean_quality,
+                      double total_time, const ValuationParams& valuation);
+
+/// Σ τ_i helper.
+double TotalTime(const std::vector<double>& tau);
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_PROFIT_H_

@@ -1,0 +1,158 @@
+#include "game/sensitivity.h"
+
+#include <cmath>
+
+namespace cdt {
+namespace game {
+
+using util::Result;
+using util::Status;
+
+std::string ParameterRef::Name() const {
+  switch (kind) {
+    case Kind::kSellerA:
+      return "a_" + std::to_string(index);
+    case Kind::kSellerB:
+      return "b_" + std::to_string(index);
+    case Kind::kQuality:
+      return "q_" + std::to_string(index);
+    case Kind::kTheta:
+      return "theta";
+    case Kind::kLambda:
+      return "lambda";
+    case Kind::kOmega:
+      return "omega";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Reads/writes the referenced scalar inside a config.
+Result<double*> ParameterSlot(GameConfig* config,
+                              const ParameterRef& parameter) {
+  std::size_t i = static_cast<std::size_t>(parameter.index);
+  switch (parameter.kind) {
+    case ParameterRef::Kind::kSellerA:
+    case ParameterRef::Kind::kSellerB:
+    case ParameterRef::Kind::kQuality:
+      if (parameter.index < 0 || i >= config->sellers.size()) {
+        return Status::OutOfRange("seller index out of range");
+      }
+      break;
+    default:
+      break;
+  }
+  switch (parameter.kind) {
+    case ParameterRef::Kind::kSellerA:
+      return &config->sellers[i].a;
+    case ParameterRef::Kind::kSellerB:
+      return &config->sellers[i].b;
+    case ParameterRef::Kind::kQuality:
+      return &config->qualities[i];
+    case ParameterRef::Kind::kTheta:
+      return &config->platform.theta;
+    case ParameterRef::Kind::kLambda:
+      return &config->platform.lambda;
+    case ParameterRef::Kind::kOmega:
+      return &config->valuation.omega;
+  }
+  return Status::Internal("unhandled parameter kind");
+}
+
+struct Outcomes {
+  double consumer_price, collection_price, total_time;
+  double consumer_profit, platform_profit, seller_profit;
+};
+
+Result<Outcomes> SolveOutcomes(const GameConfig& config) {
+  Result<StackelbergSolver> solver = StackelbergSolver::Create(config);
+  if (!solver.ok()) return solver.status();
+  StrategyProfile profile = solver.value().Solve();
+  Outcomes out;
+  out.consumer_price = profile.consumer_price;
+  out.collection_price = profile.collection_price;
+  out.total_time = profile.total_time;
+  out.consumer_profit = profile.consumer_profit;
+  out.platform_profit = profile.platform_profit;
+  out.seller_profit = 0.0;
+  for (double psi : profile.seller_profits) out.seller_profit += psi;
+  return out;
+}
+
+}  // namespace
+
+Result<SensitivityRow> ComputeSensitivity(const GameConfig& config,
+                                          const ParameterRef& parameter,
+                                          double rel_step, double abs_floor) {
+  if (rel_step <= 0.0 || abs_floor <= 0.0) {
+    return Status::InvalidArgument("steps must be positive");
+  }
+  CDT_RETURN_NOT_OK(config.Validate());
+
+  GameConfig up = config;
+  GameConfig down = config;
+  Result<double*> up_slot = ParameterSlot(&up, parameter);
+  if (!up_slot.ok()) return up_slot.status();
+  Result<double*> down_slot = ParameterSlot(&down, parameter);
+  if (!down_slot.ok()) return down_slot.status();
+
+  double base = *up_slot.value();
+  double h = std::max(std::fabs(base) * rel_step, abs_floor);
+  // Shrink the step until both perturbed configs validate (e.g. q̄ <= 1).
+  for (int attempt = 0; attempt < 60; ++attempt) {
+    *up_slot.value() = base + h;
+    *down_slot.value() = base - h;
+    if (up.Validate().ok() && down.Validate().ok()) break;
+    h *= 0.5;
+  }
+  if (!up.Validate().ok() || !down.Validate().ok()) {
+    return Status::FailedPrecondition(
+        "no admissible finite-difference step for " + parameter.Name());
+  }
+
+  Result<Outcomes> plus = SolveOutcomes(up);
+  if (!plus.ok()) return plus.status();
+  Result<Outcomes> minus = SolveOutcomes(down);
+  if (!minus.ok()) return minus.status();
+
+  double inv = 1.0 / (2.0 * h);
+  SensitivityRow row;
+  row.parameter = parameter.Name();
+  row.d_consumer_price =
+      (plus.value().consumer_price - minus.value().consumer_price) * inv;
+  row.d_collection_price =
+      (plus.value().collection_price - minus.value().collection_price) * inv;
+  row.d_total_time =
+      (plus.value().total_time - minus.value().total_time) * inv;
+  row.d_consumer_profit =
+      (plus.value().consumer_profit - minus.value().consumer_profit) * inv;
+  row.d_platform_profit =
+      (plus.value().platform_profit - minus.value().platform_profit) * inv;
+  row.d_seller_profit =
+      (plus.value().seller_profit - minus.value().seller_profit) * inv;
+  return row;
+}
+
+Result<std::vector<SensitivityRow>> ComputeStandardSensitivities(
+    const GameConfig& config, int seller_index) {
+  std::vector<ParameterRef> parameters = {
+      {ParameterRef::Kind::kTheta, 0},
+      {ParameterRef::Kind::kLambda, 0},
+      {ParameterRef::Kind::kOmega, 0},
+      {ParameterRef::Kind::kSellerA, seller_index},
+      {ParameterRef::Kind::kSellerB, seller_index},
+      {ParameterRef::Kind::kQuality, seller_index},
+  };
+  std::vector<SensitivityRow> rows;
+  rows.reserve(parameters.size());
+  for (const ParameterRef& parameter : parameters) {
+    Result<SensitivityRow> row = ComputeSensitivity(config, parameter);
+    if (!row.ok()) return row.status();
+    rows.push_back(std::move(row).value());
+  }
+  return rows;
+}
+
+}  // namespace game
+}  // namespace cdt

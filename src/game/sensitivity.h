@@ -1,0 +1,61 @@
+// Equilibrium sensitivity analysis: central finite-difference derivatives
+// of the Stackelberg-equilibrium outcomes (prices, total time, profits)
+// with respect to the model parameters (a_i, b_i, θ, λ, ω, q̄_i). This is
+// the quantitative backbone of the paper's Figs. 15-18 discussion ("PoC
+// declines sharply in a_6 then levels off") — the elasticities make those
+// statements precise.
+
+#ifndef CDT_GAME_SENSITIVITY_H_
+#define CDT_GAME_SENSITIVITY_H_
+
+#include <string>
+#include <vector>
+
+#include "game/stackelberg.h"
+
+namespace cdt {
+namespace game {
+
+/// Which scalar parameter to perturb.
+struct ParameterRef {
+  enum class Kind {
+    kSellerA,    // a_i (index required)
+    kSellerB,    // b_i (index required)
+    kQuality,    // q̄_i (index required)
+    kTheta,      // θ
+    kLambda,     // λ
+    kOmega,      // ω
+  };
+  Kind kind = Kind::kTheta;
+  int index = 0;  // seller index where applicable
+
+  std::string Name() const;
+};
+
+/// d(outcome)/d(parameter) at the current equilibrium.
+struct SensitivityRow {
+  std::string parameter;
+  double d_consumer_price = 0.0;    // ∂p^J*/∂x
+  double d_collection_price = 0.0;  // ∂p*/∂x
+  double d_total_time = 0.0;        // ∂Στ*/∂x
+  double d_consumer_profit = 0.0;   // ∂Φ*/∂x
+  double d_platform_profit = 0.0;   // ∂Ω*/∂x
+  double d_seller_profit = 0.0;     // ∂ΣΨ*/∂x
+};
+
+/// Computes one parameter's sensitivities via a symmetric relative step
+/// (`rel_step` of the parameter value, floored at `abs_floor`). Perturbed
+/// configs must stay valid (e.g. θ − h > 0); the step shrinks if needed.
+util::Result<SensitivityRow> ComputeSensitivity(
+    const GameConfig& config, const ParameterRef& parameter,
+    double rel_step = 1e-4, double abs_floor = 1e-7);
+
+/// Convenience: sensitivities for θ, λ, ω and seller `seller_index`'s
+/// a/b/q̄ in one table.
+util::Result<std::vector<SensitivityRow>> ComputeStandardSensitivities(
+    const GameConfig& config, int seller_index = 0);
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_SENSITIVITY_H_

@@ -1,0 +1,420 @@
+#include "game/stackelberg.h"
+
+#include <algorithm>
+#include <cmath>
+
+
+namespace cdt {
+namespace game {
+
+using util::Result;
+using util::Status;
+
+Status GameConfig::Validate() const {
+  if (sellers.empty()) {
+    return Status::InvalidArgument("game needs >= 1 selected seller");
+  }
+  if (sellers.size() != qualities.size()) {
+    return Status::InvalidArgument(
+        "sellers and qualities must have equal size");
+  }
+  for (const SellerCostParams& s : sellers) {
+    CDT_RETURN_NOT_OK(s.Validate());
+  }
+  for (double q : qualities) {
+    if (q <= 0.0 || q > 1.0) {
+      return Status::OutOfRange(
+          "learned qualities must lie in (0, 1] for the game to be defined");
+    }
+  }
+  CDT_RETURN_NOT_OK(platform.Validate());
+  CDT_RETURN_NOT_OK(valuation.Validate());
+  if (!consumer_price_bounds.valid() || consumer_price_bounds.lo < 0.0) {
+    return Status::InvalidArgument("invalid consumer price bounds");
+  }
+  if (!collection_price_bounds.valid() || collection_price_bounds.lo < 0.0) {
+    return Status::InvalidArgument("invalid collection price bounds");
+  }
+  if (!(max_sensing_time > 0.0)) {
+    return Status::InvalidArgument("max_sensing_time must be > 0");
+  }
+  return Status::OK();
+}
+
+Aggregates ComputeAggregates(const GameConfig& config) {
+  Aggregates agg;
+  double quality_sum = 0.0;
+  for (std::size_t i = 0; i < config.sellers.size(); ++i) {
+    double q = config.qualities[i];
+    double a = config.sellers[i].a;
+    double b = config.sellers[i].b;
+    agg.a_sum += 1.0 / (2.0 * q * a);
+    agg.b_sum += b / (2.0 * a);
+    quality_sum += q;
+  }
+  agg.mean_quality = quality_sum / static_cast<double>(config.sellers.size());
+  double theta = config.platform.theta;
+  double lambda = config.platform.lambda;
+  double denom = 2.0 * (1.0 + theta * agg.a_sum);
+  agg.theta_coef = agg.a_sum / denom;
+  // Corrected stage-2 constant: C = λA − 2θAB − B (see header note).
+  double c = lambda * agg.a_sum - 2.0 * theta * agg.a_sum * agg.b_sum -
+             agg.b_sum;
+  agg.lambda_coef = c / denom + agg.b_sum;
+  return agg;
+}
+
+Result<StackelbergSolver> StackelbergSolver::Create(GameConfig config) {
+  CDT_RETURN_NOT_OK(config.Validate());
+  Aggregates agg = ComputeAggregates(config);
+  return StackelbergSolver(std::move(config), agg);
+}
+
+double StackelbergSolver::SellerBestTime(int i, double collection_price)
+    const {
+  double q = config_.qualities[static_cast<std::size_t>(i)];
+  const SellerCostParams& s = config_.sellers[static_cast<std::size_t>(i)];
+  // Thm. 14 / Eq. (20): interior optimum of the strictly concave Ψ_i,
+  // projected onto [0, T].
+  double tau = (collection_price - q * s.b) / (2.0 * q * s.a);
+  util::Interval feasible{0.0, config_.max_sensing_time};
+  return feasible.Clamp(tau);
+}
+
+std::vector<double> StackelbergSolver::SellerBestTimes(
+    double collection_price) const {
+  std::vector<double> tau(config_.sellers.size());
+  for (std::size_t i = 0; i < tau.size(); ++i) {
+    tau[i] = SellerBestTime(static_cast<int>(i), collection_price);
+  }
+  return tau;
+}
+
+double StackelbergSolver::PlatformBestPriceInterior(
+    double consumer_price) const {
+  double a = agg_.a_sum;
+  double b = agg_.b_sum;
+  double theta = config_.platform.theta;
+  double lambda = config_.platform.lambda;
+  double c = lambda * a - 2.0 * theta * a * b - b;  // corrected constant
+  double p = (consumer_price * a - c) / (2.0 * a * (1.0 + theta * a));
+  return config_.collection_price_bounds.Clamp(p);
+}
+
+double StackelbergSolver::PlatformBestPricePaperPrinted(
+    double consumer_price) const {
+  double a = agg_.a_sum;
+  double b = agg_.b_sum;
+  double theta = config_.platform.theta;
+  double lambda = config_.platform.lambda;
+  double c = lambda * a - 2.0 * theta * b * a + b;  // printed Thm. 15 form
+  return (consumer_price * a - c) / (2.0 * a * (1.0 + theta * a));
+}
+
+void StackelbergSolver::BuildSupplyKinks() {
+  const util::Interval& box = config_.collection_price_bounds;
+  double t_cap = config_.max_sensing_time;
+
+  // Kink events of Στ(p) = Σ clamp((p − q_i b_i)/(2 q_i a_i), 0, T):
+  // activation at p = q_i b_i, saturation at p = q_i b_i + 2 q_i a_i T.
+  struct Event {
+    double price;
+    double delta_a, delta_b, delta_c;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * config_.sellers.size());
+  double a_lin = 0.0, b_lin = 0.0, c_const = 0.0;  // state at p = box.lo
+  for (std::size_t i = 0; i < config_.sellers.size(); ++i) {
+    double q = config_.qualities[i];
+    double a = config_.sellers[i].a;
+    double b = config_.sellers[i].b;
+    double activate = q * b;
+    double saturate = activate + 2.0 * q * a * t_cap;
+    double inv = 1.0 / (2.0 * q * a);
+    double off = b / (2.0 * a);
+    if (box.lo > activate) {
+      if (box.lo >= saturate) {
+        c_const += t_cap;
+      } else {
+        a_lin += inv;
+        b_lin += off;
+      }
+    }
+    if (activate > box.lo && activate < box.hi) {
+      events.push_back({activate, inv, off, 0.0});
+    }
+    if (saturate > box.lo && saturate < box.hi && std::isfinite(saturate)) {
+      events.push_back({saturate, -inv, -off, t_cap});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.price < y.price; });
+
+  kinks_.clear();
+  kinks_.reserve(events.size() + 1);
+  kinks_.push_back({box.lo, a_lin, b_lin, c_const});
+  for (const Event& e : events) {
+    a_lin += e.delta_a;
+    b_lin += e.delta_b;
+    c_const += e.delta_c;
+    if (e.price == kinks_.back().price) {
+      kinks_.back() = {e.price, a_lin, b_lin, c_const};
+    } else {
+      kinks_.push_back({e.price, a_lin, b_lin, c_const});
+    }
+  }
+}
+
+double StackelbergSolver::TotalTimeAt(double collection_price) const {
+  const util::Interval& box = config_.collection_price_bounds;
+  double p = box.Clamp(collection_price);
+  // Last kink with price <= p.
+  auto it = std::upper_bound(
+      kinks_.begin(), kinks_.end(), p,
+      [](double x, const SupplyKink& k) { return x < k.price; });
+  const SupplyKink& k = *(it - 1);
+  double s = k.a * p - k.b + k.c;
+  return s > 0.0 ? s : 0.0;
+}
+
+double StackelbergSolver::PlatformBestPrice(double consumer_price) const {
+  const util::Interval& box = config_.collection_price_bounds;
+  double theta = config_.platform.theta;
+  double lambda = config_.platform.lambda;
+
+  auto profit_at = [&](double p, const SupplyKink& k) {
+    double s = k.a * p - k.b + k.c;
+    if (s < 0.0) s = 0.0;  // numerical guard; S(p) >= 0 by construction
+    return (consumer_price - p) * s - theta * s * s - lambda * s;
+  };
+
+  double best_p = box.lo;
+  double best_profit = profit_at(box.lo, kinks_.front());
+  for (std::size_t j = 0; j < kinks_.size(); ++j) {
+    const SupplyKink& k = kinks_[j];
+    double seg_lo = k.price;
+    double seg_hi = j + 1 < kinks_.size() ? kinks_[j + 1].price : box.hi;
+    // Candidate 1: the segment's interior optimum (Thm. 15 restricted to
+    // the active set), when the slope is positive.
+    if (k.a > 0.0) {
+      double b_eff = k.b - k.c;  // S = a p − b_eff
+      double c = lambda * k.a - 2.0 * theta * k.a * b_eff - b_eff;
+      double p_star =
+          (consumer_price * k.a - c) / (2.0 * k.a * (1.0 + theta * k.a));
+      if (p_star > seg_lo && p_star < seg_hi) {
+        double v = profit_at(p_star, k);
+        if (v > best_profit) {
+          best_profit = v;
+          best_p = p_star;
+        }
+      }
+    }
+    // Candidate 2: the segment's upper endpoint.
+    double v_hi = profit_at(seg_hi, k);
+    if (v_hi > best_profit) {
+      best_profit = v_hi;
+      best_p = seg_hi;
+    }
+  }
+  return best_p;
+}
+
+bool StackelbergSolver::InteriorRegimeHolds(double collection_price) const {
+  for (std::size_t i = 0; i < config_.sellers.size(); ++i) {
+    double q = config_.qualities[i];
+    double a = config_.sellers[i].a;
+    double b = config_.sellers[i].b;
+    double tau = (collection_price - q * b) / (2.0 * q * a);
+    if (tau <= 0.0 || tau >= config_.max_sensing_time) return false;
+  }
+  return true;
+}
+
+double StackelbergSolver::ConsumerBestPriceInterior() const {
+  double qbar = agg_.mean_quality;
+  double theta_c = agg_.theta_coef;    // Θ
+  double lambda_c = agg_.lambda_coef;  // Λ
+  double omega = config_.valuation.omega;
+  // Δ = (q̄Λ + 2)² − 8 q̄ (Λ − Θ ω q̄) = (q̄Λ − 2)² + 8 Θ ω q̄² > 0.
+  double t = qbar * lambda_c - 2.0;
+  double delta = t * t + 8.0 * theta_c * omega * qbar * qbar;
+  double pj = (3.0 * qbar * lambda_c + std::sqrt(delta) - 2.0) /
+              (4.0 * qbar * theta_c);
+  return config_.consumer_price_bounds.Clamp(pj);
+}
+
+double StackelbergSolver::ConsumerBestPrice() const {
+  // Fast path: Theorem 16. Its functional form Φ(p^J) = ω ln(·) − Θ(p^J)²
+  // + Λp^J presumes the *interior* regime — the stage-2 price unclamped by
+  // its box and every seller strictly active and unsaturated. Verify all of
+  // that before trusting the closed form; otherwise fall back to numeric
+  // maximisation of the exact anticipated profit.
+  double pj = ConsumerBestPriceInterior();
+  // A clamped pj equals a box edge; require the raw optimum itself to lie
+  // strictly inside so that Case 1 of Theorem 16 applies.
+  double qbar = agg_.mean_quality;
+  double t = qbar * agg_.lambda_coef - 2.0;
+  double delta =
+      t * t + 8.0 * agg_.theta_coef * config_.valuation.omega * qbar * qbar;
+  double pj_raw = (3.0 * qbar * agg_.lambda_coef + std::sqrt(delta) - 2.0) /
+                  (4.0 * qbar * agg_.theta_coef);
+  if (pj_raw > config_.consumer_price_bounds.lo &&
+      pj_raw < config_.consumer_price_bounds.hi) {
+    // Unclamped stage-2 interior response at pj.
+    double a = agg_.a_sum;
+    double b = agg_.b_sum;
+    double theta = config_.platform.theta;
+    double lambda = config_.platform.lambda;
+    double c = lambda * a - 2.0 * theta * a * b - b;
+    double p_raw = (pj * a - c) / (2.0 * a * (1.0 + theta * a));
+    const util::Interval& pbox = config_.collection_price_bounds;
+    if (p_raw > pbox.lo && p_raw < pbox.hi && InteriorRegimeHolds(p_raw)) {
+      return pj;
+    }
+  }
+  // Fallback: the anticipated profit F(p^J) = Φ(p^J, p*(p^J)) is piecewise
+  // smooth — on every supply segment where the platform's best response is
+  // interior, F has exactly the Theorem-16 form with that segment's
+  // aggregates. Candidates: each segment's closed-form stationary point,
+  // a coarse grid (for regime-switch maxima), and the box endpoints; the
+  // best candidate is then refined by golden section on its bracket.
+  const util::Interval& box = config_.consumer_price_bounds;
+  std::vector<double> candidates;
+  candidates.reserve(kinks_.size() + 70);
+  candidates.push_back(box.lo);
+  candidates.push_back(box.hi);
+  double omega = config_.valuation.omega;
+  double theta = config_.platform.theta;
+  double lambda = config_.platform.lambda;
+  for (std::size_t j = 0; j < kinks_.size(); ++j) {
+    const SupplyKink& kink = kinks_[j];
+    if (kink.a <= 0.0) continue;
+    double a = kink.a;
+    double b_eff = kink.b - kink.c;
+    double denom = 2.0 * (1.0 + theta * a);
+    double theta_c = a / denom;
+    double c = lambda * a - 2.0 * theta * a * b_eff - b_eff;
+    double lambda_c = c / denom + b_eff;
+    double tt = qbar * lambda_c - 2.0;
+    double dd = tt * tt + 8.0 * theta_c * omega * qbar * qbar;
+    double cand = (3.0 * qbar * lambda_c + std::sqrt(dd) - 2.0) /
+                  (4.0 * qbar * theta_c);
+    if (cand > box.lo && cand < box.hi) candidates.push_back(cand);
+    // Regime-switch candidates: the p^J at which this segment's stage-2
+    // optimum p*_j(p^J) = (p^J a − c)/(2a(1+θa)) crosses the segment's
+    // boundary kinks — the anticipated profit has kinks there.
+    double seg_lo = kink.price;
+    double seg_hi = j + 1 < kinks_.size()
+                        ? kinks_[j + 1].price
+                        : config_.collection_price_bounds.hi;
+    for (double boundary : {seg_lo, seg_hi}) {
+      double pj_cross = denom * boundary + c / a;
+      if (pj_cross > box.lo && pj_cross < box.hi) {
+        candidates.push_back(pj_cross);
+      }
+    }
+  }
+  constexpr int kGrid = 128;
+  double step = box.width() / kGrid;
+  for (int i = 1; i < kGrid; ++i) {
+    candidates.push_back(box.lo + step * static_cast<double>(i));
+  }
+
+  double best = box.lo;
+  double best_value = ConsumerProfitAnticipating(box.lo);
+  for (double cand : candidates) {
+    double v = ConsumerProfitAnticipating(cand);
+    if (v > best_value) {
+      best_value = v;
+      best = cand;
+    }
+  }
+  // Golden refinement on the bracket around the winner.
+  double lo = std::max(box.lo, best - step);
+  double hi = std::min(box.hi, best + step);
+  auto [argmax, value] = util::GoldenSectionMax(
+      [this](double price) { return ConsumerProfitAnticipating(price); }, lo,
+      hi, 1e-12);
+  if (value > best_value) {
+    best_value = value;
+    best = argmax;
+  }
+  // Jump refinement: the platform's *global* best response can switch
+  // supply segments discontinuously as p^J varies (tie between two
+  // segments' optima), and the anticipated profit F then jumps — its
+  // maximum may sit exactly at the switch point, which neither the grid
+  // nor golden section locates. Bisect on the segment identity of the
+  // best response within the bracket and evaluate both sides of the jump.
+  auto segment_of = [this](double pj) {
+    double p = PlatformBestPrice(pj);
+    auto it = std::upper_bound(
+        kinks_.begin(), kinks_.end(), p,
+        [](double x, const SupplyKink& k) { return x < k.price; });
+    return static_cast<std::size_t>(it - kinks_.begin());
+  };
+  double jlo = lo, jhi = hi;
+  if (segment_of(jlo) != segment_of(jhi)) {
+    std::size_t seg_lo = segment_of(jlo);
+    for (int iter = 0; iter < 60 && jhi - jlo > 1e-12; ++iter) {
+      double mid = 0.5 * (jlo + jhi);
+      if (segment_of(mid) == seg_lo) {
+        jlo = mid;
+      } else {
+        jhi = mid;
+      }
+    }
+    for (double cand : {jlo, jhi}) {
+      double v = ConsumerProfitAnticipating(cand);
+      if (v > best_value) {
+        best_value = v;
+        best = cand;
+      }
+    }
+  }
+  return best;
+}
+
+StrategyProfile StackelbergSolver::Solve() const {
+  double pj = ConsumerBestPrice();
+  double p = PlatformBestPrice(pj);
+  std::vector<double> tau = SellerBestTimes(p);
+  return EvaluateProfile(pj, p, tau);
+}
+
+double StackelbergSolver::ConsumerProfitAnticipating(
+    double consumer_price) const {
+  double p = PlatformBestPrice(consumer_price);
+  return ConsumerProfit(consumer_price, agg_.mean_quality, TotalTimeAt(p),
+                        config_.valuation);
+}
+
+double StackelbergSolver::PlatformProfitAnticipating(
+    double consumer_price, double collection_price) const {
+  return PlatformProfit(consumer_price, collection_price,
+                        TotalTimeAt(collection_price), config_.platform);
+}
+
+StrategyProfile StackelbergSolver::EvaluateProfile(
+    double consumer_price, double collection_price,
+    const std::vector<double>& tau) const {
+  StrategyProfile profile;
+  profile.consumer_price = consumer_price;
+  profile.collection_price = collection_price;
+  profile.tau = tau;
+  profile.total_time = TotalTime(tau);
+  profile.consumer_profit =
+      ConsumerProfit(consumer_price, agg_.mean_quality, profile.total_time,
+                     config_.valuation);
+  profile.platform_profit = PlatformProfit(
+      consumer_price, collection_price, profile.total_time, config_.platform);
+  profile.seller_profits.resize(tau.size());
+  for (std::size_t i = 0; i < tau.size(); ++i) {
+    profile.seller_profits[i] =
+        SellerProfit(collection_price, tau[i], config_.sellers[i],
+                     config_.qualities[i]);
+  }
+  return profile;
+}
+
+}  // namespace game
+}  // namespace cdt

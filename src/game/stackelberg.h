@@ -1,0 +1,173 @@
+// The three-stage Hierarchical Stackelberg game solver (Sec. III-B).
+//
+// Backward induction over Def. 12:
+//   Stage 3 (sellers):  τ_i* = (p − q̄_i b_i) / (2 q̄_i a_i)        (Thm. 14)
+//   Stage 2 (platform): p*  = (p^J A − (λA − 2θAB − B)) / (2A(1+θA))
+//   Stage 1 (consumer): p^{J*} = (3 q̄ Λ + √Δ − 2) / (4 q̄ Θ)        (Thm. 16)
+// with A = Σ 1/(2 q̄_i a_i), B = Σ b_i/(2 a_i), Θ = A/(2(1+θA)),
+// Λ = (λA − 2θAB − B)/(2(1+θA)) + B and Δ = (q̄Λ − 2)² + 8 Θ ω q̄².
+//
+// NOTE on Theorem 15: the paper prints the stage-2 numerator constant as
+// (λA − 2θBA + B); differentiating Eq. (7) gives (λA − 2θAB − B) — the B
+// term's sign is a typo. We implement the corrected constant (and propagate
+// it into Λ); PlatformBestPricePaperPrinted() preserves the printed form so
+// tests can demonstrate it is not profit-maximising. See DESIGN.md §1.
+//
+// All stage outputs are projected onto their feasible boxes: prices into
+// their [min, max] intervals (Def. 5) and sensing times into [0, T].
+
+#ifndef CDT_GAME_STACKELBERG_H_
+#define CDT_GAME_STACKELBERG_H_
+
+#include <limits>
+#include <vector>
+
+#include "game/cost.h"
+#include "game/profit.h"
+#include "game/valuation.h"
+#include "util/math_util.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace game {
+
+/// Inputs of one round's game: the K selected sellers (cost parameters and
+/// learned qualities), the platform and consumer parameters, and the
+/// feasible boxes for each strategy.
+struct GameConfig {
+  std::vector<SellerCostParams> sellers;  // size K
+  std::vector<double> qualities;          // q̄_i, size K, each in (0, 1]
+  PlatformCostParams platform;
+  ValuationParams valuation;
+  /// [p^J_min, p^J_max] — consumer unit data-service price box.
+  util::Interval consumer_price_bounds{1e-6, 1e9};
+  /// [p_min, p_max] — platform unit data-collection price box.
+  util::Interval collection_price_bounds{1e-6, 1e9};
+  /// Round duration T: each τ_i is clamped into [0, T].
+  double max_sensing_time = std::numeric_limits<double>::infinity();
+
+  util::Status Validate() const;
+};
+
+/// Derived constants of Theorems 15–16.
+struct Aggregates {
+  double a_sum = 0.0;        // A = Σ 1/(2 q̄_i a_i)
+  double b_sum = 0.0;        // B = Σ b_i/(2 a_i)
+  double theta_coef = 0.0;   // Θ = A / (2 (1 + θA))
+  double lambda_coef = 0.0;  // Λ = (λA − 2θAB − B)/(2(1+θA)) + B
+  double mean_quality = 0.0; // q̄ = mean of selected sellers' qualities
+};
+
+/// One full strategy profile plus the resulting profits.
+struct StrategyProfile {
+  double consumer_price = 0.0;    // p^J
+  double collection_price = 0.0;  // p
+  std::vector<double> tau;        // τ_i, size K
+  double total_time = 0.0;        // Στ
+  double consumer_profit = 0.0;   // Φ
+  double platform_profit = 0.0;   // Ω
+  std::vector<double> seller_profits;  // Ψ_i, size K
+};
+
+/// Closed-form solver for one round's game.
+class StackelbergSolver {
+ public:
+  /// Validates the configuration; all getters below are then total.
+  static util::Result<StackelbergSolver> Create(GameConfig config);
+
+  const GameConfig& config() const { return config_; }
+  const Aggregates& aggregates() const { return agg_; }
+  int num_sellers() const { return static_cast<int>(config_.sellers.size()); }
+
+  /// Stage 3: seller i's best-response sensing time to `collection_price`,
+  /// clamped into [0, T] (interior form: Thm. 14 / Eq. 20).
+  double SellerBestTime(int i, double collection_price) const;
+
+  /// All sellers' stage-3 best responses.
+  std::vector<double> SellerBestTimes(double collection_price) const;
+
+  /// Stage 2: the platform's *exact* best-response price to
+  /// `consumer_price` within the collection-price box. Implemented as a
+  /// sweep over the piecewise-quadratic profit: each seller contributes an
+  /// activation kink at p = q̄_i b_i (below which its τ_i clamps to 0) and a
+  /// saturation kink at p = q̄_i b_i + 2 q̄_i a_i T (above which τ_i clamps
+  /// to T); between kinks the Theorem-15 formula applies with the active
+  /// sellers' aggregates. Coincides with Theorem 15 whenever the interior
+  /// solution keeps every seller strictly inside (0, T).
+  double PlatformBestPrice(double consumer_price) const;
+
+  /// Stage 2, paper-interior form (corrected Thm. 15, all sellers assumed
+  /// active and unsaturated), clamped to the box.
+  double PlatformBestPriceInterior(double consumer_price) const;
+
+  /// Stage 2 with the paper's *printed* (typo) constant — NOT used by
+  /// Solve(); retained so tests/benches can compare. Unclamped.
+  double PlatformBestPricePaperPrinted(double consumer_price) const;
+
+  /// Stage 1: the consumer's optimal price within its box. Uses the
+  /// Theorem-16 closed form when the induced solution is interior (every
+  /// τ_i in (0, T), prices unclamped); otherwise falls back to numeric
+  /// maximisation of the exact anticipated profit.
+  double ConsumerBestPrice() const;
+
+  /// Stage 1, paper-interior form (Thm. 16 / Eq. 22), clamped to the box.
+  double ConsumerBestPriceInterior() const;
+
+  /// Full backward induction; the returned profile is the Stackelberg
+  /// Equilibrium of Theorem 20 (projected onto the feasible boxes).
+  StrategyProfile Solve() const;
+
+  /// Consumer profit at `consumer_price` with the platform and sellers
+  /// playing their (clamped) best responses — the stage-1 objective.
+  double ConsumerProfitAnticipating(double consumer_price) const;
+
+  /// Platform profit at (`consumer_price`, `collection_price`) with the
+  /// sellers playing their best responses — the stage-2 objective.
+  double PlatformProfitAnticipating(double consumer_price,
+                                    double collection_price) const;
+
+  /// Evaluates an explicit strategy profile (no best responses).
+  StrategyProfile EvaluateProfile(double consumer_price,
+                                  double collection_price,
+                                  const std::vector<double>& tau) const;
+
+  /// Total best-response sensing time Στ_i(p) at collection price `p`,
+  /// evaluated in O(log K) from the precomputed kink structure.
+  double TotalTimeAt(double collection_price) const;
+
+ private:
+  /// One kink of the piecewise-linear supply curve Στ(p): at prices in
+  /// [price, next kink) the curve is S(p) = a·p − b + c.
+  struct SupplyKink {
+    double price;
+    double a;  // slope aggregate Σ 1/(2 q̄_i a_i) over active, unsaturated
+    double b;  // offset aggregate Σ b_i/(2 a_i) over the same set
+    double c;  // T · (number of saturated sellers)
+  };
+
+  StackelbergSolver(GameConfig config, Aggregates agg)
+      : config_(std::move(config)), agg_(agg) {
+    BuildSupplyKinks();
+  }
+
+  void BuildSupplyKinks();
+
+  /// True when (consumer_price, collection_price) reproduce the interior
+  /// regime: prices strictly inside their boxes' interiors is not required,
+  /// but every seller must be strictly active and unsaturated.
+  bool InteriorRegimeHolds(double collection_price) const;
+
+  GameConfig config_;
+  Aggregates agg_;
+  /// Sorted by price; kinks_[0].price == collection box lower bound, so a
+  /// binary search always lands on a valid segment.
+  std::vector<SupplyKink> kinks_;
+};
+
+/// Computes the Theorem 15/16 aggregates for a validated config.
+Aggregates ComputeAggregates(const GameConfig& config);
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_STACKELBERG_H_

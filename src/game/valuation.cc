@@ -1,0 +1,28 @@
+#include "game/valuation.h"
+
+#include <cmath>
+
+namespace cdt {
+namespace game {
+
+using util::Status;
+
+Status ValuationParams::Validate() const {
+  if (omega <= 1.0) {
+    return Status::InvalidArgument("valuation parameter omega must be > 1");
+  }
+  return Status::OK();
+}
+
+double ConsumerValuation(const ValuationParams& params, double mean_quality,
+                         double total_time) {
+  return params.omega * std::log(1.0 + mean_quality * total_time);
+}
+
+double ConsumerMarginalValuation(const ValuationParams& params,
+                                 double mean_quality, double total_time) {
+  return params.omega * mean_quality / (1.0 + mean_quality * total_time);
+}
+
+}  // namespace game
+}  // namespace cdt

@@ -1,0 +1,31 @@
+// The consumer's diminishing-marginal-return valuation (Eq. 10):
+//   φ(τ, q̄) = ω ln(1 + q̄ Στ),  ω > 1.
+
+#ifndef CDT_GAME_VALUATION_H_
+#define CDT_GAME_VALUATION_H_
+
+#include "util/status.h"
+
+namespace cdt {
+namespace game {
+
+/// Consumer valuation parameter; ω > 1 per Def. 11.
+struct ValuationParams {
+  double omega = 0.0;
+
+  util::Status Validate() const;
+};
+
+/// φ(τ, q̄) for total sensing time `total_time` and mean quality
+/// `mean_quality` of the selected sellers.
+double ConsumerValuation(const ValuationParams& params, double mean_quality,
+                         double total_time);
+
+/// Marginal valuation dφ/dΣτ = ω q̄ / (1 + q̄ Στ).
+double ConsumerMarginalValuation(const ValuationParams& params,
+                                 double mean_quality, double total_time);
+
+}  // namespace game
+}  // namespace cdt
+
+#endif  // CDT_GAME_VALUATION_H_

@@ -1,0 +1,57 @@
+#include "market/aggregation.h"
+
+namespace cdt {
+namespace market {
+
+using util::Result;
+using util::Status;
+
+Result<DataStatistics> AggregateRound(
+    const std::vector<std::vector<double>>& observations,
+    const std::vector<double>& tau) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("nothing to aggregate");
+  }
+  if (observations.size() != tau.size()) {
+    return Status::InvalidArgument("observations/tau size mismatch");
+  }
+  std::size_t width = observations[0].size();
+  if (width == 0) {
+    return Status::InvalidArgument("observation rows must be non-empty");
+  }
+  for (const auto& row : observations) {
+    if (row.size() != width) {
+      return Status::InvalidArgument("ragged observation rows");
+    }
+  }
+
+  DataStatistics stats;
+  stats.num_sellers = static_cast<int>(observations.size());
+  stats.poi_means.assign(width, 0.0);
+  double grand_total = 0.0;
+  double weighted_total = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t j = 0; j < observations.size(); ++j) {
+    double row_sum = 0.0;
+    for (std::size_t l = 0; l < width; ++l) {
+      stats.poi_means[l] += observations[j][l];
+      row_sum += observations[j][l];
+    }
+    grand_total += row_sum;
+    double w = tau[j] > 0.0 ? tau[j] : 0.0;
+    weighted_total += w * row_sum / static_cast<double>(width);
+    weight_sum += w;
+  }
+  for (double& m : stats.poi_means) {
+    m /= static_cast<double>(observations.size());
+  }
+  stats.overall_mean =
+      grand_total /
+      (static_cast<double>(observations.size()) * static_cast<double>(width));
+  stats.weighted_mean =
+      weight_sum > 0.0 ? weighted_total / weight_sum : stats.overall_mean;
+  return stats;
+}
+
+}  // namespace market
+}  // namespace cdt

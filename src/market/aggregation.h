@@ -1,0 +1,37 @@
+// The platform's data-aggregation service (Fig. 2, step "aggregate data"):
+// turns the selected sellers' raw per-PoI observations into the statistics
+// product delivered to the consumer.
+
+#ifndef CDT_MARKET_AGGREGATION_H_
+#define CDT_MARKET_AGGREGATION_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace cdt {
+namespace market {
+
+/// The statistics the consumer purchases.
+struct DataStatistics {
+  /// Mean observed quality per PoI across contributing sellers.
+  std::vector<double> poi_means;
+  /// Unweighted mean over all observations.
+  double overall_mean = 0.0;
+  /// Sensing-time-weighted mean (longer τ ⇒ more data ⇒ more weight).
+  double weighted_mean = 0.0;
+  /// Number of contributing sellers.
+  int num_sellers = 0;
+};
+
+/// Aggregates one round: `observations[j]` holds seller j's L per-PoI
+/// samples; `tau[j]` is seller j's sensing time (weights). All observation
+/// rows must share the same width L >= 1 and tau must match in size.
+util::Result<DataStatistics> AggregateRound(
+    const std::vector<std::vector<double>>& observations,
+    const std::vector<double>& tau);
+
+}  // namespace market
+}  // namespace cdt
+
+#endif  // CDT_MARKET_AGGREGATION_H_

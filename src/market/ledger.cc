@@ -1,0 +1,69 @@
+#include "market/ledger.h"
+
+namespace cdt {
+namespace market {
+
+using util::Result;
+using util::Status;
+
+Ledger::Ledger(int num_sellers, bool keep_history)
+    : num_sellers_(num_sellers),
+      keep_history_(keep_history),
+      balances_(static_cast<std::size_t>(num_sellers) + 2, 0.0) {}
+
+bool Ledger::ValidAccount(std::int32_t account) const {
+  if (account == kConsumerAccount || account == kPlatformAccount) return true;
+  return account >= kSellerBase && account < num_sellers_;
+}
+
+std::size_t Ledger::SlotOf(std::int32_t account) const {
+  if (account == kConsumerAccount) return 0;
+  if (account == kPlatformAccount) return 1;
+  return static_cast<std::size_t>(account) + 2;
+}
+
+Status Ledger::Record(std::int64_t round, std::int32_t from, std::int32_t to,
+                      double amount, std::string memo) {
+  if (!ValidAccount(from) || !ValidAccount(to)) {
+    return Status::InvalidArgument("unknown ledger account");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-transfer is not allowed");
+  }
+  if (amount < 0.0) {
+    return Status::InvalidArgument(
+        "negative transfer; record the reverse direction instead");
+  }
+  balances_[SlotOf(from)] -= amount;
+  balances_[SlotOf(to)] += amount;
+  if (from == kConsumerAccount) consumer_outflow_ += amount;
+  if (to == kConsumerAccount) consumer_outflow_ -= amount;
+  if (to >= kSellerBase) seller_inflow_ += amount;
+  if (from >= kSellerBase) seller_inflow_ -= amount;
+  if (keep_history_) {
+    Transfer t;
+    t.round = round;
+    t.from = from;
+    t.to = to;
+    t.amount = amount;
+    t.memo = std::move(memo);
+    transfers_.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+Result<double> Ledger::Balance(std::int32_t account) const {
+  if (!ValidAccount(account)) {
+    return Status::InvalidArgument("unknown ledger account");
+  }
+  return balances_[SlotOf(account)];
+}
+
+double Ledger::NetPosition() const {
+  double net = 0.0;
+  for (double b : balances_) net += b;
+  return net;
+}
+
+}  // namespace market
+}  // namespace cdt

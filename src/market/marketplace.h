@@ -1,0 +1,110 @@
+// Multi-consumer marketplace extension. The paper's system model has
+// "some data consumers" but its mechanism serves one job; this module runs
+// several concurrent jobs over a shared seller pool:
+//  * one shared quality-estimate bank (the platform learns from every
+//    job's observations);
+//  * per round, jobs pick sellers in rotating priority order, each taking
+//    its top-K_j by UCB among the sellers not yet assigned this round
+//    (a seller serves at most one job per round);
+//  * each job then plays its own three-stage HS game with its consumer's
+//    valuation and price boxes.
+
+#ifndef CDT_MARKET_MARKETPLACE_H_
+#define CDT_MARKET_MARKETPLACE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bandit/arm.h"
+#include "bandit/environment.h"
+#include "game/stackelberg.h"
+#include "market/types.h"
+
+namespace cdt {
+namespace market {
+
+/// One consumer's concurrent job.
+struct MarketplaceJob {
+  std::string name;
+  int num_selected = 0;  // K_j
+  game::ValuationParams valuation;
+  util::Interval consumer_price_bounds{1e-3, 1e9};
+  util::Interval collection_price_bounds{1e-3, 1e9};
+};
+
+/// Marketplace-wide configuration.
+struct MarketplaceConfig {
+  /// Shared L / N / T.
+  Job base_job;
+  std::vector<MarketplaceJob> jobs;
+  /// Per-seller cost parameters (size M).
+  std::vector<game::SellerCostParams> seller_costs;
+  game::PlatformCostParams platform_cost;
+  double quality_floor = 1e-3;
+  /// UCB exploration constant for the shared selection; <= 0 means
+  /// (max_j K_j + 1).
+  double exploration = 0.0;
+
+  util::Status Validate(int num_sellers) const;
+};
+
+/// One job's slice of a marketplace round.
+struct JobRoundReport {
+  std::string job_name;
+  RoundReport report;
+};
+
+/// One whole marketplace round.
+struct MarketplaceRoundReport {
+  std::int64_t round = 0;
+  /// In this round's priority order (rotates by round).
+  std::vector<JobRoundReport> jobs;
+};
+
+/// Cumulative per-job outcomes.
+struct JobSummary {
+  std::string job_name;
+  std::int64_t rounds = 0;
+  double consumer_profit_total = 0.0;
+  double platform_profit_total = 0.0;
+  double seller_profit_total = 0.0;
+  double expected_quality_revenue = 0.0;
+};
+
+/// The concurrent-jobs trading engine.
+class Marketplace {
+ public:
+  /// Borrows `environment`; all jobs observe through it.
+  static util::Result<std::unique_ptr<Marketplace>> Create(
+      MarketplaceConfig config, bandit::QualityEnvironment* environment);
+
+  /// Executes the next round across all jobs.
+  util::Result<MarketplaceRoundReport> RunRound();
+
+  /// Runs every remaining round.
+  util::Status RunAll();
+
+  std::int64_t current_round() const { return next_round_ - 1; }
+  const MarketplaceConfig& config() const { return config_; }
+  const bandit::EstimatorBank& shared_estimates() const { return bank_; }
+  const std::vector<JobSummary>& summaries() const { return summaries_; }
+
+ private:
+  Marketplace(MarketplaceConfig config,
+              bandit::QualityEnvironment* environment,
+              bandit::EstimatorBank bank);
+
+  double GameQuality(int seller) const;
+
+  MarketplaceConfig config_;
+  bandit::QualityEnvironment* environment_;  // borrowed
+  bandit::EstimatorBank bank_;
+  std::vector<JobSummary> summaries_;
+  std::int64_t next_round_ = 1;
+};
+
+}  // namespace market
+}  // namespace cdt
+
+#endif  // CDT_MARKET_MARKETPLACE_H_

@@ -1,0 +1,143 @@
+#include "market/run_log.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace cdt {
+namespace market {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+const char* const kHeader[] = {
+    "round",          "initial_exploration",      "selected",
+    "consumer_price", "collection_price",         "total_time",
+    "consumer_profit", "platform_profit",         "seller_profit_total",
+    "expected_quality_revenue", "observed_quality_revenue"};
+constexpr std::size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
+
+util::CsvRow HeaderRow() {
+  return util::CsvRow(kHeader, kHeader + kColumns);
+}
+
+}  // namespace
+
+RunLogRow ToRunLogRow(const RoundReport& report) {
+  RunLogRow row;
+  row.round = report.round;
+  row.initial_exploration = report.initial_exploration;
+  std::vector<std::string> ids;
+  ids.reserve(report.selected.size());
+  for (int i : report.selected) ids.push_back(std::to_string(i));
+  row.selected = util::Join(ids, '+');
+  row.consumer_price = report.consumer_price;
+  row.collection_price = report.collection_price;
+  row.total_time = report.total_time;
+  row.consumer_profit = report.consumer_profit;
+  row.platform_profit = report.platform_profit;
+  row.seller_profit_total = report.seller_profit_total;
+  row.expected_quality_revenue = report.expected_quality_revenue;
+  row.observed_quality_revenue = report.observed_quality_revenue;
+  return row;
+}
+
+Result<std::vector<int>> ParseSelectedSet(const std::string& text) {
+  std::vector<int> out;
+  if (text.empty()) return out;
+  for (const std::string& part : util::Split(text, '+')) {
+    Result<long long> id = util::ParseInt(part);
+    if (!id.ok()) return id.status();
+    out.push_back(static_cast<int>(id.value()));
+  }
+  return out;
+}
+
+Result<RunLogWriter> RunLogWriter::Open(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open run log for writing: " + path);
+  }
+  out << util::FormatCsvLine(HeaderRow()) << '\n';
+  if (!out.good()) {
+    return Status::IoError("failed writing run-log header: " + path);
+  }
+  return RunLogWriter(std::move(out));
+}
+
+Status RunLogWriter::Append(const RoundReport& report) {
+  if (closed_) {
+    return Status::FailedPrecondition("run log already closed");
+  }
+  RunLogRow row = ToRunLogRow(report);
+  util::CsvRow cells{
+      std::to_string(row.round),
+      row.initial_exploration ? "1" : "0",
+      row.selected,
+      util::FormatDouble(row.consumer_price, 9),
+      util::FormatDouble(row.collection_price, 9),
+      util::FormatDouble(row.total_time, 9),
+      util::FormatDouble(row.consumer_profit, 9),
+      util::FormatDouble(row.platform_profit, 9),
+      util::FormatDouble(row.seller_profit_total, 9),
+      util::FormatDouble(row.expected_quality_revenue, 9),
+      util::FormatDouble(row.observed_quality_revenue, 9)};
+  out_ << util::FormatCsvLine(cells) << '\n';
+  if (!out_.good()) return Status::IoError("run-log write failed");
+  ++rows_;
+  return Status::OK();
+}
+
+Status RunLogWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  out_.flush();
+  out_.close();
+  if (out_.fail()) return Status::IoError("run-log close failed");
+  return Status::OK();
+}
+
+Result<std::vector<RunLogRow>> LoadRunLog(const std::string& path) {
+  Result<util::CsvTable> table = util::ReadCsvFile(path);
+  if (!table.ok()) return table.status();
+  if (table.value().header != HeaderRow()) {
+    return Status::ParseError("unexpected run-log header in " + path);
+  }
+  std::vector<RunLogRow> rows;
+  rows.reserve(table.value().rows.size());
+  for (std::size_t r = 0; r < table.value().rows.size(); ++r) {
+    const util::CsvRow& cells = table.value().rows[r];
+    auto fail = [&](const Status& status) {
+      return Status::ParseError("row " + std::to_string(r + 1) + ": " +
+                                status.message());
+    };
+    RunLogRow row;
+    auto round = util::ParseInt(cells[0]);
+    if (!round.ok()) return fail(round.status());
+    row.round = round.value();
+    row.initial_exploration = cells[1] == "1";
+    // Validate the selected set even though it stays in string form.
+    auto selected = ParseSelectedSet(cells[2]);
+    if (!selected.ok()) return fail(selected.status());
+    row.selected = cells[2];
+    double* fields[] = {&row.consumer_price,
+                        &row.collection_price,
+                        &row.total_time,
+                        &row.consumer_profit,
+                        &row.platform_profit,
+                        &row.seller_profit_total,
+                        &row.expected_quality_revenue,
+                        &row.observed_quality_revenue};
+    for (std::size_t f = 0; f < 8; ++f) {
+      auto value = util::ParseDouble(cells[f + 3]);
+      if (!value.ok()) return fail(value.status());
+      *fields[f] = value.value();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace market
+}  // namespace cdt

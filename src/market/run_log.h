@@ -1,0 +1,68 @@
+// Round-report persistence: stream a trading run to CSV (one row per
+// round) and load it back for offline analysis. Long campaigns can thus be
+// audited or re-plotted without re-simulation.
+
+#ifndef CDT_MARKET_RUN_LOG_H_
+#define CDT_MARKET_RUN_LOG_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "market/types.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace market {
+
+/// One persisted row (the scalar slice of a RoundReport; per-seller
+/// vectors are folded into the selected-set string and totals).
+struct RunLogRow {
+  std::int64_t round = 0;
+  bool initial_exploration = false;
+  std::string selected;  // "+"-joined seller indices
+  double consumer_price = 0.0;
+  double collection_price = 0.0;
+  double total_time = 0.0;
+  double consumer_profit = 0.0;
+  double platform_profit = 0.0;
+  double seller_profit_total = 0.0;
+  double expected_quality_revenue = 0.0;
+  double observed_quality_revenue = 0.0;
+};
+
+/// Converts a full report into its persisted row.
+RunLogRow ToRunLogRow(const RoundReport& report);
+
+/// Parses the "+"-joined selected-set string back into indices.
+util::Result<std::vector<int>> ParseSelectedSet(const std::string& text);
+
+/// Streaming CSV writer: open once, append per round, close (flushes).
+class RunLogWriter {
+ public:
+  /// Opens `path` for writing and emits the header.
+  static util::Result<RunLogWriter> Open(const std::string& path);
+
+  /// Appends one round.
+  util::Status Append(const RoundReport& report);
+
+  /// Flushes and closes; further appends fail.
+  util::Status Close();
+
+  std::int64_t rows_written() const { return rows_; }
+
+ private:
+  explicit RunLogWriter(std::ofstream stream) : out_(std::move(stream)) {}
+
+  std::ofstream out_;
+  std::int64_t rows_ = 0;
+  bool closed_ = false;
+};
+
+/// Loads a run log written by RunLogWriter; validates every row.
+util::Result<std::vector<RunLogRow>> LoadRunLog(const std::string& path);
+
+}  // namespace market
+}  // namespace cdt
+
+#endif  // CDT_MARKET_RUN_LOG_H_

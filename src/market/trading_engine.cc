@@ -1,0 +1,233 @@
+#include "market/trading_engine.h"
+
+#include <algorithm>
+
+#include "game/profit.h"
+
+namespace cdt {
+namespace market {
+
+using util::Result;
+using util::Status;
+
+Status EngineConfig::Validate(int num_sellers) const {
+  CDT_RETURN_NOT_OK(job.Validate());
+  if (num_selected <= 0 || num_selected > num_sellers) {
+    return Status::InvalidArgument("need 1 <= K <= M");
+  }
+  if (static_cast<int>(seller_costs.size()) != num_sellers) {
+    return Status::InvalidArgument("need one cost parameter set per seller");
+  }
+  for (const game::SellerCostParams& s : seller_costs) {
+    CDT_RETURN_NOT_OK(s.Validate());
+  }
+  CDT_RETURN_NOT_OK(platform_cost.Validate());
+  CDT_RETURN_NOT_OK(valuation.Validate());
+  if (!consumer_price_bounds.valid() || !collection_price_bounds.valid()) {
+    return Status::InvalidArgument("invalid price bounds");
+  }
+  if (!(initial_tau > 0.0) || initial_tau > job.round_duration) {
+    return Status::InvalidArgument("initial_tau must lie in (0, T]");
+  }
+  if (!(quality_floor > 0.0) || quality_floor > 1.0) {
+    return Status::InvalidArgument("quality_floor must lie in (0, 1]");
+  }
+  if (consumer_budget < 0.0) {
+    return Status::InvalidArgument("consumer_budget must be >= 0");
+  }
+  return Status::OK();
+}
+
+TradingEngine::TradingEngine(EngineConfig config,
+                             bandit::QualityEnvironment* environment,
+                             std::unique_ptr<bandit::SelectionPolicy> policy,
+                             bandit::EstimatorBank bank)
+    : config_(std::move(config)),
+      environment_(environment),
+      policy_(std::move(policy)),
+      bank_(std::move(bank)),
+      ledger_(environment_->num_sellers(), config_.track_transfers) {}
+
+Result<std::unique_ptr<TradingEngine>> TradingEngine::Create(
+    EngineConfig config, bandit::QualityEnvironment* environment,
+    std::unique_ptr<bandit::SelectionPolicy> policy) {
+  if (environment == nullptr) {
+    return Status::InvalidArgument("environment must not be null");
+  }
+  if (policy == nullptr) {
+    return Status::InvalidArgument("policy must not be null");
+  }
+  CDT_RETURN_NOT_OK(config.Validate(environment->num_sellers()));
+  if (policy->num_sellers() != environment->num_sellers()) {
+    return Status::InvalidArgument(
+        "policy and environment disagree on the seller count");
+  }
+  if (config.job.num_pois != environment->num_pois()) {
+    return Status::InvalidArgument(
+        "job and environment disagree on the PoI count");
+  }
+  // The pricing bank mirrors Eq. (17)-(18); its exploration constant is
+  // irrelevant (only means are consumed) but must be positive.
+  Result<bandit::EstimatorBank> bank =
+      bandit::EstimatorBank::Create(environment->num_sellers(), 1.0);
+  if (!bank.ok()) return bank.status();
+  return std::unique_ptr<TradingEngine>(
+      new TradingEngine(std::move(config), environment, std::move(policy),
+                        std::move(bank).value()));
+}
+
+double TradingEngine::GameQuality(int seller) const {
+  double q;
+  if (config_.use_true_qualities_for_game) {
+    q = environment_->effective_quality(seller);
+  } else {
+    const bandit::ArmState& arm = bank_.arm(seller);
+    q = arm.observations > 0 ? arm.mean : config_.quality_floor;
+  }
+  return std::min(1.0, std::max(config_.quality_floor, q));
+}
+
+Result<RoundReport> TradingEngine::RunRound() {
+  if (next_round_ > config_.job.num_rounds) {
+    return Status::FailedPrecondition("all rounds already executed");
+  }
+  std::int64_t t = next_round_;
+
+  Result<std::vector<int>> selected_result = policy_->SelectRound(t);
+  if (!selected_result.ok()) return selected_result.status();
+  std::vector<int> selected = std::move(selected_result).value();
+  if (selected.empty()) {
+    return Status::Internal("policy selected no sellers");
+  }
+
+  RoundReport report;
+  report.round = t;
+  report.selected = selected;
+  report.initial_exploration =
+      selected.size() > static_cast<std::size_t>(config_.num_selected);
+
+  if (report.initial_exploration) {
+    // Algorithm 1, steps 2-4: τ_i = τ^0, p = p_max, and p^J chosen as the
+    // smallest price with non-negative platform profit (break-even):
+    //   (p^J − p)Στ − θ(Στ)² − λΣτ = 0  ⇒  p^J = p + θΣτ + λ.
+    double p = config_.collection_price_bounds.hi;
+    report.tau.assign(selected.size(), config_.initial_tau);
+    report.total_time = game::TotalTime(report.tau);
+    double pj = p + config_.platform_cost.theta * report.total_time +
+                config_.platform_cost.lambda;
+    pj = std::max(pj, config_.consumer_price_bounds.lo);
+    report.collection_price = p;
+    report.consumer_price = pj;
+
+    double quality_sum = 0.0;
+    report.seller_profits.resize(selected.size());
+    report.game_qualities.resize(selected.size());
+    for (std::size_t j = 0; j < selected.size(); ++j) {
+      double q = GameQuality(selected[j]);
+      report.game_qualities[j] = q;
+      quality_sum += q;
+      report.seller_profits[j] = game::SellerProfit(
+          p, report.tau[j],
+          config_.seller_costs[static_cast<std::size_t>(selected[j])], q);
+    }
+    double mean_quality = quality_sum / static_cast<double>(selected.size());
+    report.consumer_profit = game::ConsumerProfit(
+        pj, mean_quality, report.total_time, config_.valuation);
+    report.platform_profit = game::PlatformProfit(
+        pj, p, report.total_time, config_.platform_cost);
+  } else {
+    // Regular round: play the three-stage HS game among the consumer, the
+    // platform, and the selected sellers (Algorithm 1, step 11).
+    game::GameConfig game_config;
+    game_config.sellers.reserve(selected.size());
+    game_config.qualities.reserve(selected.size());
+    for (int i : selected) {
+      game_config.sellers.push_back(
+          config_.seller_costs[static_cast<std::size_t>(i)]);
+      game_config.qualities.push_back(GameQuality(i));
+    }
+    report.game_qualities = game_config.qualities;
+    game_config.platform = config_.platform_cost;
+    game_config.valuation = config_.valuation;
+    game_config.consumer_price_bounds = config_.consumer_price_bounds;
+    game_config.collection_price_bounds = config_.collection_price_bounds;
+    game_config.max_sensing_time = config_.job.round_duration;
+    Result<game::StackelbergSolver> solver =
+        game::StackelbergSolver::Create(std::move(game_config));
+    if (!solver.ok()) return solver.status();
+    game::StrategyProfile profile = solver.value().Solve();
+    report.consumer_price = profile.consumer_price;
+    report.collection_price = profile.collection_price;
+    report.tau = std::move(profile.tau);
+    report.total_time = profile.total_time;
+    report.consumer_profit = profile.consumer_profit;
+    report.platform_profit = profile.platform_profit;
+    report.seller_profits = std::move(profile.seller_profits);
+  }
+  for (double psi : report.seller_profits) report.seller_profit_total += psi;
+
+  // Budget gate: the round is abandoned (no data collected, no payments)
+  // when the consumer cannot afford its reward.
+  if (config_.consumer_budget > 0.0) {
+    double reward = report.consumer_price * report.total_time;
+    if (consumer_spend_ + reward > config_.consumer_budget) {
+      budget_exhausted_ = true;
+      return Status::FailedPrecondition(
+          "consumer budget exhausted after " +
+          std::to_string(next_round_ - 1) + " rounds");
+    }
+  }
+
+  // Data collection: observe the environment for every selected seller and
+  // feed both the policy's learner and the engine's pricing estimates.
+  std::vector<std::vector<double>> observations(selected.size());
+  for (std::size_t j = 0; j < selected.size(); ++j) {
+    observations[j] = environment_->ObserveSeller(selected[j]);
+    double sum = 0.0;
+    for (double q : observations[j]) sum += q;
+    report.observed_quality_revenue += sum;
+    report.expected_quality_revenue +=
+        static_cast<double>(config_.job.num_pois) *
+        environment_->effective_quality(selected[j]);
+    CDT_RETURN_NOT_OK(bank_.Update(selected[j], observations[j]));
+  }
+  CDT_RETURN_NOT_OK(policy_->Observe(selected, observations));
+
+  CDT_RETURN_NOT_OK(SettlePayments(report));
+  ++next_round_;
+  return report;
+}
+
+Status TradingEngine::SettlePayments(const RoundReport& report) {
+  // Consumer → platform: p^J · Στ; platform → seller i: p · τ_i. Balances
+  // are always maintained; the per-transfer history obeys track_transfers.
+  double reward = report.consumer_price * report.total_time;
+  consumer_spend_ += reward;
+  CDT_RETURN_NOT_OK(ledger_.Record(report.round, kConsumerAccount,
+                                   kPlatformAccount, reward,
+                                   "data service reward"));
+  for (std::size_t j = 0; j < report.selected.size(); ++j) {
+    CDT_RETURN_NOT_OK(ledger_.Record(
+        report.round, kPlatformAccount,
+        static_cast<std::int32_t>(report.selected[j]),
+        report.collection_price * report.tau[j], "data collection pay"));
+  }
+  return Status::OK();
+}
+
+Status TradingEngine::RunAll(
+    const std::function<void(const RoundReport&)>& callback) {
+  while (next_round_ <= config_.job.num_rounds) {
+    Result<RoundReport> report = RunRound();
+    if (!report.ok()) {
+      // A configured budget running out ends the campaign cleanly.
+      if (budget_exhausted_) return Status::OK();
+      return report.status();
+    }
+    if (callback) callback(report.value());
+  }
+  return Status::OK();
+}
+
+}  // namespace market
+}  // namespace cdt

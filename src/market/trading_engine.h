@@ -1,0 +1,110 @@
+// The CDT trading engine: executes the full Fig.-2 workflow / Algorithm 1
+// round by round — seller selection via a pluggable bandit policy, the HS
+// game for the incentive strategy, data collection against the quality
+// environment, aggregation, payments, and quality-estimate updates.
+
+#ifndef CDT_MARKET_TRADING_ENGINE_H_
+#define CDT_MARKET_TRADING_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bandit/arm.h"
+#include "bandit/environment.h"
+#include "bandit/policy.h"
+#include "game/stackelberg.h"
+#include "market/ledger.h"
+#include "market/types.h"
+
+namespace cdt {
+namespace market {
+
+/// Engine configuration; economic defaults follow Table II.
+struct EngineConfig {
+  Job job;                       // L, N, T
+  int num_selected = 0;          // K
+  /// Per-seller cost parameters (size M).
+  std::vector<game::SellerCostParams> seller_costs;
+  game::PlatformCostParams platform_cost;   // θ, λ
+  game::ValuationParams valuation;          // ω
+  util::Interval consumer_price_bounds{1e-3, 1e9};
+  util::Interval collection_price_bounds{1e-3, 1e9};
+  /// τ^0: sensing time of every seller in the initial exploration round.
+  double initial_tau = 1.0;
+  /// Floor applied to learned qualities before the game (Eq. 20 divides by
+  /// q̄_i a_i, so q̄ must stay strictly positive).
+  double quality_floor = 1e-3;
+  /// Oracle mode: price the game with the environment's true effective
+  /// qualities instead of learned estimates (the "optimal" baseline).
+  bool use_true_qualities_for_game = false;
+  /// Consumer budget extension (0 = unlimited, the paper's setting): the
+  /// trading stops before any round whose reward payment would push the
+  /// consumer's cumulative outflow beyond the budget.
+  double consumer_budget = 0.0;
+  /// Record every monetary transfer in the ledger (memory ~ N·K; disable
+  /// for large-N benchmark sweeps — balances are still maintained).
+  bool track_transfers = false;
+
+  util::Status Validate(int num_sellers) const;
+};
+
+/// Runs a CDT simulation: one QualityEnvironment (ground truth), one
+/// SelectionPolicy (seller selection), and the HS game each round.
+class TradingEngine {
+ public:
+  /// The engine borrows `environment` and owns `policy`. The environment's
+  /// seller/PoI counts must match the config.
+  static util::Result<std::unique_ptr<TradingEngine>> Create(
+      EngineConfig config, bandit::QualityEnvironment* environment,
+      std::unique_ptr<bandit::SelectionPolicy> policy);
+
+  /// Executes the next round; call at most N times. With a consumer budget
+  /// configured, fails with FailedPrecondition once the budget cannot cover
+  /// the next round's reward (budget_exhausted() then reports true).
+  util::Result<RoundReport> RunRound();
+
+  /// True when a configured consumer budget stopped the trading early.
+  bool budget_exhausted() const { return budget_exhausted_; }
+
+  /// Cumulative rewards the consumer has paid so far.
+  double consumer_spend() const { return consumer_spend_; }
+
+  /// Runs all remaining rounds, invoking `callback` (may be null) per round.
+  util::Status RunAll(
+      const std::function<void(const RoundReport&)>& callback = nullptr);
+
+  std::int64_t current_round() const { return next_round_ - 1; }
+  const EngineConfig& config() const { return config_; }
+  const Ledger& ledger() const { return ledger_; }
+  const bandit::SelectionPolicy& policy() const { return *policy_; }
+
+  /// The engine's own learned quality estimates used for game pricing
+  /// (independent of any estimator the policy maintains).
+  const bandit::EstimatorBank& pricing_estimates() const { return bank_; }
+
+ private:
+  TradingEngine(EngineConfig config, bandit::QualityEnvironment* environment,
+                std::unique_ptr<bandit::SelectionPolicy> policy,
+                bandit::EstimatorBank bank);
+
+  /// Learned (or true, in oracle mode) quality of a seller, floored.
+  double GameQuality(int seller) const;
+
+  /// Settles payments for the round through the ledger.
+  util::Status SettlePayments(const RoundReport& report);
+
+  EngineConfig config_;
+  bandit::QualityEnvironment* environment_;  // borrowed
+  std::unique_ptr<bandit::SelectionPolicy> policy_;
+  bandit::EstimatorBank bank_;
+  Ledger ledger_;
+  std::int64_t next_round_ = 1;
+  bool budget_exhausted_ = false;
+  double consumer_spend_ = 0.0;
+};
+
+}  // namespace market
+}  // namespace cdt
+
+#endif  // CDT_MARKET_TRADING_ENGINE_H_

@@ -1,0 +1,20 @@
+#include "market/types.h"
+
+namespace cdt {
+namespace market {
+
+using util::Status;
+
+Status Job::Validate() const {
+  if (num_pois <= 0) return Status::InvalidArgument("job needs >= 1 PoI");
+  if (num_rounds <= 0) {
+    return Status::InvalidArgument("job needs >= 1 round");
+  }
+  if (!(round_duration > 0.0)) {
+    return Status::InvalidArgument("round duration must be > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace market
+}  // namespace cdt

@@ -1,0 +1,54 @@
+// Shared market-layer types: the data-collection Job (Def. 1) and the
+// per-round trading report emitted by the engine.
+
+#ifndef CDT_MARKET_TYPES_H_
+#define CDT_MARKET_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cdt {
+namespace market {
+
+/// The consumer's long-term data-collection job Job = <L, N, T, Des>.
+struct Job {
+  int num_pois = 0;            // |L|
+  std::int64_t num_rounds = 0; // N
+  double round_duration = 0.0; // T
+  std::string description;     // Des
+
+  util::Status Validate() const;
+};
+
+/// Everything that happened in one trading round.
+struct RoundReport {
+  std::int64_t round = 0;  // 1-based
+  /// True for Algorithm 1's round-1 select-all exploration.
+  bool initial_exploration = false;
+
+  std::vector<int> selected;          // selected seller indices
+  /// Quality estimates q̄_i the round's game was priced with (pre-update).
+  std::vector<double> game_qualities;
+  double consumer_price = 0.0;        // p^{J,t}
+  double collection_price = 0.0;      // p^t
+  std::vector<double> tau;            // τ_i per selected seller
+  double total_time = 0.0;            // Στ
+
+  double consumer_profit = 0.0;             // Φ^t
+  double platform_profit = 0.0;             // Ω^t
+  std::vector<double> seller_profits;       // Ψ_i^t per selected seller
+  double seller_profit_total = 0.0;         // Σ Ψ_i^t
+
+  /// L · Σ_{i∈S} q_i using ground-truth expected qualities.
+  double expected_quality_revenue = 0.0;
+  /// Σ_{i∈S} Σ_l q_{i,l}^t actually observed.
+  double observed_quality_revenue = 0.0;
+};
+
+}  // namespace market
+}  // namespace cdt
+
+#endif  // CDT_MARKET_TYPES_H_

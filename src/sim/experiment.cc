@@ -1,0 +1,59 @@
+#include "sim/experiment.h"
+
+#include <filesystem>
+
+#include "util/logging.h"
+
+namespace cdt {
+namespace sim {
+
+using util::Result;
+using util::Status;
+
+Reporter::Reporter(std::string output_dir, std::ostream& os)
+    : output_dir_(std::move(output_dir)), os_(os) {}
+
+void Reporter::Begin(const ExperimentSpec& spec) {
+  os_ << "\n#############################################################\n"
+      << "# " << spec.paper_ref << " — " << spec.title << "\n"
+      << "# settings: " << spec.settings << "\n"
+      << "#############################################################\n";
+}
+
+Status Reporter::Report(const FigureData& figure) {
+  figure.PrintTable(os_);
+  os_ << "\n";
+  if (output_dir_.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(output_dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create output dir '" + output_dir_ +
+                           "': " + ec.message());
+  }
+  std::string path = output_dir_ + "/" + figure.figure_id() + ".csv";
+  CDT_RETURN_NOT_OK(util::WriteCsvFile(path, figure.ToCsvLong()));
+  os_ << "[written " << path << "]\n";
+  return Status::OK();
+}
+
+void Reporter::Note(const std::string& note) { os_ << note << "\n"; }
+
+Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv) {
+  Result<util::ConfigMap> config = util::ConfigMap::FromArgs(argc, argv);
+  if (!config.ok()) return config.status();
+  BenchFlags flags;
+  Result<std::string> out = config.value().GetString("out", flags.output_dir);
+  if (!out.ok()) return out.status();
+  flags.output_dir = out.value();
+  Result<bool> quick = config.value().GetBool("quick", flags.quick);
+  if (!quick.ok()) return quick.status();
+  flags.quick = quick.value();
+  Result<long long> seed =
+      config.value().GetInt("seed", static_cast<long long>(flags.seed));
+  if (!seed.ok()) return seed.status();
+  flags.seed = static_cast<std::uint64_t>(seed.value());
+  return flags;
+}
+
+}  // namespace sim
+}  // namespace cdt

@@ -1,0 +1,62 @@
+// Experiment descriptors and the reporter used by every figure harness:
+// prints a figure header + settings, renders each FigureData as an aligned
+// console table, and persists the long-format CSV under an output
+// directory (default: ./results, overridable with --out=<dir>).
+
+#ifndef CDT_SIM_EXPERIMENT_H_
+#define CDT_SIM_EXPERIMENT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/series.h"
+#include "util/config.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace sim {
+
+/// Identity of one paper experiment (a figure or table).
+struct ExperimentSpec {
+  std::string id;           // e.g. "fig07"
+  std::string paper_ref;    // e.g. "Fig. 7"
+  std::string title;        // what the experiment shows
+  std::string settings;     // rendered parameter summary
+};
+
+/// Console + CSV reporter for figure harnesses.
+class Reporter {
+ public:
+  /// `output_dir` may be empty to disable CSV persistence.
+  explicit Reporter(std::string output_dir, std::ostream& os);
+
+  /// Prints the experiment banner.
+  void Begin(const ExperimentSpec& spec);
+
+  /// Prints the figure as a table and writes `<output_dir>/<id>.csv`.
+  util::Status Report(const FigureData& figure);
+
+  /// Prints a free-form note line.
+  void Note(const std::string& note);
+
+ private:
+  std::string output_dir_;
+  std::ostream& os_;
+};
+
+/// Parses the common bench flags: --out=<dir> (default "results"),
+/// --quick=<bool> (default false; benches shrink N for smoke runs),
+/// --seed=<int>.
+struct BenchFlags {
+  std::string output_dir = "results";
+  bool quick = false;
+  std::uint64_t seed = 42;
+};
+
+util::Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv);
+
+}  // namespace sim
+}  // namespace cdt
+
+#endif  // CDT_SIM_EXPERIMENT_H_

@@ -1,0 +1,65 @@
+#include "sim/series.h"
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace cdt {
+namespace sim {
+
+Series* FigureData::AddSeries(std::string name) {
+  series_.push_back(std::make_unique<Series>(std::move(name)));
+  return series_.back().get();
+}
+
+util::CsvTable FigureData::ToCsvLong() const {
+  util::CsvTable table;
+  table.header = {"figure", "series", x_label_, y_label_};
+  for (const auto& s : series_) {
+    for (const SeriesPoint& p : s->points()) {
+      table.rows.push_back({figure_id_, s->name(),
+                            util::FormatDouble(p.x, 6),
+                            util::FormatDouble(p.y, 6)});
+    }
+  }
+  return table;
+}
+
+void FigureData::PrintTable(std::ostream& os, int precision) const {
+  os << "== " << figure_id_ << ": " << title_ << " ==\n";
+  if (series_.empty()) {
+    os << "(no data)\n";
+    return;
+  }
+  std::vector<std::string> header;
+  header.push_back(x_label_);
+  std::size_t rows = 0;
+  for (const auto& s : series_) {
+    header.push_back(s->name());
+    rows = std::max(rows, s->points().size());
+  }
+  util::TablePrinter printer(std::move(header));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> cells;
+    // x from the first series that has this row.
+    std::string x_cell;
+    for (const auto& s : series_) {
+      if (r < s->points().size()) {
+        x_cell = util::FormatDouble(s->points()[r].x, precision);
+        break;
+      }
+    }
+    cells.push_back(x_cell);
+    for (const auto& s : series_) {
+      if (r < s->points().size()) {
+        cells.push_back(util::FormatDouble(s->points()[r].y, precision));
+      } else {
+        cells.push_back("");
+      }
+    }
+    printer.AddRow(std::move(cells));
+  }
+  printer.Print(os);
+}
+
+}  // namespace sim
+}  // namespace cdt

@@ -1,0 +1,78 @@
+// Named data series and figure containers: the benchmark harnesses produce
+// one FigureData per paper figure, then print it as an aligned table and/or
+// persist it as CSV for external plotting.
+
+#ifndef CDT_SIM_SERIES_H_
+#define CDT_SIM_SERIES_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace sim {
+
+/// One (x, y) point.
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One named line of a figure.
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void Add(double x, double y) { points_.push_back({x, y}); }
+  const std::vector<SeriesPoint>& points() const { return points_; }
+
+ private:
+  std::string name_;
+  std::vector<SeriesPoint> points_;
+};
+
+/// One figure: id/labels plus its series.
+class FigureData {
+ public:
+  FigureData(std::string figure_id, std::string title, std::string x_label,
+             std::string y_label)
+      : figure_id_(std::move(figure_id)),
+        title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  const std::string& figure_id() const { return figure_id_; }
+  const std::string& title() const { return title_; }
+
+  /// Adds a series and returns a stable pointer for appending points
+  /// (stable across further AddSeries calls).
+  Series* AddSeries(std::string name);
+
+  const std::vector<std::unique_ptr<Series>>& series() const {
+    return series_;
+  }
+
+  /// Long-format CSV: columns (series, x, y).
+  util::CsvTable ToCsvLong() const;
+
+  /// Wide aligned table (x column plus one column per series), assuming
+  /// all series share the same x grid; ragged series print blank cells.
+  void PrintTable(std::ostream& os, int precision = 3) const;
+
+ private:
+  std::string figure_id_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<std::unique_ptr<Series>> series_;
+};
+
+}  // namespace sim
+}  // namespace cdt
+
+#endif  // CDT_SIM_SERIES_H_

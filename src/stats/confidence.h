@@ -1,0 +1,31 @@
+// Concentration-bound helpers backing the bandit module: the Hoeffding
+// radius used in UCB indices (paper Eq. 19) and tail probabilities from the
+// Chernoff–Hoeffding inequality (paper Lemma 17).
+
+#ifndef CDT_STATS_CONFIDENCE_H_
+#define CDT_STATS_CONFIDENCE_H_
+
+#include <cstdint>
+
+namespace cdt {
+namespace stats {
+
+/// The paper's exploration radius (Eq. 19):
+///   eps_i = sqrt((K+1) * ln(total_observations) / n_i).
+/// `exploration` is the (K+1) factor; generalised so ablations can try the
+/// classic UCB1 constant. Returns +infinity when n_i == 0.
+double UcbRadius(std::uint64_t n_i, std::uint64_t total_observations,
+                 double exploration);
+
+/// Chernoff–Hoeffding upper tail for [0,1]-valued variables (Lemma 17):
+///   P[S_n >= n*mu + a] <= exp(-2 a^2 / n).
+double HoeffdingTailBound(std::uint64_t n, double deviation);
+
+/// Two-sided Hoeffding confidence half-width at level `delta`:
+///   radius = sqrt(ln(2/delta) / (2 n)).
+double HoeffdingHalfWidth(std::uint64_t n, double delta);
+
+}  // namespace stats
+}  // namespace cdt
+
+#endif  // CDT_STATS_CONFIDENCE_H_

@@ -1,0 +1,108 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/distributions.h"
+
+namespace cdt {
+namespace trace {
+
+using util::Result;
+using util::Status;
+
+Status TraceConfig::Validate() const {
+  if (num_taxis <= 0) return Status::InvalidArgument("num_taxis must be > 0");
+  if (num_records <= 0) {
+    return Status::InvalidArgument("num_records must be > 0");
+  }
+  if (num_zones <= 1) return Status::InvalidArgument("num_zones must be > 1");
+  if (zone_zipf_exponent < 0.0 || taxi_zipf_exponent < 0.0) {
+    return Status::InvalidArgument("zipf exponents must be >= 0");
+  }
+  if (duration_seconds <= 0) {
+    return Status::InvalidArgument("duration_seconds must be > 0");
+  }
+  if (grid_extent_miles <= 0.0) {
+    return Status::InvalidArgument("grid_extent_miles must be > 0");
+  }
+  return Status::OK();
+}
+
+std::int64_t Trace::DistinctTaxis() const {
+  std::set<std::int64_t> ids;
+  for (const TripRecord& t : trips) ids.insert(t.taxi_id);
+  return static_cast<std::int64_t>(ids.size());
+}
+
+Result<Trace> GenerateTrace(const TraceConfig& config) {
+  CDT_RETURN_NOT_OK(config.Validate());
+  stats::Xoshiro256 rng(config.seed);
+
+  Trace trace;
+  trace.config = config;
+
+  // Zone centroids: uniform over the city grid, with zone 0 ("downtown")
+  // pinned at the centre so the Zipf-popular zones cluster geographically.
+  trace.zones.resize(static_cast<std::size_t>(config.num_zones));
+  double half = config.grid_extent_miles / 2.0;
+  trace.zones[0] = {half, half};
+  for (std::size_t z = 1; z < trace.zones.size(); ++z) {
+    trace.zones[z] = {rng.NextDouble(0.0, config.grid_extent_miles),
+                      rng.NextDouble(0.0, config.grid_extent_miles)};
+  }
+
+  auto zone_sampler = stats::ZipfSampler::Create(
+      static_cast<std::size_t>(config.num_zones), config.zone_zipf_exponent);
+  if (!zone_sampler.ok()) return zone_sampler.status();
+  auto taxi_sampler = stats::ZipfSampler::Create(
+      static_cast<std::size_t>(config.num_taxis), config.taxi_zipf_exponent);
+  if (!taxi_sampler.ok()) return taxi_sampler.status();
+
+  // Shuffle taxi ranks so taxi id is not correlated with activity level.
+  std::vector<std::int64_t> taxi_of_rank(
+      static_cast<std::size_t>(config.num_taxis));
+  for (std::size_t i = 0; i < taxi_of_rank.size(); ++i) {
+    taxi_of_rank[i] = static_cast<std::int64_t>(i + 1);  // ids are 1-based
+  }
+  for (std::size_t i = taxi_of_rank.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.NextBounded(i));
+    std::swap(taxi_of_rank[i - 1], taxi_of_rank[j]);
+  }
+
+  stats::GaussianSampler noise;
+  trace.trips.reserve(static_cast<std::size_t>(config.num_records));
+  for (std::int64_t r = 0; r < config.num_records; ++r) {
+    TripRecord trip;
+    trip.taxi_id = taxi_of_rank[taxi_sampler.value().Sample(rng)];
+    trip.timestamp =
+        static_cast<std::int64_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(config.duration_seconds)));
+    trip.pickup_zone =
+        static_cast<std::int32_t>(zone_sampler.value().Sample(rng));
+    trip.dropoff_zone =
+        static_cast<std::int32_t>(zone_sampler.value().Sample(rng));
+    const ZoneLocation& a =
+        trace.zones[static_cast<std::size_t>(trip.pickup_zone)];
+    const ZoneLocation& b =
+        trace.zones[static_cast<std::size_t>(trip.dropoff_zone)];
+    double euclid = std::hypot(a.x - b.x, a.y - b.y);
+    // Street distance exceeds Euclidean; add multiplicative noise. Same-zone
+    // trips get a short intra-zone distance.
+    double base = euclid > 0.0 ? euclid * 1.3 : 0.8;
+    double miles = base * std::max(0.2, 1.0 + 0.15 * noise.Sample(rng));
+    trip.trip_miles = miles;
+    trace.trips.push_back(trip);
+  }
+
+  std::sort(trace.trips.begin(), trace.trips.end(),
+            [](const TripRecord& a, const TripRecord& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.taxi_id < b.taxi_id;
+            });
+  return trace;
+}
+
+}  // namespace trace
+}  // namespace cdt

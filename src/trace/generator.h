@@ -1,0 +1,52 @@
+// Synthetic trace generator standing in for the Kaggle "Chicago Taxi Trips"
+// dataset used in the paper's evaluation (Sec. V-A). The real trace is not
+// available offline; this generator reproduces the properties the paper's
+// pipeline consumes: ~27k trip records over 300 taxis, zone popularity with
+// a heavy downtown skew, per-taxi activity heterogeneity, and trip miles
+// correlated with pick-up/drop-off zone distance. See DESIGN.md §3.
+
+#ifndef CDT_TRACE_GENERATOR_H_
+#define CDT_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "trace/trip.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace trace {
+
+/// Parameters of the synthetic trace.
+struct TraceConfig {
+  std::int64_t num_taxis = 300;       // paper: 300 taxis found in the trace
+  std::int64_t num_records = 27465;   // paper: 27465 records
+  std::int32_t num_zones = 77;        // Chicago community areas
+  double zone_zipf_exponent = 1.0;    // popularity skew across zones
+  double taxi_zipf_exponent = 0.6;    // activity skew across taxis
+  std::int64_t duration_seconds = 30LL * 24 * 3600;  // 30-day window
+  double grid_extent_miles = 25.0;    // city bounding box edge
+  std::uint64_t seed = 20210419;      // default deterministic seed
+
+  /// Validates ranges (positive counts, non-negative exponents).
+  util::Status Validate() const;
+};
+
+/// A generated trace: trips sorted by timestamp plus zone centroids.
+struct Trace {
+  TraceConfig config;
+  std::vector<TripRecord> trips;
+  std::vector<ZoneLocation> zones;  // indexed by zone id
+
+  /// Distinct taxi count actually present in `trips`.
+  std::int64_t DistinctTaxis() const;
+};
+
+/// Deterministically generates a trace from `config`.
+util::Result<Trace> GenerateTrace(const TraceConfig& config);
+
+}  // namespace trace
+}  // namespace cdt
+
+#endif  // CDT_TRACE_GENERATOR_H_

@@ -1,0 +1,42 @@
+#include "trace/loader.h"
+
+#include "util/csv.h"
+
+namespace cdt {
+namespace trace {
+
+using util::Result;
+using util::Status;
+
+Status SaveTrips(const std::string& path,
+                 const std::vector<TripRecord>& trips) {
+  util::CsvTable table;
+  table.header = TripCsvHeader();
+  table.rows.reserve(trips.size());
+  for (const TripRecord& trip : trips) {
+    table.rows.push_back(TripToCsvRow(trip));
+  }
+  return util::WriteCsvFile(path, table);
+}
+
+Result<std::vector<TripRecord>> LoadTrips(const std::string& path) {
+  Result<util::CsvTable> table = util::ReadCsvFile(path);
+  if (!table.ok()) return table.status();
+  if (table.value().header != TripCsvHeader()) {
+    return Status::ParseError("unexpected trip CSV header in " + path);
+  }
+  std::vector<TripRecord> trips;
+  trips.reserve(table.value().rows.size());
+  for (std::size_t i = 0; i < table.value().rows.size(); ++i) {
+    Result<TripRecord> trip = TripFromCsvRow(table.value().rows[i]);
+    if (!trip.ok()) {
+      return Status::ParseError("row " + std::to_string(i + 1) + ": " +
+                                trip.status().message());
+    }
+    trips.push_back(trip.value());
+  }
+  return trips;
+}
+
+}  // namespace trace
+}  // namespace cdt

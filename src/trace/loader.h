@@ -1,0 +1,29 @@
+// CSV persistence for traces: save a generated trace to disk and load it
+// back. Allows experiments to pin an exact trace file and lets users drop in
+// the real Chicago trace (same schema) when they have it.
+
+#ifndef CDT_TRACE_LOADER_H_
+#define CDT_TRACE_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trip.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace trace {
+
+/// Writes trips as CSV (header: taxi_id,timestamp,trip_miles,pickup_zone,
+/// dropoff_zone).
+util::Status SaveTrips(const std::string& path,
+                       const std::vector<TripRecord>& trips);
+
+/// Reads trips from a CSV file written by SaveTrips (or the real dataset
+/// exported to the same schema). Validates every row.
+util::Result<std::vector<TripRecord>> LoadTrips(const std::string& path);
+
+}  // namespace trace
+}  // namespace cdt
+
+#endif  // CDT_TRACE_LOADER_H_

@@ -1,0 +1,48 @@
+#include "trace/poi.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cdt {
+namespace trace {
+
+using util::Result;
+using util::Status;
+
+Result<std::vector<Poi>> ExtractPois(const Trace& trace,
+                                     std::size_t num_pois) {
+  if (num_pois == 0) {
+    return Status::InvalidArgument("num_pois must be >= 1");
+  }
+  std::map<std::int32_t, std::int64_t> visits;
+  for (const TripRecord& trip : trace.trips) {
+    ++visits[trip.pickup_zone];
+    ++visits[trip.dropoff_zone];
+  }
+  if (visits.size() < num_pois) {
+    return Status::FailedPrecondition(
+        "trace has only " + std::to_string(visits.size()) +
+        " active zones, need " + std::to_string(num_pois));
+  }
+  std::vector<Poi> pois;
+  pois.reserve(visits.size());
+  for (const auto& [zone, count] : visits) {
+    Poi poi;
+    poi.zone_id = zone;
+    poi.visit_count = count;
+    if (zone >= 0 &&
+        static_cast<std::size_t>(zone) < trace.zones.size()) {
+      poi.location = trace.zones[static_cast<std::size_t>(zone)];
+    }
+    pois.push_back(poi);
+  }
+  std::sort(pois.begin(), pois.end(), [](const Poi& a, const Poi& b) {
+    if (a.visit_count != b.visit_count) return a.visit_count > b.visit_count;
+    return a.zone_id < b.zone_id;
+  });
+  pois.resize(num_pois);
+  return pois;
+}
+
+}  // namespace trace
+}  // namespace cdt

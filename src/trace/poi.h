@@ -1,0 +1,32 @@
+// PoI extraction: the paper "selects some pick-up/drop-off points as the
+// PoIs" — we rank zones by total pick-up + drop-off traffic and take the
+// top-L as Points of Interest.
+
+#ifndef CDT_TRACE_POI_H_
+#define CDT_TRACE_POI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/generator.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace trace {
+
+/// One extracted Point of Interest.
+struct Poi {
+  std::int32_t zone_id = 0;
+  ZoneLocation location;
+  std::int64_t visit_count = 0;  // pick-ups + drop-offs in the trace
+};
+
+/// Returns the `num_pois` busiest zones, ordered by descending traffic
+/// (ties broken by zone id). Errors when the trace has fewer active zones.
+util::Result<std::vector<Poi>> ExtractPois(const Trace& trace,
+                                           std::size_t num_pois);
+
+}  // namespace trace
+}  // namespace cdt
+
+#endif  // CDT_TRACE_POI_H_

@@ -1,0 +1,75 @@
+#include "trace/seller_mapping.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cdt {
+namespace trace {
+
+using util::Result;
+using util::Status;
+
+Result<std::vector<EligibleSeller>> MapSellers(const Trace& trace,
+                                               const std::vector<Poi>& pois) {
+  if (pois.empty()) {
+    return Status::InvalidArgument("PoI set must not be empty");
+  }
+  std::set<std::int32_t> poi_zones;
+  for (const Poi& poi : pois) poi_zones.insert(poi.zone_id);
+
+  struct Acc {
+    std::int64_t visits = 0;
+    std::set<std::int32_t> zones;
+  };
+  std::map<std::int64_t, Acc> by_taxi;
+  for (const TripRecord& trip : trace.trips) {
+    bool pickup_hit = poi_zones.count(trip.pickup_zone) > 0;
+    bool dropoff_hit = poi_zones.count(trip.dropoff_zone) > 0;
+    if (!pickup_hit && !dropoff_hit) continue;
+    Acc& acc = by_taxi[trip.taxi_id];
+    if (pickup_hit) {
+      ++acc.visits;
+      acc.zones.insert(trip.pickup_zone);
+    }
+    if (dropoff_hit) {
+      ++acc.visits;
+      acc.zones.insert(trip.dropoff_zone);
+    }
+  }
+
+  std::vector<EligibleSeller> sellers;
+  sellers.reserve(by_taxi.size());
+  for (const auto& [taxi, acc] : by_taxi) {
+    EligibleSeller s;
+    s.taxi_id = taxi;
+    s.poi_visits = acc.visits;
+    s.distinct_pois = static_cast<std::int32_t>(acc.zones.size());
+    sellers.push_back(s);
+  }
+  std::sort(sellers.begin(), sellers.end(),
+            [](const EligibleSeller& a, const EligibleSeller& b) {
+              if (a.poi_visits != b.poi_visits) {
+                return a.poi_visits > b.poi_visits;
+              }
+              return a.taxi_id < b.taxi_id;
+            });
+  return sellers;
+}
+
+Result<std::vector<EligibleSeller>> SelectSellerPool(
+    std::vector<EligibleSeller> eligible, std::size_t m) {
+  if (m == 0) {
+    return Status::InvalidArgument("seller pool size must be >= 1");
+  }
+  if (eligible.size() < m) {
+    return Status::FailedPrecondition(
+        "only " + std::to_string(eligible.size()) +
+        " eligible sellers, need " + std::to_string(m));
+  }
+  eligible.resize(m);
+  return eligible;
+}
+
+}  // namespace trace
+}  // namespace cdt

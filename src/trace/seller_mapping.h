@@ -1,0 +1,40 @@
+// Taxi → seller mapping: the paper treats "taxis which pick up or drop off
+// passengers at these points" (the PoIs) as sellers able to complete the
+// data-collection job. This module derives the eligible seller pool from a
+// trace and a PoI set.
+
+#ifndef CDT_TRACE_SELLER_MAPPING_H_
+#define CDT_TRACE_SELLER_MAPPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/poi.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace trace {
+
+/// One eligible seller derived from the trace.
+struct EligibleSeller {
+  std::int64_t taxi_id = 0;
+  /// How many of this taxi's trips touch a PoI (activity proxy).
+  std::int64_t poi_visits = 0;
+  /// Distinct PoIs the taxi touched.
+  std::int32_t distinct_pois = 0;
+};
+
+/// Sellers eligible for the job: taxis with >= 1 PoI pick-up/drop-off,
+/// ordered by descending poi_visits (ties by taxi id).
+util::Result<std::vector<EligibleSeller>> MapSellers(
+    const Trace& trace, const std::vector<Poi>& pois);
+
+/// Truncates an eligibility list to the top `m` sellers, mirroring the
+/// paper's "choose M taxis as satisfied sellers, M in [50, 300]".
+util::Result<std::vector<EligibleSeller>> SelectSellerPool(
+    std::vector<EligibleSeller> eligible, std::size_t m);
+
+}  // namespace trace
+}  // namespace cdt
+
+#endif  // CDT_TRACE_SELLER_MAPPING_H_

@@ -1,0 +1,53 @@
+#include "trace/trip.h"
+
+#include "util/string_util.h"
+
+namespace cdt {
+namespace trace {
+
+using util::CsvRow;
+using util::Result;
+using util::Status;
+
+CsvRow TripCsvHeader() {
+  return {"taxi_id", "timestamp", "trip_miles", "pickup_zone",
+          "dropoff_zone"};
+}
+
+CsvRow TripToCsvRow(const TripRecord& trip) {
+  return {std::to_string(trip.taxi_id), std::to_string(trip.timestamp),
+          util::FormatDouble(trip.trip_miles, 3),
+          std::to_string(trip.pickup_zone),
+          std::to_string(trip.dropoff_zone)};
+}
+
+Result<TripRecord> TripFromCsvRow(const CsvRow& row) {
+  if (row.size() != 5) {
+    return Status::ParseError("trip row must have 5 fields, got " +
+                              std::to_string(row.size()));
+  }
+  auto taxi = util::ParseInt(row[0]);
+  if (!taxi.ok()) return taxi.status();
+  auto ts = util::ParseInt(row[1]);
+  if (!ts.ok()) return ts.status();
+  auto miles = util::ParseDouble(row[2]);
+  if (!miles.ok()) return miles.status();
+  auto pickup = util::ParseInt(row[3]);
+  if (!pickup.ok()) return pickup.status();
+  auto dropoff = util::ParseInt(row[4]);
+  if (!dropoff.ok()) return dropoff.status();
+
+  TripRecord trip;
+  trip.taxi_id = taxi.value();
+  trip.timestamp = ts.value();
+  trip.trip_miles = miles.value();
+  trip.pickup_zone = static_cast<std::int32_t>(pickup.value());
+  trip.dropoff_zone = static_cast<std::int32_t>(dropoff.value());
+  if (trip.trip_miles < 0.0) {
+    return Status::ParseError("negative trip miles");
+  }
+  return trip;
+}
+
+}  // namespace trace
+}  // namespace cdt

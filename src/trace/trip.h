@@ -1,0 +1,49 @@
+// Trip record schema for the (synthetic) Chicago-taxi-like trace the paper
+// evaluates on. Each entry mirrors the fields the paper names: taxi id,
+// timestamp, trip miles, and pick-up / drop-off locations.
+
+#ifndef CDT_TRACE_TRIP_H_
+#define CDT_TRACE_TRIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace trace {
+
+/// A geographic zone centroid (abstract city grid coordinates).
+struct ZoneLocation {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One taxi trip record.
+struct TripRecord {
+  std::int64_t taxi_id = 0;
+  /// Seconds since the start of the trace window.
+  std::int64_t timestamp = 0;
+  double trip_miles = 0.0;
+  /// Zone ids for pick-up and drop-off.
+  std::int32_t pickup_zone = 0;
+  std::int32_t dropoff_zone = 0;
+
+  bool operator==(const TripRecord& other) const = default;
+};
+
+/// CSV header used by the loader/saver.
+util::CsvRow TripCsvHeader();
+
+/// Serialises a trip into a CSV row matching TripCsvHeader().
+util::CsvRow TripToCsvRow(const TripRecord& trip);
+
+/// Parses a CSV row (validated field count and numeric content).
+util::Result<TripRecord> TripFromCsvRow(const util::CsvRow& row);
+
+}  // namespace trace
+}  // namespace cdt
+
+#endif  // CDT_TRACE_TRIP_H_

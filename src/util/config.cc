@@ -1,0 +1,101 @@
+#include "util/config.h"
+
+#include "util/string_util.h"
+
+namespace cdt {
+namespace util {
+
+namespace {
+Status ParseKeyValue(std::string_view token, ConfigMap* out) {
+  std::string_view body = token;
+  while (StartsWith(body, "-")) body.remove_prefix(1);
+  size_t eq = body.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::ParseError("expected key=value, got '" +
+                              std::string(token) + "'");
+  }
+  std::string key(Trim(body.substr(0, eq)));
+  std::string value(Trim(body.substr(eq + 1)));
+  if (key.empty()) {
+    return Status::ParseError("empty key in '" + std::string(token) + "'");
+  }
+  out->Set(key, value);
+  return Status::OK();
+}
+}  // namespace
+
+Result<ConfigMap> ConfigMap::FromArgs(int argc, const char* const* argv) {
+  ConfigMap config;
+  for (int i = 1; i < argc; ++i) {
+    CDT_RETURN_NOT_OK(ParseKeyValue(argv[i], &config));
+  }
+  return config;
+}
+
+Result<ConfigMap> ConfigMap::FromLines(const std::vector<std::string>& lines) {
+  ConfigMap config;
+  for (const std::string& raw : lines) {
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    CDT_RETURN_NOT_OK(ParseKeyValue(line, &config));
+  }
+  return config;
+}
+
+void ConfigMap::Set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+bool ConfigMap::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+Result<std::string> ConfigMap::GetString(const std::string& key,
+                                         const std::string& fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  return it->second;
+}
+
+Result<double> ConfigMap::GetDouble(const std::string& key,
+                                    double fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  Result<double> parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return Status::ParseError("option '" + key +
+                              "': " + parsed.status().message());
+  }
+  return parsed.value();
+}
+
+Result<long long> ConfigMap::GetInt(const std::string& key,
+                                    long long fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  Result<long long> parsed = ParseInt(it->second);
+  if (!parsed.ok()) {
+    return Status::ParseError("option '" + key +
+                              "': " + parsed.status().message());
+  }
+  return parsed.value();
+}
+
+Result<bool> ConfigMap::GetBool(const std::string& key, bool fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  std::string lowered = ToLower(it->second);
+  if (lowered == "true" || lowered == "1" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "false" || lowered == "0" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  return Status::ParseError("option '" + key + "': '" + it->second +
+                            "' is not a boolean");
+}
+
+}  // namespace util
+}  // namespace cdt

@@ -1,0 +1,52 @@
+// A key=value configuration map with typed getters, parsed from command-line
+// style "--key=value" arguments or config file lines. Used by the benchmark
+// harnesses and examples to override paper-default parameters.
+
+#ifndef CDT_UTIL_CONFIG_H_
+#define CDT_UTIL_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cdt {
+namespace util {
+
+/// String-keyed option map with typed accessors and defaults.
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  /// Parses "--key=value" / "key=value" tokens; unknown shapes are errors.
+  static Result<ConfigMap> FromArgs(int argc, const char* const* argv);
+
+  /// Parses "key=value" lines; '#' starts a comment, blank lines skipped.
+  static Result<ConfigMap> FromLines(const std::vector<std::string>& lines);
+
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters returning `fallback` when the key is absent. A present
+  /// but malformed value is a hard error surfaced via Result.
+  Result<std::string> GetString(const std::string& key,
+                                const std::string& fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<long long> GetInt(const std::string& key, long long fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace util
+}  // namespace cdt
+
+#endif  // CDT_UTIL_CONFIG_H_

@@ -1,0 +1,68 @@
+// Minimal leveled logger used across the CMAB-HS library.
+//
+// Logging is stream-based:
+//   CDT_LOG(INFO) << "selected " << k << " sellers";
+// Severity is filtered by a process-wide threshold settable at runtime, which
+// keeps benchmark harness output clean while letting tests crank verbosity.
+
+#ifndef CDT_UTIL_LOGGING_H_
+#define CDT_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cdt {
+namespace util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// One log statement; accumulates a message and emits it on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace util
+}  // namespace cdt
+
+#define CDT_LOG(severity)                                        \
+  ::cdt::util::LogMessage(::cdt::util::LogLevel::k##severity,    \
+                          __FILE__, __LINE__)
+
+/// CHECK-style invariant: aborts with a message when `cond` is false.
+#define CDT_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  CDT_LOG(Fatal) << "Check failed: " #cond " "
+
+#endif  // CDT_UTIL_LOGGING_H_

@@ -1,0 +1,53 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdt {
+namespace util {
+
+double Interval::Clamp(double x) const {
+  return std::min(hi, std::max(lo, x));
+}
+
+bool AlmostEqual(double a, double b, double tol) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+std::vector<double> SolveQuadratic(double a, double b, double c) {
+  std::vector<double> roots;
+  if (a == 0.0) {
+    if (b != 0.0) roots.push_back(-c / b);
+    return roots;
+  }
+  double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return roots;
+  double sq = std::sqrt(disc);
+  // Numerically stable form: compute the larger-magnitude root first.
+  double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+  double r1 = q / a;
+  roots.push_back(r1);
+  if (disc > 0.0) {
+    double r2 = (q != 0.0) ? c / q : (-b / a - r1);
+    roots.push_back(r2);
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+Result<std::vector<double>> Linspace(double lo, double hi, std::size_t count) {
+  if (count < 2) {
+    return Status::InvalidArgument("Linspace requires count >= 2");
+  }
+  std::vector<double> out(count);
+  double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;
+  return out;
+}
+
+}  // namespace util
+}  // namespace cdt

@@ -1,0 +1,59 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cdt {
+namespace util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CDT_CHECK(cells.size() == header_.size())
+      << "row width " << cells.size() << " != header width " << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddNumericRow(const std::vector<double>& cells,
+                                 int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  os << FormatCsvLine(header_) << '\n';
+  for (const auto& row : rows_) os << FormatCsvLine(row) << '\n';
+}
+
+}  // namespace util
+}  // namespace cdt

@@ -1,0 +1,124 @@
+#include "bandit/drift_environment.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace bandit {
+namespace {
+
+DriftConfig WalkConfig(double step = 0.01) {
+  DriftConfig drift;
+  drift.kind = DriftKind::kRandomWalk;
+  drift.step_stddev = step;
+  return drift;
+}
+
+TEST(DriftConfigTest, Validation) {
+  EXPECT_TRUE(WalkConfig().Validate().ok());
+  EXPECT_FALSE(WalkConfig(0.0).Validate().ok());
+
+  DriftConfig abrupt;
+  abrupt.kind = DriftKind::kAbrupt;
+  abrupt.period = 0;
+  EXPECT_FALSE(abrupt.Validate().ok());
+  abrupt.period = 100;
+  EXPECT_TRUE(abrupt.Validate().ok());
+
+  DriftConfig bad = WalkConfig();
+  bad.quality_lo = 0.8;
+  bad.quality_hi = 0.2;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(DriftingEnvironmentTest, CreateValidation) {
+  EXPECT_FALSE(
+      DriftingEnvironment::Create({}, 4, 0.1, WalkConfig(), 1).ok());
+  EXPECT_FALSE(
+      DriftingEnvironment::Create({0.5}, 0, 0.1, WalkConfig(), 1).ok());
+  EXPECT_FALSE(
+      DriftingEnvironment::Create({0.5}, 4, 0.0, WalkConfig(), 1).ok());
+  EXPECT_FALSE(
+      DriftingEnvironment::Create({1.5}, 4, 0.1, WalkConfig(), 1).ok());
+  EXPECT_TRUE(
+      DriftingEnvironment::Create({0.5, 0.7}, 4, 0.1, WalkConfig(), 1).ok());
+}
+
+TEST(DriftingEnvironmentTest, NoneKindIsStationary) {
+  DriftConfig drift;
+  drift.kind = DriftKind::kNone;
+  auto env = DriftingEnvironment::Create({0.3, 0.9}, 4, 0.1, drift, 7);
+  ASSERT_TRUE(env.ok());
+  for (int t = 0; t < 100; ++t) env.value().AdvanceRound();
+  EXPECT_DOUBLE_EQ(env.value().nominal_quality(0), 0.3);
+  EXPECT_DOUBLE_EQ(env.value().nominal_quality(1), 0.9);
+  EXPECT_EQ(env.value().round(), 100);
+}
+
+TEST(DriftingEnvironmentTest, RandomWalkStaysInSupport) {
+  auto env =
+      DriftingEnvironment::Create({0.01, 0.99, 0.5}, 4, 0.1,
+                                  WalkConfig(0.05), 3);
+  ASSERT_TRUE(env.ok());
+  for (int t = 0; t < 2000; ++t) {
+    env.value().AdvanceRound();
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(env.value().nominal_quality(i), 0.0);
+      EXPECT_LE(env.value().nominal_quality(i), 1.0);
+    }
+  }
+}
+
+TEST(DriftingEnvironmentTest, RandomWalkActuallyMoves) {
+  auto env = DriftingEnvironment::Create({0.5}, 4, 0.1, WalkConfig(0.02), 5);
+  ASSERT_TRUE(env.ok());
+  for (int t = 0; t < 500; ++t) env.value().AdvanceRound();
+  EXPECT_NE(env.value().nominal_quality(0), 0.5);
+}
+
+TEST(DriftingEnvironmentTest, AbruptChangesOnlyAtPeriod) {
+  DriftConfig drift;
+  drift.kind = DriftKind::kAbrupt;
+  drift.period = 10;
+  auto env =
+      DriftingEnvironment::Create({0.2, 0.4, 0.6}, 4, 0.1, drift, 11);
+  ASSERT_TRUE(env.ok());
+  std::vector<double> before{0.2, 0.4, 0.6};
+  for (int t = 1; t <= 9; ++t) {
+    env.value().AdvanceRound();
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(env.value().nominal_quality(i), before[i]) << t;
+    }
+  }
+  env.value().AdvanceRound();  // round 10: exactly one seller resamples
+  int changed = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (env.value().nominal_quality(i) != before[i]) ++changed;
+  }
+  EXPECT_LE(changed, 1);
+}
+
+TEST(DriftingEnvironmentTest, ObservationsInUnitInterval) {
+  auto env = DriftingEnvironment::Create({0.95}, 8, 0.3, WalkConfig(), 13);
+  ASSERT_TRUE(env.ok());
+  for (int t = 0; t < 200; ++t) {
+    for (double q : env.value().ObserveSeller(0)) {
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+    env.value().AdvanceRound();
+  }
+}
+
+TEST(DriftingEnvironmentTest, OracleTracksCurrentQualities) {
+  DriftConfig drift;
+  drift.kind = DriftKind::kNone;
+  auto env = DriftingEnvironment::Create({0.2, 0.9, 0.5}, 4, 0.05, drift, 1);
+  ASSERT_TRUE(env.ok());
+  double expected = env.value().effective_quality(1) +
+                    env.value().effective_quality(2);
+  EXPECT_NEAR(env.value().OracleTopK(2), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace bandit
+}  // namespace cdt

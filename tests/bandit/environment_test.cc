@@ -1,0 +1,113 @@
+#include "bandit/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+
+namespace cdt {
+namespace bandit {
+namespace {
+
+TEST(EnvironmentConfigTest, Validation) {
+  EnvironmentConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_sellers = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.num_pois = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.observation_stddev = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.quality_lo = 0.5;
+  config.quality_hi = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = {};
+  config.quality_hi = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(QualityEnvironmentTest, GeneratedQualitiesRespectRange) {
+  EnvironmentConfig config;
+  config.num_sellers = 100;
+  config.quality_lo = 0.2;
+  config.quality_hi = 0.8;
+  auto env = QualityEnvironment::Create(config);
+  ASSERT_TRUE(env.ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(env.value().nominal_quality(i), 0.2);
+    EXPECT_LE(env.value().nominal_quality(i), 0.8);
+  }
+}
+
+TEST(QualityEnvironmentTest, ObservationsWithinUnitInterval) {
+  auto env = QualityEnvironment::CreateWithQualities({0.1, 0.5, 0.95}, 8,
+                                                     0.2, 11);
+  ASSERT_TRUE(env.ok());
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      for (double q : env.value().ObserveSeller(i)) {
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 1.0);
+      }
+    }
+  }
+}
+
+TEST(QualityEnvironmentTest, ObservationCountIsL) {
+  auto env = QualityEnvironment::CreateWithQualities({0.5}, 10, 0.1, 1);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().ObserveSeller(0).size(), 10u);
+}
+
+TEST(QualityEnvironmentTest, EmpiricalMeanMatchesEffectiveQuality) {
+  auto env = QualityEnvironment::CreateWithQualities({0.9}, 10, 0.3, 5);
+  ASSERT_TRUE(env.ok());
+  stats::RunningSummary summary;
+  for (int i = 0; i < 5000; ++i) {
+    for (double q : env.value().ObserveSeller(0)) summary.Add(q);
+  }
+  EXPECT_NEAR(summary.mean(), env.value().effective_quality(0), 0.01);
+  // Truncation near the upper bound pulls the effective below nominal.
+  EXPECT_LT(env.value().effective_quality(0),
+            env.value().nominal_quality(0));
+}
+
+TEST(QualityEnvironmentTest, OptimalSetIsTopKByEffectiveQuality) {
+  auto env = QualityEnvironment::CreateWithQualities(
+      {0.3, 0.8, 0.5, 0.9, 0.1}, 4, 0.05, 2);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().OptimalSet(2), (std::vector<int>{3, 1}));
+  EXPECT_NEAR(env.value().OptimalSetQuality(2),
+              env.value().effective_quality(3) +
+                  env.value().effective_quality(1),
+              1e-12);
+}
+
+TEST(QualityEnvironmentTest, RejectsBadExplicitQualities) {
+  EXPECT_FALSE(
+      QualityEnvironment::CreateWithQualities({}, 4, 0.1, 1).ok());
+  EXPECT_FALSE(
+      QualityEnvironment::CreateWithQualities({1.2}, 4, 0.1, 1).ok());
+  EXPECT_FALSE(
+      QualityEnvironment::CreateWithQualities({0.5}, 0, 0.1, 1).ok());
+}
+
+TEST(QualityEnvironmentTest, SameSeedSameQualities) {
+  EnvironmentConfig config;
+  config.num_sellers = 20;
+  config.seed = 99;
+  auto a = QualityEnvironment::Create(config);
+  auto b = QualityEnvironment::Create(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.value().nominal_quality(i),
+                     b.value().nominal_quality(i));
+  }
+}
+
+}  // namespace
+}  // namespace bandit
+}  // namespace cdt

@@ -1,0 +1,82 @@
+#include "bandit/extension_policies.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bandit/environment.h"
+
+namespace cdt {
+namespace bandit {
+namespace {
+
+template <typename Policy>
+double RunPolicyMeanQuality(Policy& policy, QualityEnvironment& env,
+                            int rounds) {
+  double total = 0.0;
+  std::int64_t picks = 0;
+  for (int t = 1; t <= rounds; ++t) {
+    auto selected = policy.SelectRound(t);
+    EXPECT_TRUE(selected.ok());
+    std::vector<std::vector<double>> obs;
+    for (int i : selected.value()) {
+      obs.push_back(env.ObserveSeller(i));
+      total += env.effective_quality(i);
+      ++picks;
+    }
+    EXPECT_TRUE(policy.Observe(selected.value(), obs).ok());
+  }
+  return total / static_cast<double>(picks);
+}
+
+TEST(EpsilonGreedyPolicyTest, Validation) {
+  EXPECT_FALSE(EpsilonGreedyPolicy::Create(0, 1, 0.1, 1).ok());
+  EXPECT_FALSE(EpsilonGreedyPolicy::Create(5, 6, 0.1, 1).ok());
+  EXPECT_FALSE(EpsilonGreedyPolicy::Create(5, 1, 0.0, 1).ok());
+  EXPECT_FALSE(EpsilonGreedyPolicy::Create(5, 1, 1.0, 1).ok());
+  auto ok = EpsilonGreedyPolicy::Create(5, 1, 0.2, 1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().name(), "0.2-greedy");
+}
+
+TEST(EpsilonGreedyPolicyTest, BeatsUniformOnEasyInstance) {
+  auto env = QualityEnvironment::CreateWithQualities(
+      {0.9, 0.7, 0.3, 0.2, 0.1}, 5, 0.05, 21);
+  ASSERT_TRUE(env.ok());
+  auto policy = EpsilonGreedyPolicy::Create(5, 1, 0.1, 3);
+  ASSERT_TRUE(policy.ok());
+  double mean_quality =
+      RunPolicyMeanQuality(policy.value(), env.value(), 400);
+  // Uniform selection would average ~0.44; exploitation should beat it.
+  EXPECT_GT(mean_quality, 0.6);
+}
+
+TEST(ThompsonPolicyTest, Validation) {
+  EXPECT_FALSE(ThompsonPolicy::Create(0, 1, 1).ok());
+  EXPECT_FALSE(ThompsonPolicy::Create(3, 4, 1).ok());
+  EXPECT_TRUE(ThompsonPolicy::Create(3, 2, 1).ok());
+}
+
+TEST(ThompsonPolicyTest, SelectsKDistinct) {
+  auto policy = ThompsonPolicy::Create(8, 3, 5);
+  ASSERT_TRUE(policy.ok());
+  auto selected = policy.value().SelectRound(1);
+  ASSERT_TRUE(selected.ok());
+  std::set<int> unique(selected.value().begin(), selected.value().end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(ThompsonPolicyTest, ConvergesOnEasyInstance) {
+  auto env = QualityEnvironment::CreateWithQualities(
+      {0.95, 0.6, 0.3, 0.15, 0.05}, 5, 0.05, 29);
+  ASSERT_TRUE(env.ok());
+  auto policy = ThompsonPolicy::Create(5, 1, 13);
+  ASSERT_TRUE(policy.ok());
+  double mean_quality =
+      RunPolicyMeanQuality(policy.value(), env.value(), 500);
+  EXPECT_GT(mean_quality, 0.7);
+}
+
+}  // namespace
+}  // namespace bandit
+}  // namespace cdt

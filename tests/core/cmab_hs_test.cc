@@ -1,0 +1,113 @@
+#include "core/cmab_hs.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace core {
+namespace {
+
+MechanismConfig SmallConfig(std::int64_t rounds = 50) {
+  MechanismConfig config;
+  config.num_sellers = 15;
+  config.num_selected = 3;
+  config.num_pois = 4;
+  config.num_rounds = rounds;
+  config.seed = 11;
+  return config;
+}
+
+TEST(PolicySpecTest, Names) {
+  EXPECT_EQ((PolicySpec{PolicyKind::kCmabHs, 0.0}).Name(), "cmab-hs");
+  EXPECT_EQ((PolicySpec{PolicyKind::kOptimal, 0.0}).Name(), "optimal");
+  EXPECT_EQ((PolicySpec{PolicyKind::kEpsilonFirst, 0.1}).Name(),
+            "0.1-first");
+  EXPECT_EQ((PolicySpec{PolicyKind::kRandom, 0.0}).Name(), "random");
+  EXPECT_EQ((PolicySpec{PolicyKind::kEpsilonGreedy, 0.2}).Name(),
+            "0.2-greedy");
+  EXPECT_EQ((PolicySpec{PolicyKind::kThompson, 0.0}).Name(), "thompson");
+}
+
+TEST(CmabHsTest, CreateRejectsInvalidConfig) {
+  MechanismConfig config = SmallConfig();
+  config.num_selected = 0;
+  EXPECT_FALSE(CmabHs::Create(config).ok());
+}
+
+TEST(CmabHsTest, RunsAllRoundsAndCollectsMetrics) {
+  auto run = CmabHs::Create(SmallConfig());
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run.value()->RunAll().ok());
+  EXPECT_EQ(run.value()->metrics().rounds(), 50);
+  EXPECT_GT(run.value()->metrics().expected_revenue(), 0.0);
+  EXPECT_GE(run.value()->metrics().regret(), -1e-9);
+}
+
+TEST(CmabHsTest, CallbackSeesEveryRound) {
+  auto run = CmabHs::Create(SmallConfig(10));
+  ASSERT_TRUE(run.ok());
+  int calls = 0;
+  ASSERT_TRUE(run.value()
+                  ->RunAll([&](const market::RoundReport& report) {
+                    ++calls;
+                    EXPECT_EQ(report.round, calls);
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(CmabHsTest, EveryPolicyKindRuns) {
+  for (PolicyKind kind :
+       {PolicyKind::kCmabHs, PolicyKind::kOptimal, PolicyKind::kEpsilonFirst,
+        PolicyKind::kRandom, PolicyKind::kEpsilonGreedy,
+        PolicyKind::kThompson}) {
+    auto run = CmabHs::Create(SmallConfig(20), {kind, 0.2});
+    ASSERT_TRUE(run.ok()) << static_cast<int>(kind);
+    EXPECT_TRUE(run.value()->RunAll().ok()) << static_cast<int>(kind);
+    EXPECT_EQ(run.value()->metrics().rounds(), 20);
+  }
+}
+
+TEST(CmabHsTest, OptimalPolicyHasZeroRegret) {
+  auto run = CmabHs::Create(SmallConfig(100), {PolicyKind::kOptimal, 0.0});
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run.value()->RunAll().ok());
+  EXPECT_NEAR(run.value()->metrics().regret(), 0.0, 1e-6);
+}
+
+TEST(CmabHsTest, CmabHsBeatsRandomOnRegret) {
+  MechanismConfig config = SmallConfig(400);
+  auto cmab = CmabHs::Create(config, {PolicyKind::kCmabHs, 0.0});
+  auto random = CmabHs::Create(config, {PolicyKind::kRandom, 0.0});
+  ASSERT_TRUE(cmab.ok());
+  ASSERT_TRUE(random.ok());
+  ASSERT_TRUE(cmab.value()->RunAll().ok());
+  ASSERT_TRUE(random.value()->RunAll().ok());
+  EXPECT_LT(cmab.value()->metrics().regret(),
+            random.value()->metrics().regret());
+}
+
+TEST(CmabHsTest, DeterministicForSeed) {
+  auto a = CmabHs::Create(SmallConfig(30));
+  auto b = CmabHs::Create(SmallConfig(30));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a.value()->RunAll().ok());
+  ASSERT_TRUE(b.value()->RunAll().ok());
+  EXPECT_DOUBLE_EQ(a.value()->metrics().expected_revenue(),
+                   b.value()->metrics().expected_revenue());
+  EXPECT_DOUBLE_EQ(a.value()->metrics().consumer_profit().mean(),
+                   b.value()->metrics().consumer_profit().mean());
+}
+
+TEST(CmabHsTest, CheckpointsPropagate) {
+  auto run = CmabHs::Create(SmallConfig(20), {PolicyKind::kCmabHs, 0.0},
+                            {5, 10, 20});
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run.value()->RunAll().ok());
+  ASSERT_EQ(run.value()->metrics().checkpoints().size(), 3u);
+  EXPECT_EQ(run.value()->metrics().checkpoints()[2].round, 20);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cdt

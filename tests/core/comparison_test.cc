@@ -1,0 +1,104 @@
+#include "core/comparison.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace core {
+namespace {
+
+MechanismConfig SmallConfig(std::int64_t rounds = 300) {
+  MechanismConfig config;
+  config.num_sellers = 20;
+  config.num_selected = 4;
+  config.num_pois = 5;
+  config.num_rounds = rounds;
+  config.seed = 9;
+  return config;
+}
+
+TEST(RunComparisonTest, RunsDefaultAlgorithmSet) {
+  ComparisonOptions options;
+  auto result = RunComparison(SmallConfig(), options);
+  ASSERT_TRUE(result.ok());
+  // optimal + cmab-hs + 0.1-first + 0.5-first + random
+  ASSERT_EQ(result.value().algorithms.size(), 5u);
+  EXPECT_EQ(result.value().algorithms[0].name, "optimal");
+  EXPECT_EQ(result.value().algorithms[1].name, "cmab-hs");
+}
+
+TEST(RunComparisonTest, OptimalDominatesAndRegretOrdering) {
+  auto result = RunComparison(SmallConfig(), {});
+  ASSERT_TRUE(result.ok());
+  const auto& algos = result.value().algorithms;
+  double optimal_revenue = algos[0].expected_revenue;
+  double cmab_regret = 0.0, random_regret = 0.0;
+  for (const auto& algo : algos) {
+    EXPECT_LE(algo.expected_revenue, optimal_revenue + 1e-6) << algo.name;
+    EXPECT_GE(algo.regret, -1e-6) << algo.name;
+    if (algo.name == "cmab-hs") cmab_regret = algo.regret;
+    if (algo.name == "random") random_regret = algo.regret;
+  }
+  EXPECT_LT(cmab_regret, random_regret);
+}
+
+TEST(RunComparisonTest, DeltaMetricsZeroForOptimalPositiveForOthers) {
+  auto result = RunComparison(SmallConfig(), {});
+  ASSERT_TRUE(result.ok());
+  const auto& algos = result.value().algorithms;
+  EXPECT_DOUBLE_EQ(algos[0].delta_consumer, 0.0);
+  for (std::size_t i = 1; i < algos.size(); ++i) {
+    EXPECT_GE(algos[i].delta_consumer, 0.0);
+    EXPECT_GE(algos[i].delta_platform, 0.0);
+    EXPECT_GE(algos[i].delta_seller, 0.0);
+  }
+}
+
+TEST(RunComparisonTest, GapsAndBoundArePopulated) {
+  auto result = RunComparison(SmallConfig(), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().gaps.delta_min, 0.0);
+  EXPECT_GT(result.value().gaps.delta_max,
+            result.value().gaps.delta_min - 1e-12);
+  EXPECT_TRUE(std::isfinite(result.value().theorem19_bound));
+  EXPECT_GT(result.value().theorem19_bound, 0.0);
+}
+
+TEST(RunComparisonTest, RegretBelowTheorem19Bound) {
+  auto result = RunComparison(SmallConfig(500), {});
+  ASSERT_TRUE(result.ok());
+  for (const auto& algo : result.value().algorithms) {
+    if (algo.name == "cmab-hs") {
+      EXPECT_LT(algo.regret, result.value().theorem19_bound);
+    }
+  }
+}
+
+TEST(RunComparisonTest, CheckpointsFlowThrough) {
+  ComparisonOptions options;
+  options.checkpoints = {100, 200, 300};
+  auto result = RunComparison(SmallConfig(300), options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& algo : result.value().algorithms) {
+    ASSERT_EQ(algo.checkpoints.size(), 3u) << algo.name;
+    EXPECT_EQ(algo.checkpoints[0].round, 100);
+    // Cumulative revenue is non-decreasing across checkpoints.
+    EXPECT_LE(algo.checkpoints[0].expected_revenue,
+              algo.checkpoints[2].expected_revenue);
+  }
+}
+
+TEST(RunComparisonTest, DeltasCanBeDisabled) {
+  ComparisonOptions options;
+  options.compute_deltas = false;
+  auto result = RunComparison(SmallConfig(100), options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& algo : result.value().algorithms) {
+    EXPECT_DOUBLE_EQ(algo.delta_consumer, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cdt

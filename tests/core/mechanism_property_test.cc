@@ -1,0 +1,139 @@
+// Cross-module property tests: invariants that must hold for every
+// mechanism configuration, swept over (M, K) shapes and seeds.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/cmab_hs.h"
+#include "core/comparison.h"
+
+namespace cdt {
+namespace core {
+namespace {
+
+struct Shape {
+  int m;
+  int k;
+  std::uint64_t seed;
+};
+
+class MechanismPropertyTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MechanismPropertyTest, PerRoundInvariantsHold) {
+  const Shape& shape = GetParam();
+  MechanismConfig config;
+  config.num_sellers = shape.m;
+  config.num_selected = shape.k;
+  config.num_pois = 4;
+  config.num_rounds = 60;
+  config.seed = shape.seed;
+  auto run = CmabHs::Create(config);
+  ASSERT_TRUE(run.ok());
+
+  util::Status status =
+      run.value()->RunAll([&](const market::RoundReport& report) {
+        // Selection shape: all M in round 1 (initial exploration), K after.
+        // With K == M the round-1 selection equals K and is indistinct
+        // from a regular round, so the exploration flag stays false.
+        if (report.round == 1) {
+          EXPECT_EQ(report.initial_exploration, shape.m > shape.k);
+          EXPECT_EQ(report.selected.size(),
+                    static_cast<std::size_t>(shape.m));
+        } else {
+          EXPECT_EQ(report.selected.size(),
+                    static_cast<std::size_t>(shape.k));
+        }
+        // Distinct sellers, in range.
+        std::set<int> unique(report.selected.begin(), report.selected.end());
+        EXPECT_EQ(unique.size(), report.selected.size());
+        for (int i : report.selected) {
+          EXPECT_GE(i, 0);
+          EXPECT_LT(i, shape.m);
+        }
+        // Prices inside their boxes.
+        EXPECT_GE(report.consumer_price, config.consumer_price_min - 1e-12);
+        EXPECT_LE(report.consumer_price, config.consumer_price_max + 1e-12);
+        EXPECT_GE(report.collection_price,
+                  config.collection_price_min - 1e-12);
+        EXPECT_LE(report.collection_price,
+                  config.collection_price_max + 1e-12);
+        // Times in [0, T] and consistent totals.
+        double total = 0.0;
+        for (double tau : report.tau) {
+          EXPECT_GE(tau, 0.0);
+          EXPECT_LE(tau, config.round_duration + 1e-9);
+          total += tau;
+        }
+        EXPECT_NEAR(total, report.total_time, 1e-9);
+        // Profits finite; game qualities in (0, 1].
+        EXPECT_TRUE(std::isfinite(report.consumer_profit));
+        EXPECT_TRUE(std::isfinite(report.platform_profit));
+        EXPECT_TRUE(std::isfinite(report.seller_profit_total));
+        for (double q : report.game_qualities) {
+          EXPECT_GT(q, 0.0);
+          EXPECT_LE(q, 1.0);
+        }
+        // Seller participation is individually rational at the interior
+        // best response (profit >= 0 up to noise).
+        for (double psi : report.seller_profits) {
+          EXPECT_GE(psi, -1e-9);
+        }
+        // Revenue accounting: L * K qualities max.
+        EXPECT_GE(report.expected_quality_revenue, 0.0);
+        EXPECT_LE(report.expected_quality_revenue,
+                  static_cast<double>(config.num_pois) *
+                      static_cast<double>(report.selected.size()) + 1e-9);
+      });
+  ASSERT_TRUE(status.ok());
+
+  // Whole-run accounting.
+  const market::Ledger& ledger = run.value()->engine().ledger();
+  EXPECT_NEAR(ledger.NetPosition(), 0.0, 1e-6);
+  EXPECT_GE(run.value()->metrics().regret(), -1e-6);
+  EXPECT_GT(run.value()->metrics().expected_revenue(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MechanismPropertyTest,
+    ::testing::Values(Shape{5, 1, 1}, Shape{5, 5, 2}, Shape{12, 3, 3},
+                      Shape{12, 11, 4}, Shape{30, 10, 5}, Shape{30, 29, 6},
+                      Shape{50, 2, 7}, Shape{2, 1, 8}, Shape{1, 1, 9}));
+
+class ComparisonPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComparisonPropertyTest, OracleDominatesEveryAlgorithm) {
+  MechanismConfig config;
+  config.num_sellers = 15;
+  config.num_selected = 4;
+  config.num_pois = 4;
+  config.num_rounds = 250;
+  config.seed = GetParam();
+  ComparisonOptions options;
+  options.compute_deltas = false;
+  auto result = RunComparison(config, options);
+  ASSERT_TRUE(result.ok());
+  const auto& algos = result.value().algorithms;
+  ASSERT_FALSE(algos.empty());
+  ASSERT_EQ(algos[0].name, "optimal");
+  EXPECT_NEAR(algos[0].regret, 0.0, 1e-6);
+  for (std::size_t i = 1; i < algos.size(); ++i) {
+    EXPECT_LE(algos[i].expected_revenue,
+              algos[0].expected_revenue + 1e-6)
+        << algos[i].name;
+    EXPECT_GE(algos[i].regret, -1e-6) << algos[i].name;
+    // Regret + revenue must add to the oracle total (accounting identity).
+    EXPECT_NEAR(algos[i].regret + algos[i].expected_revenue,
+                algos[0].expected_revenue, 1e-6)
+        << algos[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparisonPropertyTest,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
+}  // namespace
+}  // namespace core
+}  // namespace cdt

@@ -1,0 +1,87 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace core {
+namespace {
+
+market::RoundReport MakeReport(std::int64_t round, std::vector<int> selected,
+                               double poc, double pop, double pos) {
+  market::RoundReport report;
+  report.round = round;
+  report.selected = std::move(selected);
+  report.consumer_profit = poc;
+  report.platform_profit = pop;
+  report.seller_profit_total = pos;
+  report.expected_quality_revenue = 0.0;
+  report.observed_quality_revenue = 1.0;
+  return report;
+}
+
+TEST(MetricsCollectorTest, CreateValidation) {
+  EXPECT_FALSE(MetricsCollector::Create({}, 1, 2).ok());
+  EXPECT_FALSE(MetricsCollector::Create({0.5, 0.6}, 1, 2, {5, 5}).ok());
+  EXPECT_FALSE(MetricsCollector::Create({0.5, 0.6}, 1, 2, {5, 3}).ok());
+  EXPECT_TRUE(MetricsCollector::Create({0.5, 0.6}, 1, 2, {3, 5}).ok());
+}
+
+TEST(MetricsCollectorTest, AccumulatesProfitsAndRegret) {
+  auto collector = MetricsCollector::Create({0.9, 0.5}, 1, 2);
+  ASSERT_TRUE(collector.ok());
+  // Optimal pick (seller 0), then suboptimal (seller 1).
+  ASSERT_TRUE(
+      collector.value().Record(MakeReport(1, {0}, 10.0, 5.0, 2.0)).ok());
+  ASSERT_TRUE(
+      collector.value().Record(MakeReport(2, {1}, 8.0, 4.0, 1.0)).ok());
+  EXPECT_EQ(collector.value().rounds(), 2);
+  EXPECT_NEAR(collector.value().expected_revenue(), 2 * 0.9 + 2 * 0.5,
+              1e-12);
+  EXPECT_NEAR(collector.value().regret(), 2 * 0.9 * 2 - (1.8 + 1.0), 1e-12);
+  EXPECT_NEAR(collector.value().consumer_profit().mean(), 9.0, 1e-12);
+  EXPECT_NEAR(collector.value().platform_profit().mean(), 4.5, 1e-12);
+  EXPECT_NEAR(collector.value().seller_profit_total().mean(), 1.5, 1e-12);
+  EXPECT_NEAR(collector.value().observed_revenue(), 2.0, 1e-12);
+}
+
+TEST(MetricsCollectorTest, PerSellerMeanDividesBySelectionSize) {
+  auto collector = MetricsCollector::Create({0.9, 0.5, 0.1}, 2, 2);
+  ASSERT_TRUE(collector.ok());
+  ASSERT_TRUE(
+      collector.value().Record(MakeReport(1, {0, 1}, 0, 0, 6.0)).ok());
+  EXPECT_NEAR(collector.value().seller_profit_each().mean(), 3.0, 1e-12);
+}
+
+TEST(MetricsCollectorTest, CheckpointsFireAtRequestedRounds) {
+  auto collector = MetricsCollector::Create({0.9, 0.5}, 1, 2, {2, 4});
+  ASSERT_TRUE(collector.ok());
+  for (std::int64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(
+        collector.value().Record(MakeReport(t, {0}, 1.0, 1.0, 1.0)).ok());
+  }
+  ASSERT_EQ(collector.value().checkpoints().size(), 2u);
+  EXPECT_EQ(collector.value().checkpoints()[0].round, 2);
+  EXPECT_EQ(collector.value().checkpoints()[1].round, 4);
+  EXPECT_NEAR(collector.value().checkpoints()[1].expected_revenue,
+              4 * 2 * 0.9, 1e-12);
+}
+
+TEST(MetricsCollectorTest, TrajectoriesKeptOnlyWhenEnabled) {
+  auto collector = MetricsCollector::Create({0.9}, 1, 1);
+  ASSERT_TRUE(collector.ok());
+  ASSERT_TRUE(
+      collector.value().Record(MakeReport(1, {0}, 1.0, 2.0, 3.0)).ok());
+  EXPECT_TRUE(collector.value().consumer_trajectory().empty());
+
+  collector.value().set_keep_trajectories(true);
+  ASSERT_TRUE(
+      collector.value().Record(MakeReport(2, {0}, 4.0, 5.0, 6.0)).ok());
+  ASSERT_EQ(collector.value().consumer_trajectory().size(), 1u);
+  EXPECT_DOUBLE_EQ(collector.value().consumer_trajectory()[0], 4.0);
+  EXPECT_DOUBLE_EQ(collector.value().platform_trajectory()[0], 5.0);
+  EXPECT_DOUBLE_EQ(collector.value().seller_trajectory()[0], 6.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cdt

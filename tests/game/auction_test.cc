@@ -1,0 +1,132 @@
+#include "game/auction.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace cdt {
+namespace game {
+namespace {
+
+AuctionConfig MakeConfig(int m = 6, int k = 2, std::uint64_t seed = 1) {
+  stats::Xoshiro256 rng(seed);
+  AuctionConfig config;
+  for (int i = 0; i < m; ++i) {
+    config.sellers.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+    config.qualities.push_back(rng.NextDouble(0.1, 1.0));
+  }
+  config.num_winners = k;
+  config.platform = {0.1, 1.0};
+  config.valuation = {1000.0};
+  return config;
+}
+
+TEST(AuctionConfigTest, Validation) {
+  AuctionConfig config = MakeConfig();
+  EXPECT_TRUE(config.Validate().ok());
+
+  AuctionConfig bad = config;
+  bad.num_winners = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.num_winners = 6;  // == M: no rejected ask to price from
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.reference_time = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.platform_margin = -0.1;
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.qualities[0] = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(AuctionTest, SelectsCheapestQualityAdjustedAsks) {
+  AuctionConfig config;
+  config.sellers = {{0.5, 1.0}, {0.1, 0.1}, {0.3, 0.5}, {0.2, 0.2}};
+  config.qualities = {0.9, 0.5, 0.7, 0.3};
+  config.num_winners = 2;
+  config.platform = {0.1, 1.0};
+  config.valuation = {1000.0};
+  // Asks at τ̂=1: 1.5, 0.2, 0.8, 0.4 -> winners {1, 3}, clearing 0.8.
+  auto outcome = RunProcurementAuction(config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().winners, (std::vector<int>{1, 3}));
+  EXPECT_NEAR(outcome.value().clearing_price, 0.8, 1e-12);
+}
+
+TEST(AuctionTest, CriticalPaymentIsTruthful) {
+  // Each winner's own ask is below the clearing price; each loser's ask is
+  // at or above it — no bidder gains by misreporting around the boundary.
+  auto config = MakeConfig(10, 4, 3);
+  auto outcome = RunProcurementAuction(config);
+  ASSERT_TRUE(outcome.ok());
+  for (int w : outcome.value().winners) {
+    EXPECT_LE(QualityAdjustedAsk(config.sellers[static_cast<std::size_t>(w)],
+                                 config.reference_time),
+              outcome.value().clearing_price + 1e-12);
+  }
+  std::vector<bool> is_winner(config.sellers.size(), false);
+  for (int w : outcome.value().winners) {
+    is_winner[static_cast<std::size_t>(w)] = true;
+  }
+  for (std::size_t i = 0; i < config.sellers.size(); ++i) {
+    if (!is_winner[i]) {
+      EXPECT_GE(QualityAdjustedAsk(config.sellers[i], config.reference_time),
+                outcome.value().clearing_price - 1e-12);
+    }
+  }
+}
+
+TEST(AuctionTest, WinnersNeverLoseMoney) {
+  // Individual rationality: paid at/above own unit cost at the chosen τ.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto outcome = RunProcurementAuction(MakeConfig(12, 5, seed));
+    ASSERT_TRUE(outcome.ok());
+    for (double psi : outcome.value().winner_profits) {
+      EXPECT_GE(psi, -1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AuctionTest, PlatformEarnsConfiguredMargin) {
+  auto config = MakeConfig(8, 3, 7);
+  config.platform_margin = 0.25;
+  auto outcome = RunProcurementAuction(config);
+  ASSERT_TRUE(outcome.ok());
+  // Ω = reward − cost = margin · cost, so Ω / (reward − Ω) = margin.
+  double reward =
+      outcome.value().consumer_price * outcome.value().total_time;
+  double cost = reward - outcome.value().platform_profit;
+  EXPECT_NEAR(outcome.value().platform_profit / cost, 0.25, 1e-9);
+}
+
+TEST(AuctionTest, TauRespectsCap) {
+  auto config = MakeConfig(8, 3, 11);
+  config.max_sensing_time = 0.05;
+  auto outcome = RunProcurementAuction(config);
+  ASSERT_TRUE(outcome.ok());
+  for (double tau : outcome.value().tau) {
+    EXPECT_GE(tau, 0.0);
+    EXPECT_LE(tau, 0.05);
+  }
+}
+
+TEST(AuctionTest, DeterministicGivenConfig) {
+  auto a = RunProcurementAuction(MakeConfig(10, 4, 5));
+  auto b = RunProcurementAuction(MakeConfig(10, 4, 5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().winners, b.value().winners);
+  EXPECT_DOUBLE_EQ(a.value().consumer_profit, b.value().consumer_profit);
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

@@ -1,0 +1,68 @@
+#include "game/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace game {
+namespace {
+
+TEST(SellerCostTest, Validation) {
+  SellerCostParams p{0.3, 0.5};
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_FALSE((SellerCostParams{0.0, 0.5}).Validate().ok());
+  EXPECT_FALSE((SellerCostParams{-0.1, 0.5}).Validate().ok());
+  EXPECT_FALSE((SellerCostParams{0.3, -0.1}).Validate().ok());
+  EXPECT_TRUE((SellerCostParams{0.3, 0.0}).Validate().ok());
+}
+
+TEST(SellerCostTest, MatchesEq6) {
+  SellerCostParams p{0.2, 0.4};
+  // (a τ² + b τ) q̄ = (0.2·9 + 0.4·3)·0.5 = (1.8 + 1.2)·0.5 = 1.5
+  EXPECT_NEAR(SellerCost(p, 3.0, 0.5), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(SellerCost(p, 0.0, 0.5), 0.0);
+}
+
+TEST(SellerCostTest, StrictlyConvexIncreasing) {
+  SellerCostParams p{0.3, 0.1};
+  double prev = 0.0, prev_delta = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    double c = SellerCost(p, 0.5 * i, 0.8);
+    double delta = c - prev;
+    EXPECT_GT(c, prev);
+    if (i > 1) {
+      EXPECT_GT(delta, prev_delta);  // increasing marginal cost
+    }
+    prev = c;
+    prev_delta = delta;
+  }
+}
+
+TEST(SellerCostTest, MarginalIsDerivative) {
+  SellerCostParams p{0.25, 0.7};
+  double tau = 2.0, q = 0.6, h = 1e-6;
+  double fd =
+      (SellerCost(p, tau + h, q) - SellerCost(p, tau - h, q)) / (2 * h);
+  EXPECT_NEAR(SellerMarginalCost(p, tau, q), fd, 1e-6);
+}
+
+TEST(SellerCostTest, ScalesWithQuality) {
+  SellerCostParams p{0.2, 0.4};
+  EXPECT_NEAR(SellerCost(p, 2.0, 1.0), 2.0 * SellerCost(p, 2.0, 0.5), 1e-12);
+}
+
+TEST(PlatformCostTest, Validation) {
+  EXPECT_TRUE((PlatformCostParams{0.1, 1.0}).Validate().ok());
+  EXPECT_FALSE((PlatformCostParams{0.0, 1.0}).Validate().ok());
+  EXPECT_FALSE((PlatformCostParams{0.1, -1.0}).Validate().ok());
+}
+
+TEST(PlatformCostTest, MatchesEq8) {
+  PlatformCostParams p{0.1, 1.0};
+  // θ(Στ)² + λΣτ = 0.1·25 + 5 = 7.5
+  EXPECT_NEAR(PlatformCost(p, 5.0), 7.5, 1e-12);
+  EXPECT_DOUBLE_EQ(PlatformCost(p, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

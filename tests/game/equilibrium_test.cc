@@ -1,0 +1,123 @@
+#include "game/equilibrium.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace cdt {
+namespace game {
+namespace {
+
+GameConfig RandomConfig(int k, std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  GameConfig config;
+  for (int i = 0; i < k; ++i) {
+    config.sellers.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+    config.qualities.push_back(rng.NextDouble(0.05, 1.0));
+  }
+  config.platform = {rng.NextDouble(0.05, 1.0), rng.NextDouble(0.5, 2.0)};
+  config.valuation = {rng.NextDouble(600.0, 1400.0)};
+  config.consumer_price_bounds = {0.01, 500.0};
+  config.collection_price_bounds = {0.01, 100.0};
+  return config;
+}
+
+TEST(EquilibriumTest, SolvedProfileIsEquilibrium) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto solver = StackelbergSolver::Create(RandomConfig(10, seed));
+    ASSERT_TRUE(solver.ok());
+    StrategyProfile profile = solver.value().Solve();
+    auto report = CheckEquilibrium(solver.value(), profile);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().is_equilibrium)
+        << "seed " << seed << " worst deviator "
+        << report.value().worst_deviator << " gain "
+        << report.value().max_violation;
+  }
+}
+
+TEST(EquilibriumTest, PerturbedConsumerPriceIsNotEquilibrium) {
+  auto solver = StackelbergSolver::Create(RandomConfig(10, 3));
+  ASSERT_TRUE(solver.ok());
+  StrategyProfile eq = solver.value().Solve();
+  // Move the consumer off its optimum with followers re-solving.
+  double bad_pj = eq.consumer_price * 2.0;
+  double p = solver.value().PlatformBestPrice(bad_pj);
+  StrategyProfile deviated = solver.value().EvaluateProfile(
+      bad_pj, p, solver.value().SellerBestTimes(p));
+  auto report = CheckEquilibrium(solver.value(), deviated);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().is_equilibrium);
+  EXPECT_EQ(report.value().worst_deviator, "consumer");
+}
+
+TEST(EquilibriumTest, PerturbedSellerTimeIsNotEquilibrium) {
+  auto solver = StackelbergSolver::Create(RandomConfig(5, 4));
+  ASSERT_TRUE(solver.ok());
+  StrategyProfile eq = solver.value().Solve();
+  std::vector<double> tau = eq.tau;
+  tau[2] *= 3.0;  // seller 2 overworks
+  StrategyProfile deviated = solver.value().EvaluateProfile(
+      eq.consumer_price, eq.collection_price, tau);
+  auto report = CheckEquilibrium(solver.value(), deviated);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().is_equilibrium);
+  EXPECT_EQ(report.value().worst_deviator, "seller2");
+}
+
+TEST(EquilibriumTest, HoldsWhenConsumerPriceClampedAtBox) {
+  // Case 2 of Theorem 20: p^{J*} projected onto the box boundary is still
+  // an equilibrium *within the box*.
+  GameConfig config = RandomConfig(10, 5);
+  auto wide = StackelbergSolver::Create(config);
+  ASSERT_TRUE(wide.ok());
+  double interior = wide.value().ConsumerBestPrice();
+
+  config.consumer_price_bounds = {0.01, interior * 0.6};
+  auto solver = StackelbergSolver::Create(config);
+  ASSERT_TRUE(solver.ok());
+  StrategyProfile profile = solver.value().Solve();
+  EXPECT_DOUBLE_EQ(profile.consumer_price, interior * 0.6);
+  auto report = CheckEquilibrium(solver.value(), profile);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().is_equilibrium)
+      << report.value().worst_deviator;
+}
+
+TEST(EquilibriumTest, OptionsValidation) {
+  auto solver = StackelbergSolver::Create(RandomConfig(3, 6));
+  ASSERT_TRUE(solver.ok());
+  StrategyProfile profile = solver.value().Solve();
+  EquilibriumCheckOptions options;
+  options.probes = 1;
+  EXPECT_FALSE(CheckEquilibrium(solver.value(), profile, options).ok());
+
+  StrategyProfile wrong_size = profile;
+  wrong_size.tau.pop_back();
+  EXPECT_FALSE(CheckEquilibrium(solver.value(), wrong_size).ok());
+}
+
+// Equilibrium property over many random instances (the Theorem-20 claim).
+class EquilibriumPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquilibriumPropertyTest, SolveAlwaysYieldsEquilibrium) {
+  stats::Xoshiro256 rng(GetParam());
+  int k = 1 + static_cast<int>(rng.NextBounded(30));
+  auto solver = StackelbergSolver::Create(RandomConfig(k, rng.Next()));
+  ASSERT_TRUE(solver.ok());
+  StrategyProfile profile = solver.value().Solve();
+  auto report = CheckEquilibrium(solver.value(), profile);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().is_equilibrium)
+      << "K=" << k << " worst=" << report.value().worst_deviator
+      << " gain=" << report.value().max_violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EquilibriumPropertyTest,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

@@ -1,0 +1,67 @@
+#include "game/numeric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace game {
+namespace {
+
+TEST(MaximizeOnIntervalTest, Validation) {
+  auto f = [](double x) { return -x * x; };
+  EXPECT_FALSE(MaximizeOnInterval(f, {1.0, 0.0}).ok());
+  EXPECT_FALSE(MaximizeOnInterval(f, {0.0, 1.0}, 2).ok());
+}
+
+TEST(MaximizeOnIntervalTest, DegenerateIntervalReturnsPoint) {
+  auto f = [](double x) { return 3.0 * x; };
+  auto r = MaximizeOnInterval(f, {2.0, 2.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().argmax, 2.0);
+  EXPECT_DOUBLE_EQ(r.value().max_value, 6.0);
+}
+
+TEST(MaximizeOnIntervalTest, FindsInteriorPeak) {
+  auto f = [](double x) { return -(x - 3.7) * (x - 3.7) + 2.0; };
+  auto r = MaximizeOnInterval(f, {0.0, 10.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().argmax, 3.7, 1e-6);
+  EXPECT_NEAR(r.value().max_value, 2.0, 1e-10);
+}
+
+TEST(MaximizeOnIntervalTest, FindsBoundaryMaximum) {
+  auto inc = [](double x) { return x; };
+  auto r = MaximizeOnInterval(inc, {0.0, 5.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().argmax, 5.0, 1e-6);
+
+  auto dec = [](double x) { return -x; };
+  auto r2 = MaximizeOnInterval(dec, {0.0, 5.0});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NEAR(r2.value().argmax, 0.0, 1e-6);
+}
+
+TEST(MaximizeOnIntervalTest, HandlesMultimodalWithDenseGrid) {
+  // Two peaks: x=1 (height 1) and x=4 (height 2). The grid localises the
+  // global one.
+  auto f = [](double x) {
+    return std::exp(-10 * (x - 1) * (x - 1)) +
+           2.0 * std::exp(-10 * (x - 4) * (x - 4));
+  };
+  auto r = MaximizeOnInterval(f, {0.0, 6.0}, 512);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().argmax, 4.0, 1e-4);
+}
+
+TEST(MaximizeOnIntervalTest, PiecewiseLinearKink) {
+  auto f = [](double x) { return x < 2.0 ? x : 4.0 - x; };
+  auto r = MaximizeOnInterval(f, {0.0, 4.0}, 128);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().argmax, 2.0, 1e-4);
+  EXPECT_NEAR(r.value().max_value, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

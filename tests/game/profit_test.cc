@@ -1,0 +1,52 @@
+#include "game/profit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace game {
+namespace {
+
+TEST(SellerProfitTest, MatchesEq5) {
+  SellerCostParams cost{0.2, 0.4};
+  // p τ − C = 1.5·3 − (0.2·9 + 0.4·3)·0.5 = 4.5 − 1.5 = 3.0
+  EXPECT_NEAR(SellerProfit(1.5, 3.0, cost, 0.5), 3.0, 1e-12);
+}
+
+TEST(SellerProfitTest, ZeroTimeZeroProfit) {
+  SellerCostParams cost{0.2, 0.4};
+  EXPECT_DOUBLE_EQ(SellerProfit(2.0, 0.0, cost, 0.5), 0.0);
+}
+
+TEST(SellerProfitTest, CanBeNegativeWhenOverworking) {
+  SellerCostParams cost{1.0, 0.0};
+  // Marginal cost exceeds price for large τ.
+  EXPECT_LT(SellerProfit(1.0, 10.0, cost, 1.0), 0.0);
+}
+
+TEST(PlatformProfitTest, MatchesEq7) {
+  PlatformCostParams cost{0.1, 1.0};
+  // (p^J − p)Στ − C^J = (7 − 2)·5 − (0.1·25 + 5) = 25 − 7.5 = 17.5
+  EXPECT_NEAR(PlatformProfit(7.0, 2.0, 5.0, cost), 17.5, 1e-12);
+}
+
+TEST(PlatformProfitTest, NegativeWhenMarginBelowCost) {
+  PlatformCostParams cost{0.1, 1.0};
+  EXPECT_LT(PlatformProfit(2.0, 2.0, 5.0, cost), 0.0);
+}
+
+TEST(ConsumerProfitTest, MatchesEq9) {
+  ValuationParams v{1000.0};
+  double expected = 1000.0 * std::log(1.0 + 0.5 * 10.0) - 7.0 * 10.0;
+  EXPECT_NEAR(ConsumerProfit(7.0, 0.5, 10.0, v), expected, 1e-9);
+}
+
+TEST(TotalTimeTest, SumsVector) {
+  EXPECT_DOUBLE_EQ(TotalTime({1.0, 2.5, 0.5}), 4.0);
+  EXPECT_DOUBLE_EQ(TotalTime({}), 0.0);
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

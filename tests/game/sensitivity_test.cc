@@ -1,0 +1,122 @@
+#include "game/sensitivity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace cdt {
+namespace game {
+namespace {
+
+GameConfig HealthyConfig(std::uint64_t seed = 1) {
+  stats::Xoshiro256 rng(seed);
+  GameConfig config;
+  for (int i = 0; i < 10; ++i) {
+    config.sellers.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+    config.qualities.push_back(rng.NextDouble(0.4, 0.95));
+  }
+  config.platform = {0.1, 1.0};
+  config.valuation = {1000.0};
+  config.consumer_price_bounds = {0.01, 1e5};
+  config.collection_price_bounds = {0.01, 1e5};
+  return config;
+}
+
+TEST(ParameterRefTest, Names) {
+  EXPECT_EQ((ParameterRef{ParameterRef::Kind::kSellerA, 3}).Name(), "a_3");
+  EXPECT_EQ((ParameterRef{ParameterRef::Kind::kSellerB, 0}).Name(), "b_0");
+  EXPECT_EQ((ParameterRef{ParameterRef::Kind::kQuality, 7}).Name(), "q_7");
+  EXPECT_EQ((ParameterRef{ParameterRef::Kind::kTheta, 0}).Name(), "theta");
+  EXPECT_EQ((ParameterRef{ParameterRef::Kind::kOmega, 0}).Name(), "omega");
+}
+
+TEST(SensitivityTest, Validation) {
+  GameConfig config = HealthyConfig();
+  EXPECT_FALSE(ComputeSensitivity(config,
+                                  {ParameterRef::Kind::kSellerA, 99})
+                   .ok());
+  EXPECT_FALSE(
+      ComputeSensitivity(config, {ParameterRef::Kind::kTheta, 0}, 0.0).ok());
+}
+
+TEST(SensitivityTest, SignsMatchFigs17And18) {
+  // The θ derivatives quantify Figs. 17-18: raising the aggregation cost
+  // lowers every profit, raises p^J and lowers p / Στ.
+  auto row = ComputeSensitivity(HealthyConfig(),
+                                {ParameterRef::Kind::kTheta, 0});
+  ASSERT_TRUE(row.ok());
+  EXPECT_GT(row.value().d_consumer_price, 0.0);     // SoC rises with θ
+  EXPECT_LT(row.value().d_collection_price, 0.0);   // SoP falls
+  EXPECT_LT(row.value().d_total_time, 0.0);         // Στ falls
+  EXPECT_LT(row.value().d_consumer_profit, 0.0);    // PoC falls
+  EXPECT_LT(row.value().d_seller_profit, 0.0);      // PoS falls
+}
+
+TEST(SensitivityTest, OmegaRaisesEverything) {
+  // A consumer who values data more raises prices, time and all profits
+  // (Fig. 13's ω sweep).
+  auto row = ComputeSensitivity(HealthyConfig(),
+                                {ParameterRef::Kind::kOmega, 0});
+  ASSERT_TRUE(row.ok());
+  EXPECT_GT(row.value().d_consumer_price, 0.0);
+  EXPECT_GT(row.value().d_collection_price, 0.0);
+  EXPECT_GT(row.value().d_total_time, 0.0);
+  EXPECT_GT(row.value().d_consumer_profit, 0.0);
+  EXPECT_GT(row.value().d_platform_profit, 0.0);
+  EXPECT_GT(row.value().d_seller_profit, 0.0);
+}
+
+TEST(SensitivityTest, SellerCostDerivativeMatchesFig15Direction) {
+  // Raising a_0 lowers total time (seller 0 works less) — Fig. 15/16.
+  auto row = ComputeSensitivity(HealthyConfig(),
+                                {ParameterRef::Kind::kSellerA, 0});
+  ASSERT_TRUE(row.ok());
+  EXPECT_LT(row.value().d_total_time, 0.0);
+  EXPECT_LT(row.value().d_consumer_profit, 0.0);
+}
+
+TEST(SensitivityTest, MatchesWiderFiniteDifference) {
+  // The reported derivative agrees with an independent, coarser stencil.
+  GameConfig config = HealthyConfig(5);
+  auto row =
+      ComputeSensitivity(config, {ParameterRef::Kind::kOmega, 0});
+  ASSERT_TRUE(row.ok());
+
+  auto poc_at = [&](double omega) {
+    GameConfig c = config;
+    c.valuation.omega = omega;
+    auto solver = StackelbergSolver::Create(c);
+    EXPECT_TRUE(solver.ok());
+    return solver.value().Solve().consumer_profit;
+  };
+  double h = 1.0;
+  double coarse = (poc_at(1001.0) - poc_at(999.0)) / (2.0 * h);
+  EXPECT_NEAR(row.value().d_consumer_profit, coarse,
+              1e-3 * std::max(1.0, std::fabs(coarse)));
+}
+
+TEST(SensitivityTest, StepShrinksNearDomainBoundary) {
+  // q̄_0 close to 1: the default relative step would push q̄ above 1; the
+  // implementation must shrink it rather than fail.
+  GameConfig config = HealthyConfig();
+  config.qualities[0] = 1.0 - 1e-9;
+  auto row =
+      ComputeSensitivity(config, {ParameterRef::Kind::kQuality, 0});
+  EXPECT_TRUE(row.ok());
+}
+
+TEST(SensitivityTest, StandardTableHasSixRows) {
+  auto rows = ComputeStandardSensitivities(HealthyConfig(), 2);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 6u);
+  EXPECT_EQ(rows.value()[0].parameter, "theta");
+  EXPECT_EQ(rows.value()[3].parameter, "a_2");
+  EXPECT_EQ(rows.value()[5].parameter, "q_2");
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

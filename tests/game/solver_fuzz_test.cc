@@ -1,0 +1,113 @@
+// Randomised differential testing of the Stackelberg solver against the
+// derivative-free numeric optimiser, across regimes the paper's interior
+// closed forms do not cover: tight sensing-time caps, tight price boxes,
+// near-zero qualities, and extreme platform costs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "game/equilibrium.h"
+#include "game/numeric.h"
+#include "game/stackelberg.h"
+#include "stats/rng.h"
+
+namespace cdt {
+namespace game {
+namespace {
+
+GameConfig FuzzConfig(stats::Xoshiro256& rng) {
+  GameConfig config;
+  int k = 1 + static_cast<int>(rng.NextBounded(25));
+  for (int i = 0; i < k; ++i) {
+    config.sellers.push_back(
+        {rng.NextDouble(0.05, 2.0), rng.NextDouble(0.0, 2.0)});
+    config.qualities.push_back(rng.NextDouble(0.01, 1.0));
+  }
+  config.platform = {rng.NextDouble(0.01, 2.0), rng.NextDouble(0.0, 3.0)};
+  config.valuation = {rng.NextDouble(1.5, 2000.0)};
+  // Mix of binding and non-binding boxes/caps.
+  double p_hi = rng.NextDouble(0.5, 50.0);
+  config.collection_price_bounds = {0.01, p_hi};
+  config.consumer_price_bounds = {0.01, rng.NextDouble(5.0, 400.0)};
+  config.max_sensing_time =
+      rng.NextDouble() < 0.5 ? rng.NextDouble(0.1, 5.0) : 1e6;
+  return config;
+}
+
+class SolverFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverFuzzTest, PlatformBestResponseMatchesNumeric) {
+  stats::Xoshiro256 rng(GetParam());
+  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  ASSERT_TRUE(solver.ok());
+  const util::Interval& box =
+      solver.value().config().collection_price_bounds;
+  for (double pj : {2.0, 8.0, 30.0}) {
+    double exact = solver.value().PlatformBestPrice(pj);
+    auto profit = [&](double p) {
+      return solver.value().PlatformProfitAnticipating(pj, p);
+    };
+    auto numeric = MaximizeOnInterval(profit, box, 4096);
+    ASSERT_TRUE(numeric.ok());
+    // Value comparison (argmax can differ across profit plateaus).
+    EXPECT_GE(profit(exact), numeric.value().max_value - 1e-6)
+        << "pj=" << pj;
+  }
+}
+
+TEST_P(SolverFuzzTest, ConsumerBestPriceMatchesNumeric) {
+  stats::Xoshiro256 rng(GetParam() ^ 0xABCDEF);
+  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  ASSERT_TRUE(solver.ok());
+  double pj = solver.value().ConsumerBestPrice();
+  double value = solver.value().ConsumerProfitAnticipating(pj);
+  auto numeric = MaximizeOnInterval(
+      [&](double x) { return solver.value().ConsumerProfitAnticipating(x); },
+      solver.value().config().consumer_price_bounds, 4096);
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_GE(value, numeric.value().max_value - 1e-5);
+}
+
+TEST_P(SolverFuzzTest, SolvedProfileIsEquilibriumAndFinite) {
+  stats::Xoshiro256 rng(GetParam() ^ 0x55AA55);
+  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  ASSERT_TRUE(solver.ok());
+  StrategyProfile profile = solver.value().Solve();
+  EXPECT_TRUE(std::isfinite(profile.consumer_profit));
+  EXPECT_TRUE(std::isfinite(profile.platform_profit));
+  EXPECT_GE(profile.total_time, 0.0);
+  for (double tau : profile.tau) {
+    EXPECT_GE(tau, 0.0);
+    EXPECT_LE(tau, solver.value().config().max_sensing_time + 1e-12);
+  }
+  EquilibriumCheckOptions options;
+  options.tolerance = 1e-5;
+  auto report = CheckEquilibrium(solver.value(), profile, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().is_equilibrium)
+      << "deviator " << report.value().worst_deviator << " gain "
+      << report.value().max_violation;
+}
+
+TEST_P(SolverFuzzTest, TotalTimeAtMatchesDirectSum) {
+  stats::Xoshiro256 rng(GetParam() ^ 0x777);
+  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  ASSERT_TRUE(solver.ok());
+  const util::Interval& box =
+      solver.value().config().collection_price_bounds;
+  for (int i = 0; i <= 20; ++i) {
+    double p = box.lo + box.width() * static_cast<double>(i) / 20.0;
+    double direct = 0.0;
+    for (double tau : solver.value().SellerBestTimes(p)) direct += tau;
+    EXPECT_NEAR(solver.value().TotalTimeAt(p), direct, 1e-9)
+        << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzzTest,
+                         ::testing::Range<std::uint64_t>(1000, 1040));
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

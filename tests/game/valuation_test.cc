@@ -1,0 +1,53 @@
+#include "game/valuation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace game {
+namespace {
+
+TEST(ValuationTest, Validation) {
+  EXPECT_TRUE(ValuationParams{1000.0}.Validate().ok());
+  EXPECT_FALSE(ValuationParams{1.0}.Validate().ok());
+  EXPECT_FALSE(ValuationParams{0.5}.Validate().ok());
+}
+
+TEST(ValuationTest, MatchesEq10) {
+  ValuationParams v{1000.0};
+  EXPECT_NEAR(ConsumerValuation(v, 0.5, 10.0), 1000.0 * std::log(6.0),
+              1e-9);
+  EXPECT_DOUBLE_EQ(ConsumerValuation(v, 0.5, 0.0), 0.0);
+}
+
+TEST(ValuationTest, DiminishingMarginalReturn) {
+  ValuationParams v{100.0};
+  double prev = 0.0, prev_delta = 1e18;
+  for (int i = 1; i <= 10; ++i) {
+    double phi = ConsumerValuation(v, 0.7, 2.0 * i);
+    double delta = phi - prev;
+    EXPECT_GT(phi, prev);          // increasing
+    EXPECT_LT(delta, prev_delta);  // concave
+    prev = phi;
+    prev_delta = delta;
+  }
+}
+
+TEST(ValuationTest, MarginalIsDerivative) {
+  ValuationParams v{500.0};
+  double q = 0.6, t = 7.0, h = 1e-6;
+  double fd =
+      (ConsumerValuation(v, q, t + h) - ConsumerValuation(v, q, t - h)) /
+      (2 * h);
+  EXPECT_NEAR(ConsumerMarginalValuation(v, q, t), fd, 1e-5);
+}
+
+TEST(ValuationTest, HigherQualityHigherValue) {
+  ValuationParams v{100.0};
+  EXPECT_GT(ConsumerValuation(v, 0.9, 5.0), ConsumerValuation(v, 0.3, 5.0));
+}
+
+}  // namespace
+}  // namespace game
+}  // namespace cdt

@@ -1,0 +1,45 @@
+#include "market/aggregation.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace market {
+namespace {
+
+TEST(AggregateRoundTest, ComputesPerPoiAndOverallMeans) {
+  std::vector<std::vector<double>> obs{{0.8, 0.6}, {0.4, 0.2}};
+  auto stats = AggregateRound(obs, {1.0, 1.0});
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().poi_means.size(), 2u);
+  EXPECT_NEAR(stats.value().poi_means[0], 0.6, 1e-12);
+  EXPECT_NEAR(stats.value().poi_means[1], 0.4, 1e-12);
+  EXPECT_NEAR(stats.value().overall_mean, 0.5, 1e-12);
+  EXPECT_EQ(stats.value().num_sellers, 2);
+}
+
+TEST(AggregateRoundTest, WeightedMeanFavoursLongerSensing) {
+  // Seller 0 (high quality) works 3x longer than seller 1.
+  std::vector<std::vector<double>> obs{{0.9}, {0.1}};
+  auto stats = AggregateRound(obs, {3.0, 1.0});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats.value().overall_mean, 0.5, 1e-12);
+  EXPECT_NEAR(stats.value().weighted_mean, (3 * 0.9 + 0.1) / 4.0, 1e-12);
+}
+
+TEST(AggregateRoundTest, ZeroWeightsFallBackToUnweighted) {
+  std::vector<std::vector<double>> obs{{0.6}, {0.2}};
+  auto stats = AggregateRound(obs, {0.0, 0.0});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats.value().weighted_mean, 0.4, 1e-12);
+}
+
+TEST(AggregateRoundTest, Validation) {
+  EXPECT_FALSE(AggregateRound({}, {}).ok());
+  EXPECT_FALSE(AggregateRound({{0.5}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(AggregateRound({{0.5}, {0.5, 0.6}}, {1.0, 1.0}).ok());
+  EXPECT_FALSE(AggregateRound({{}}, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace market
+}  // namespace cdt

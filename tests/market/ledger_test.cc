@@ -1,0 +1,69 @@
+#include "market/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace market {
+namespace {
+
+TEST(LedgerTest, RecordsTransfersAndBalances) {
+  Ledger ledger(3);
+  ASSERT_TRUE(
+      ledger.Record(1, kConsumerAccount, kPlatformAccount, 10.0, "reward")
+          .ok());
+  ASSERT_TRUE(ledger.Record(1, kPlatformAccount, 0, 4.0, "pay").ok());
+  ASSERT_TRUE(ledger.Record(1, kPlatformAccount, 1, 3.0, "pay").ok());
+
+  EXPECT_DOUBLE_EQ(ledger.Balance(kConsumerAccount).value(), -10.0);
+  EXPECT_DOUBLE_EQ(ledger.Balance(kPlatformAccount).value(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.Balance(0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.Balance(1).value(), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.Balance(2).value(), 0.0);
+  EXPECT_EQ(ledger.transfers().size(), 3u);
+}
+
+TEST(LedgerTest, MoneyConservation) {
+  Ledger ledger(2);
+  ASSERT_TRUE(
+      ledger.Record(1, kConsumerAccount, kPlatformAccount, 7.5, "").ok());
+  ASSERT_TRUE(ledger.Record(1, kPlatformAccount, 0, 2.5, "").ok());
+  ASSERT_TRUE(ledger.Record(2, kPlatformAccount, 1, 1.0, "").ok());
+  EXPECT_NEAR(ledger.NetPosition(), 0.0, 1e-12);
+}
+
+TEST(LedgerTest, AggregateFlows) {
+  Ledger ledger(2);
+  ASSERT_TRUE(
+      ledger.Record(1, kConsumerAccount, kPlatformAccount, 9.0, "").ok());
+  ASSERT_TRUE(ledger.Record(1, kPlatformAccount, 0, 4.0, "").ok());
+  ASSERT_TRUE(ledger.Record(1, kPlatformAccount, 1, 2.0, "").ok());
+  EXPECT_DOUBLE_EQ(ledger.ConsumerOutflow(), 9.0);
+  EXPECT_DOUBLE_EQ(ledger.SellerInflow(), 6.0);
+}
+
+TEST(LedgerTest, RejectsInvalidTransfers) {
+  Ledger ledger(2);
+  EXPECT_FALSE(ledger.Record(1, 5, kPlatformAccount, 1.0, "").ok());
+  EXPECT_FALSE(ledger.Record(1, kConsumerAccount, 9, 1.0, "").ok());
+  EXPECT_FALSE(
+      ledger.Record(1, kConsumerAccount, kConsumerAccount, 1.0, "").ok());
+  EXPECT_FALSE(
+      ledger.Record(1, kConsumerAccount, kPlatformAccount, -1.0, "").ok());
+  EXPECT_FALSE(ledger.Balance(99).ok());
+}
+
+TEST(LedgerTest, HistorylessModeKeepsBalancesOnly) {
+  Ledger ledger(1, /*keep_history=*/false);
+  ASSERT_TRUE(
+      ledger.Record(1, kConsumerAccount, kPlatformAccount, 5.0, "").ok());
+  ASSERT_TRUE(ledger.Record(1, kPlatformAccount, 0, 2.0, "").ok());
+  EXPECT_TRUE(ledger.transfers().empty());
+  EXPECT_DOUBLE_EQ(ledger.Balance(0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.ConsumerOutflow(), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.SellerInflow(), 2.0);
+  EXPECT_NEAR(ledger.NetPosition(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace market
+}  // namespace cdt

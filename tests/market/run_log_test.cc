@@ -1,0 +1,133 @@
+#include "market/run_log.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/cmab_hs.h"
+
+namespace cdt {
+namespace market {
+namespace {
+
+class RunLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("cdt_runlog_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+RoundReport MakeReport(std::int64_t round) {
+  RoundReport report;
+  report.round = round;
+  report.initial_exploration = round == 1;
+  report.selected = {3, 1, 4};
+  report.consumer_price = 12.5;
+  report.collection_price = 1.75;
+  report.tau = {2.0, 3.0, 1.0};
+  report.total_time = 6.0;
+  report.consumer_profit = 100.0;
+  report.platform_profit = 20.0;
+  report.seller_profit_total = 5.5;
+  report.expected_quality_revenue = 13.0;
+  report.observed_quality_revenue = 12.8;
+  return report;
+}
+
+TEST(RunLogRowTest, ConvertsAndJoinsSelected) {
+  RunLogRow row = ToRunLogRow(MakeReport(7));
+  EXPECT_EQ(row.round, 7);
+  EXPECT_EQ(row.selected, "3+1+4");
+  EXPECT_FALSE(row.initial_exploration);
+  EXPECT_DOUBLE_EQ(row.total_time, 6.0);
+}
+
+TEST(ParseSelectedSetTest, RoundTripsAndValidates) {
+  auto ids = ParseSelectedSet("3+1+4");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value(), (std::vector<int>{3, 1, 4}));
+  EXPECT_TRUE(ParseSelectedSet("").value().empty());
+  EXPECT_FALSE(ParseSelectedSet("3+x").ok());
+}
+
+TEST_F(RunLogTest, WriteThenLoadRoundTrip) {
+  auto writer = RunLogWriter::Open(path_.string());
+  ASSERT_TRUE(writer.ok());
+  for (std::int64_t t = 1; t <= 5; ++t) {
+    ASSERT_TRUE(writer.value().Append(MakeReport(t)).ok());
+  }
+  EXPECT_EQ(writer.value().rows_written(), 5);
+  ASSERT_TRUE(writer.value().Close().ok());
+  EXPECT_FALSE(writer.value().Append(MakeReport(6)).ok());
+
+  auto rows = LoadRunLog(path_.string());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 5u);
+  EXPECT_EQ(rows.value()[0].round, 1);
+  EXPECT_TRUE(rows.value()[0].initial_exploration);
+  EXPECT_FALSE(rows.value()[1].initial_exploration);
+  EXPECT_NEAR(rows.value()[4].consumer_price, 12.5, 1e-9);
+  EXPECT_NEAR(rows.value()[4].observed_quality_revenue, 12.8, 1e-9);
+  EXPECT_EQ(rows.value()[4].selected, "3+1+4");
+}
+
+TEST_F(RunLogTest, LoadRejectsWrongHeader) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n1,2\n";
+  }
+  EXPECT_FALSE(LoadRunLog(path_.string()).ok());
+}
+
+TEST_F(RunLogTest, LoadRejectsCorruptRow) {
+  auto writer = RunLogWriter::Open(path_.string());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value().Append(MakeReport(1)).ok());
+  ASSERT_TRUE(writer.value().Close().ok());
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "2,0,1+2,bad,1,1,1,1,1,1,1\n";
+  }
+  auto rows = LoadRunLog(path_.string());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("row 2"), std::string::npos);
+}
+
+TEST_F(RunLogTest, StreamsAFullSimulation) {
+  core::MechanismConfig config;
+  config.num_sellers = 10;
+  config.num_selected = 3;
+  config.num_pois = 3;
+  config.num_rounds = 25;
+  config.seed = 3;
+  auto run = core::CmabHs::Create(config);
+  ASSERT_TRUE(run.ok());
+  auto writer = RunLogWriter::Open(path_.string());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(run.value()
+                  ->RunAll([&](const RoundReport& report) {
+                    EXPECT_TRUE(writer.value().Append(report).ok());
+                  })
+                  .ok());
+  ASSERT_TRUE(writer.value().Close().ok());
+
+  auto rows = LoadRunLog(path_.string());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 25u);
+  // The persisted revenue matches the in-memory metrics.
+  double observed = 0.0;
+  for (const RunLogRow& row : rows.value()) {
+    observed += row.observed_quality_revenue;
+  }
+  EXPECT_NEAR(observed, run.value()->metrics().observed_revenue(), 1e-6);
+}
+
+}  // namespace
+}  // namespace market
+}  // namespace cdt

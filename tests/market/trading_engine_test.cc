@@ -1,0 +1,196 @@
+#include "market/trading_engine.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bandit/baseline_policies.h"
+#include "bandit/cucb_policy.h"
+#include "stats/rng.h"
+
+namespace cdt {
+namespace market {
+namespace {
+
+constexpr int kSellers = 12;
+constexpr int kSelected = 3;
+constexpr int kPois = 4;
+
+EngineConfig MakeConfig(std::int64_t rounds = 20) {
+  EngineConfig config;
+  config.job.num_pois = kPois;
+  config.job.num_rounds = rounds;
+  config.job.round_duration = 1000.0;
+  config.job.description = "test job";
+  config.num_selected = kSelected;
+  stats::Xoshiro256 rng(5);
+  for (int i = 0; i < kSellers; ++i) {
+    config.seller_costs.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+  }
+  config.platform_cost = {0.1, 1.0};
+  config.valuation = {1000.0};
+  config.consumer_price_bounds = {0.01, 100.0};
+  config.collection_price_bounds = {0.01, 5.0};
+  config.track_transfers = true;
+  return config;
+}
+
+bandit::QualityEnvironment MakeEnvironment(std::uint64_t seed = 3) {
+  bandit::EnvironmentConfig env_config;
+  env_config.num_sellers = kSellers;
+  env_config.num_pois = kPois;
+  env_config.seed = seed;
+  auto env = bandit::QualityEnvironment::Create(env_config);
+  EXPECT_TRUE(env.ok());
+  return std::move(env).value();
+}
+
+std::unique_ptr<bandit::SelectionPolicy> MakeCucb() {
+  bandit::CucbOptions options;
+  options.num_sellers = kSellers;
+  options.num_selected = kSelected;
+  auto policy = bandit::CucbPolicy::Create(options);
+  EXPECT_TRUE(policy.ok());
+  return std::make_unique<bandit::CucbPolicy>(std::move(policy).value());
+}
+
+TEST(TradingEngineTest, CreateValidation) {
+  auto env = MakeEnvironment();
+  EXPECT_FALSE(
+      TradingEngine::Create(MakeConfig(), nullptr, MakeCucb()).ok());
+  EXPECT_FALSE(TradingEngine::Create(MakeConfig(), &env, nullptr).ok());
+
+  EngineConfig bad = MakeConfig();
+  bad.num_selected = kSellers + 1;
+  EXPECT_FALSE(TradingEngine::Create(bad, &env, MakeCucb()).ok());
+
+  bad = MakeConfig();
+  bad.seller_costs.pop_back();
+  EXPECT_FALSE(TradingEngine::Create(bad, &env, MakeCucb()).ok());
+
+  bad = MakeConfig();
+  bad.job.num_pois = kPois + 1;  // disagrees with environment
+  EXPECT_FALSE(TradingEngine::Create(bad, &env, MakeCucb()).ok());
+
+  bad = MakeConfig();
+  bad.initial_tau = 0.0;
+  EXPECT_FALSE(TradingEngine::Create(bad, &env, MakeCucb()).ok());
+}
+
+TEST(TradingEngineTest, FirstRoundIsInitialExploration) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  auto report = engine.value()->RunRound();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().initial_exploration);
+  EXPECT_EQ(report.value().selected.size(), kSellers);
+  // Algorithm 1: p^1 = p_max; every seller senses τ^0.
+  EXPECT_DOUBLE_EQ(report.value().collection_price, 5.0);
+  for (double tau : report.value().tau) EXPECT_DOUBLE_EQ(tau, 1.0);
+  // Consumer price set to the platform's break-even point.
+  EXPECT_NEAR(report.value().platform_profit, 0.0, 1e-9);
+}
+
+TEST(TradingEngineTest, SubsequentRoundsSelectKAndPlayGame) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->RunRound().ok());
+  auto report = engine.value()->RunRound();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().initial_exploration);
+  EXPECT_EQ(report.value().selected.size(), kSelected);
+  EXPECT_GT(report.value().consumer_price, report.value().collection_price);
+  EXPECT_GT(report.value().total_time, 0.0);
+  EXPECT_GT(report.value().consumer_profit, 0.0);
+  EXPECT_GT(report.value().platform_profit, 0.0);
+}
+
+TEST(TradingEngineTest, LedgerConservesMoneyAcrossRun) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(30), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->RunAll().ok());
+  const Ledger& ledger = engine.value()->ledger();
+  EXPECT_NEAR(ledger.NetPosition(), 0.0, 1e-6);
+  EXPECT_GT(ledger.ConsumerOutflow(), 0.0);
+  EXPECT_GT(ledger.SellerInflow(), 0.0);
+  // The platform's ledger balance equals rewards minus payouts: for every
+  // round that is (p^J − p)·Στ, i.e. platform profit before aggregation
+  // cost — so it must be at least total platform profit.
+  EXPECT_GE(ledger.Balance(kPlatformAccount).value(), 0.0);
+}
+
+TEST(TradingEngineTest, PaymentsMatchReports) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(5), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  double expected_outflow = 0.0;
+  double expected_seller_inflow = 0.0;
+  ASSERT_TRUE(engine.value()
+                  ->RunAll([&](const RoundReport& report) {
+                    expected_outflow +=
+                        report.consumer_price * report.total_time;
+                    for (double tau : report.tau) {
+                      expected_seller_inflow +=
+                          report.collection_price * tau;
+                    }
+                  })
+                  .ok());
+  EXPECT_NEAR(engine.value()->ledger().ConsumerOutflow(), expected_outflow,
+              1e-6);
+  EXPECT_NEAR(engine.value()->ledger().SellerInflow(),
+              expected_seller_inflow, 1e-6);
+}
+
+TEST(TradingEngineTest, StopsAfterConfiguredRounds) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(3), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->RunAll().ok());
+  EXPECT_EQ(engine.value()->current_round(), 3);
+  EXPECT_FALSE(engine.value()->RunRound().ok());
+}
+
+TEST(TradingEngineTest, OracleModeUsesTrueQualities) {
+  auto env = MakeEnvironment();
+  EngineConfig config = MakeConfig(5);
+  config.use_true_qualities_for_game = true;
+  auto oracle_policy = bandit::OraclePolicy::Create(
+      env.effective_qualities(), kSelected);
+  ASSERT_TRUE(oracle_policy.ok());
+  auto engine = TradingEngine::Create(
+      config, &env,
+      std::make_unique<bandit::OraclePolicy>(std::move(oracle_policy).value()));
+  ASSERT_TRUE(engine.ok());
+  auto r1 = engine.value()->RunRound();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.value().initial_exploration);  // oracle never selects all
+  EXPECT_EQ(r1.value().selected, env.OptimalSet(kSelected));
+  // Round 2 must pick the identical set with identical strategies (true
+  // qualities do not drift).
+  auto r2 = engine.value()->RunRound();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().selected, r1.value().selected);
+  EXPECT_DOUBLE_EQ(r2.value().consumer_price, r1.value().consumer_price);
+}
+
+TEST(TradingEngineTest, ExpectedRevenueUsesEffectiveQualities) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(2), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  auto report = engine.value()->RunRound();
+  ASSERT_TRUE(report.ok());
+  double expected = 0.0;
+  for (int i : report.value().selected) {
+    expected += kPois * env.effective_quality(i);
+  }
+  EXPECT_NEAR(report.value().expected_quality_revenue, expected, 1e-9);
+  EXPECT_GT(report.value().observed_quality_revenue, 0.0);
+}
+
+}  // namespace
+}  // namespace market
+}  // namespace cdt

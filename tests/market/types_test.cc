@@ -1,0 +1,53 @@
+#include "market/types.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace market {
+namespace {
+
+Job ValidJob() {
+  Job job;
+  job.num_pois = 10;
+  job.num_rounds = 1000;
+  job.round_duration = 5.0;
+  job.description = "collect air-quality data";
+  return job;
+}
+
+TEST(JobTest, ValidJobPasses) {
+  EXPECT_TRUE(ValidJob().Validate().ok());
+}
+
+TEST(JobTest, RejectsNonPositivePois) {
+  Job job = ValidJob();
+  job.num_pois = 0;
+  EXPECT_FALSE(job.Validate().ok());
+}
+
+TEST(JobTest, RejectsNonPositiveRounds) {
+  Job job = ValidJob();
+  job.num_rounds = 0;
+  EXPECT_FALSE(job.Validate().ok());
+}
+
+TEST(JobTest, RejectsNonPositiveDuration) {
+  Job job = ValidJob();
+  job.round_duration = 0.0;
+  EXPECT_FALSE(job.Validate().ok());
+  job.round_duration = -1.0;
+  EXPECT_FALSE(job.Validate().ok());
+}
+
+TEST(RoundReportTest, DefaultsAreEmpty) {
+  RoundReport report;
+  EXPECT_EQ(report.round, 0);
+  EXPECT_FALSE(report.initial_exploration);
+  EXPECT_TRUE(report.selected.empty());
+  EXPECT_TRUE(report.game_qualities.empty());
+  EXPECT_DOUBLE_EQ(report.seller_profit_total, 0.0);
+}
+
+}  // namespace
+}  // namespace market
+}  // namespace cdt

@@ -1,0 +1,89 @@
+#include "sim/experiment.h"
+
+#include <filesystem>
+#include <sstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace sim {
+namespace {
+
+TEST(ParseBenchFlagsTest, Defaults) {
+  const char* argv[] = {"bench"};
+  auto flags = ParseBenchFlags(1, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().output_dir, "results");
+  EXPECT_FALSE(flags.value().quick);
+  EXPECT_EQ(flags.value().seed, 42u);
+}
+
+TEST(ParseBenchFlagsTest, Overrides) {
+  const char* argv[] = {"bench", "--out=/tmp/x", "--quick=true",
+                        "--seed=99"};
+  auto flags = ParseBenchFlags(4, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().output_dir, "/tmp/x");
+  EXPECT_TRUE(flags.value().quick);
+  EXPECT_EQ(flags.value().seed, 99u);
+}
+
+TEST(ParseBenchFlagsTest, EmptyOutDisablesCsv) {
+  const char* argv[] = {"bench", "--out="};
+  auto flags = ParseBenchFlags(2, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags.value().output_dir.empty());
+}
+
+TEST(ParseBenchFlagsTest, RejectsMalformedFlags) {
+  const char* argv[] = {"bench", "--quick=maybe"};
+  EXPECT_FALSE(ParseBenchFlags(2, argv).ok());
+  const char* argv2[] = {"bench", "--seed=abc"};
+  EXPECT_FALSE(ParseBenchFlags(2, argv2).ok());
+}
+
+class ReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cdt_reporter_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ReporterTest, WritesCsvAndPrintsTable) {
+  std::ostringstream os;
+  Reporter reporter(dir_.string(), os);
+  reporter.Begin({"figX", "Fig. X", "a test figure", "M=1"});
+  FigureData fig("figX", "test", "x", "y");
+  Series* s = fig.AddSeries("alpha");
+  s->Add(1.0, 2.0);
+  ASSERT_TRUE(reporter.Report(fig).ok());
+  reporter.Note("done");
+
+  std::string out = os.str();
+  EXPECT_NE(out.find("Fig. X"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("done"), std::string::npos);
+
+  auto csv = util::ReadCsvFile((dir_ / "figX.csv").string());
+  ASSERT_TRUE(csv.ok());
+  ASSERT_EQ(csv.value().rows.size(), 1u);
+  EXPECT_EQ(csv.value().rows[0][1], "alpha");
+}
+
+TEST_F(ReporterTest, EmptyOutputDirSkipsCsv) {
+  std::ostringstream os;
+  Reporter reporter("", os);
+  FigureData fig("figY", "test", "x", "y");
+  fig.AddSeries("s")->Add(1, 1);
+  ASSERT_TRUE(reporter.Report(fig).ok());
+  EXPECT_EQ(os.str().find("[written"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace cdt

@@ -1,0 +1,65 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace stats {
+namespace {
+
+TEST(UcbRadiusTest, InfiniteForUnexploredArm) {
+  EXPECT_TRUE(std::isinf(UcbRadius(0, 100, 2.0)));
+}
+
+TEST(UcbRadiusTest, MatchesPaperFormula) {
+  // eps = sqrt((K+1) ln(total) / n) with K+1 = 11, total = 3000, n = 10.
+  double expected = std::sqrt(11.0 * std::log(3000.0) / 10.0);
+  EXPECT_NEAR(UcbRadius(10, 3000, 11.0), expected, 1e-12);
+}
+
+TEST(UcbRadiusTest, ShrinksWithMoreObservations) {
+  double wide = UcbRadius(10, 1000, 2.0);
+  double narrow = UcbRadius(1000, 1000, 2.0);
+  EXPECT_GT(wide, narrow);
+}
+
+TEST(UcbRadiusTest, GrowsWithTotalObservations) {
+  EXPECT_LT(UcbRadius(10, 100, 2.0), UcbRadius(10, 100000, 2.0));
+}
+
+TEST(UcbRadiusTest, GuardsTinyTotals) {
+  // ln(1) = 0 would kill exploration entirely; the implementation floors
+  // the log argument at 2.
+  EXPECT_GT(UcbRadius(1, 1, 2.0), 0.0);
+}
+
+TEST(HoeffdingTailTest, DecreasesInDeviation) {
+  EXPECT_GT(HoeffdingTailBound(100, 1.0), HoeffdingTailBound(100, 5.0));
+}
+
+TEST(HoeffdingTailTest, TrivialCases) {
+  EXPECT_DOUBLE_EQ(HoeffdingTailBound(0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(HoeffdingTailBound(10, 0.0), 1.0);
+}
+
+TEST(HoeffdingTailTest, MatchesClosedForm) {
+  // P <= exp(-2 a^2 / n) with a = 3, n = 50.
+  EXPECT_NEAR(HoeffdingTailBound(50, 3.0), std::exp(-18.0 / 50.0), 1e-12);
+}
+
+TEST(HoeffdingHalfWidthTest, ShrinksWithSamples) {
+  EXPECT_GT(HoeffdingHalfWidth(10, 0.05), HoeffdingHalfWidth(1000, 0.05));
+  EXPECT_TRUE(std::isinf(HoeffdingHalfWidth(0, 0.05)));
+}
+
+TEST(HoeffdingHalfWidthTest, CoverageSemantics) {
+  // 95% CI for n=200 Bernoulli-like variables ~ 0.096.
+  EXPECT_NEAR(HoeffdingHalfWidth(200, 0.05),
+              std::sqrt(std::log(40.0) / 400.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace cdt

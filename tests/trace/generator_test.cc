@@ -1,0 +1,119 @@
+#include "trace/generator.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace trace {
+namespace {
+
+TraceConfig SmallConfig() {
+  TraceConfig config;
+  config.num_taxis = 50;
+  config.num_records = 4000;
+  config.num_zones = 20;
+  config.seed = 7;
+  return config;
+}
+
+TEST(TraceConfigTest, ValidatesRanges) {
+  TraceConfig config = SmallConfig();
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_taxis = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.num_records = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.num_zones = 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.zone_zipf_exponent = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.duration_seconds = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.grid_extent_miles = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(TraceGeneratorTest, ProducesRequestedRecordCount) {
+  auto trace = GenerateTrace(SmallConfig());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().trips.size(), 4000u);
+  EXPECT_EQ(trace.value().zones.size(), 20u);
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateTrace(SmallConfig());
+  auto b = GenerateTrace(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().trips, b.value().trips);
+}
+
+TEST(TraceGeneratorTest, DifferentSeedsDiffer) {
+  TraceConfig other = SmallConfig();
+  other.seed = 8;
+  auto a = GenerateTrace(SmallConfig());
+  auto b = GenerateTrace(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().trips, b.value().trips);
+}
+
+TEST(TraceGeneratorTest, TripsSortedByTimestamp) {
+  auto trace = GenerateTrace(SmallConfig());
+  ASSERT_TRUE(trace.ok());
+  for (std::size_t i = 1; i < trace.value().trips.size(); ++i) {
+    EXPECT_LE(trace.value().trips[i - 1].timestamp,
+              trace.value().trips[i].timestamp);
+  }
+}
+
+TEST(TraceGeneratorTest, FieldsWithinConfiguredRanges) {
+  TraceConfig config = SmallConfig();
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  for (const TripRecord& t : trace.value().trips) {
+    EXPECT_GE(t.taxi_id, 1);
+    EXPECT_LE(t.taxi_id, config.num_taxis);
+    EXPECT_GE(t.timestamp, 0);
+    EXPECT_LT(t.timestamp, config.duration_seconds);
+    EXPECT_GE(t.pickup_zone, 0);
+    EXPECT_LT(t.pickup_zone, config.num_zones);
+    EXPECT_GE(t.dropoff_zone, 0);
+    EXPECT_LT(t.dropoff_zone, config.num_zones);
+    EXPECT_GT(t.trip_miles, 0.0);
+  }
+}
+
+TEST(TraceGeneratorTest, ZonePopularityIsSkewed) {
+  auto trace = GenerateTrace(SmallConfig());
+  ASSERT_TRUE(trace.ok());
+  std::map<int, int> pickups;
+  for (const TripRecord& t : trace.value().trips) ++pickups[t.pickup_zone];
+  // Zipf rank 0 should dominate the least popular active zone clearly.
+  int max_count = 0, min_count = 1 << 30;
+  for (const auto& [zone, count] : pickups) {
+    max_count = std::max(max_count, count);
+    min_count = std::min(min_count, count);
+  }
+  EXPECT_GT(max_count, 3 * min_count);
+}
+
+TEST(TraceGeneratorTest, PaperScaleDefaultsWork) {
+  TraceConfig config;  // 27465 records, 300 taxis, 77 zones
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().trips.size(), 27465u);
+  // Nearly all taxis should appear somewhere in 27k records.
+  EXPECT_GE(trace.value().DistinctTaxis(), 290);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace cdt

@@ -1,0 +1,73 @@
+#include "trace/loader.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+
+namespace cdt {
+namespace trace {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("cdt_trips_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(LoaderTest, SaveLoadRoundTrip) {
+  TraceConfig config;
+  config.num_taxis = 20;
+  config.num_records = 500;
+  config.num_zones = 10;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(SaveTrips(path_.string(), trace.value().trips).ok());
+
+  auto loaded = LoadTrips(path_.string());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), trace.value().trips.size());
+  for (std::size_t i = 0; i < loaded.value().size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].taxi_id, trace.value().trips[i].taxi_id);
+    EXPECT_EQ(loaded.value()[i].pickup_zone,
+              trace.value().trips[i].pickup_zone);
+    EXPECT_NEAR(loaded.value()[i].trip_miles,
+                trace.value().trips[i].trip_miles, 1e-3);
+  }
+}
+
+TEST_F(LoaderTest, RejectsWrongHeader) {
+  {
+    std::ofstream out(path_);
+    out << "a,b,c,d,e\n1,2,3,4,5\n";
+  }
+  EXPECT_FALSE(LoadTrips(path_.string()).ok());
+}
+
+TEST_F(LoaderTest, RejectsBadRowWithLineNumber) {
+  {
+    std::ofstream out(path_);
+    out << "taxi_id,timestamp,trip_miles,pickup_zone,dropoff_zone\n"
+        << "1,2,3.0,4,5\n"
+        << "x,2,3.0,4,5\n";
+  }
+  auto loaded = LoadTrips(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("row 2"), std::string::npos);
+}
+
+TEST_F(LoaderTest, MissingFileErrors) {
+  EXPECT_FALSE(LoadTrips("/nonexistent/trips.csv").ok());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace cdt

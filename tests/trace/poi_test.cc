@@ -1,0 +1,74 @@
+#include "trace/poi.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace trace {
+namespace {
+
+Trace MakeTinyTrace() {
+  Trace trace;
+  trace.zones.resize(4);
+  auto add = [&trace](int taxi, int pickup, int dropoff) {
+    TripRecord t;
+    t.taxi_id = taxi;
+    t.pickup_zone = pickup;
+    t.dropoff_zone = dropoff;
+    trace.trips.push_back(t);
+  };
+  // Zone traffic: z0 appears 5x, z1 3x, z2 2x, z3 0x.
+  add(1, 0, 1);
+  add(1, 0, 1);
+  add(2, 0, 2);
+  add(2, 1, 0);
+  add(3, 2, 0);
+  return trace;
+}
+
+TEST(ExtractPoisTest, RanksByTraffic) {
+  auto pois = ExtractPois(MakeTinyTrace(), 3);
+  ASSERT_TRUE(pois.ok());
+  ASSERT_EQ(pois.value().size(), 3u);
+  EXPECT_EQ(pois.value()[0].zone_id, 0);
+  EXPECT_EQ(pois.value()[0].visit_count, 5);
+  EXPECT_EQ(pois.value()[1].zone_id, 1);
+  EXPECT_EQ(pois.value()[1].visit_count, 3);
+  EXPECT_EQ(pois.value()[2].zone_id, 2);
+}
+
+TEST(ExtractPoisTest, RejectsZeroPois) {
+  EXPECT_FALSE(ExtractPois(MakeTinyTrace(), 0).ok());
+}
+
+TEST(ExtractPoisTest, ErrorsWhenNotEnoughActiveZones) {
+  // Only 3 active zones in the tiny trace.
+  EXPECT_FALSE(ExtractPois(MakeTinyTrace(), 4).ok());
+}
+
+TEST(ExtractPoisTest, AttachesZoneLocations) {
+  Trace trace = MakeTinyTrace();
+  trace.zones[0] = {3.0, 4.0};
+  auto pois = ExtractPois(trace, 1);
+  ASSERT_TRUE(pois.ok());
+  EXPECT_DOUBLE_EQ(pois.value()[0].location.x, 3.0);
+  EXPECT_DOUBLE_EQ(pois.value()[0].location.y, 4.0);
+}
+
+TEST(ExtractPoisTest, PaperDefaultTenPois) {
+  TraceConfig config;
+  config.num_records = 5000;
+  config.seed = 3;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  auto pois = ExtractPois(trace.value(), 10);
+  ASSERT_TRUE(pois.ok());
+  EXPECT_EQ(pois.value().size(), 10u);
+  // Descending traffic.
+  for (std::size_t i = 1; i < pois.value().size(); ++i) {
+    EXPECT_GE(pois.value()[i - 1].visit_count, pois.value()[i].visit_count);
+  }
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace cdt

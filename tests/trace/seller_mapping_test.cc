@@ -1,0 +1,83 @@
+#include "trace/seller_mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace trace {
+namespace {
+
+Trace MakeTrace() {
+  Trace trace;
+  trace.zones.resize(5);
+  auto add = [&trace](int taxi, int pickup, int dropoff) {
+    TripRecord t;
+    t.taxi_id = taxi;
+    t.pickup_zone = pickup;
+    t.dropoff_zone = dropoff;
+    trace.trips.push_back(t);
+  };
+  // PoIs will be zones {0, 1}.
+  add(1, 0, 1);  // taxi 1: 2 PoI visits, 2 distinct
+  add(1, 0, 4);  // taxi 1: +1 visit
+  add(2, 1, 4);  // taxi 2: 1 visit
+  add(3, 4, 3);  // taxi 3: no PoI contact
+  return trace;
+}
+
+std::vector<Poi> MakePois() {
+  Poi a, b;
+  a.zone_id = 0;
+  b.zone_id = 1;
+  return {a, b};
+}
+
+TEST(MapSellersTest, OnlyPoiTouchingTaxisAreEligible) {
+  auto sellers = MapSellers(MakeTrace(), MakePois());
+  ASSERT_TRUE(sellers.ok());
+  ASSERT_EQ(sellers.value().size(), 2u);
+  EXPECT_EQ(sellers.value()[0].taxi_id, 1);
+  EXPECT_EQ(sellers.value()[0].poi_visits, 3);
+  EXPECT_EQ(sellers.value()[0].distinct_pois, 2);
+  EXPECT_EQ(sellers.value()[1].taxi_id, 2);
+  EXPECT_EQ(sellers.value()[1].poi_visits, 1);
+  EXPECT_EQ(sellers.value()[1].distinct_pois, 1);
+}
+
+TEST(MapSellersTest, RejectsEmptyPois) {
+  EXPECT_FALSE(MapSellers(MakeTrace(), {}).ok());
+}
+
+TEST(SelectSellerPoolTest, TruncatesToTopM) {
+  auto sellers = MapSellers(MakeTrace(), MakePois());
+  ASSERT_TRUE(sellers.ok());
+  auto pool = SelectSellerPool(sellers.value(), 1);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_EQ(pool.value().size(), 1u);
+  EXPECT_EQ(pool.value()[0].taxi_id, 1);
+}
+
+TEST(SelectSellerPoolTest, ErrorsWhenPoolTooSmall) {
+  auto sellers = MapSellers(MakeTrace(), MakePois());
+  ASSERT_TRUE(sellers.ok());
+  EXPECT_FALSE(SelectSellerPool(sellers.value(), 5).ok());
+  EXPECT_FALSE(SelectSellerPool(sellers.value(), 0).ok());
+}
+
+TEST(MapSellersTest, PaperScalePipelineYields300Sellers) {
+  TraceConfig config;  // paper defaults: 27465 records / 300 taxis
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  auto pois = ExtractPois(trace.value(), 10);
+  ASSERT_TRUE(pois.ok());
+  auto sellers = MapSellers(trace.value(), pois.value());
+  ASSERT_TRUE(sellers.ok());
+  // The top-10 zones concentrate traffic, so nearly every taxi qualifies.
+  EXPECT_GE(sellers.value().size(), 250u);
+  auto pool = SelectSellerPool(sellers.value(), 250);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool.value().size(), 250u);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace cdt

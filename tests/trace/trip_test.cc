@@ -1,0 +1,47 @@
+#include "trace/trip.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace trace {
+namespace {
+
+TEST(TripCsvTest, HeaderHasFiveFields) {
+  EXPECT_EQ(TripCsvHeader().size(), 5u);
+  EXPECT_EQ(TripCsvHeader()[0], "taxi_id");
+}
+
+TEST(TripCsvTest, RoundTrip) {
+  TripRecord trip;
+  trip.taxi_id = 42;
+  trip.timestamp = 123456;
+  trip.trip_miles = 3.25;
+  trip.pickup_zone = 7;
+  trip.dropoff_zone = 12;
+  auto parsed = TripFromCsvRow(TripToCsvRow(trip));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().taxi_id, 42);
+  EXPECT_EQ(parsed.value().timestamp, 123456);
+  EXPECT_NEAR(parsed.value().trip_miles, 3.25, 1e-9);
+  EXPECT_EQ(parsed.value().pickup_zone, 7);
+  EXPECT_EQ(parsed.value().dropoff_zone, 12);
+}
+
+TEST(TripCsvTest, RejectsWrongFieldCount) {
+  EXPECT_FALSE(TripFromCsvRow({"1", "2", "3"}).ok());
+  EXPECT_FALSE(TripFromCsvRow({"1", "2", "3", "4", "5", "6"}).ok());
+}
+
+TEST(TripCsvTest, RejectsNonNumericFields) {
+  EXPECT_FALSE(TripFromCsvRow({"x", "2", "3.0", "4", "5"}).ok());
+  EXPECT_FALSE(TripFromCsvRow({"1", "y", "3.0", "4", "5"}).ok());
+  EXPECT_FALSE(TripFromCsvRow({"1", "2", "zz", "4", "5"}).ok());
+}
+
+TEST(TripCsvTest, RejectsNegativeMiles) {
+  EXPECT_FALSE(TripFromCsvRow({"1", "2", "-3.0", "4", "5"}).ok());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace cdt

@@ -1,0 +1,71 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace util {
+namespace {
+
+TEST(ConfigMapTest, ParsesArgsWithDashes) {
+  const char* argv[] = {"prog", "--n=100", "-k=5", "name=test"};
+  auto config = ConfigMap::FromArgs(4, argv);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().GetInt("n", 0).value(), 100);
+  EXPECT_EQ(config.value().GetInt("k", 0).value(), 5);
+  EXPECT_EQ(config.value().GetString("name", "").value(), "test");
+}
+
+TEST(ConfigMapTest, RejectsMissingEquals) {
+  const char* argv[] = {"prog", "--verbose"};
+  EXPECT_FALSE(ConfigMap::FromArgs(2, argv).ok());
+}
+
+TEST(ConfigMapTest, ParsesLinesSkippingComments) {
+  auto config = ConfigMap::FromLines({"# comment", "", "omega = 1000",
+                                      "theta=0.1"});
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config.value().GetDouble("omega", 0).value(), 1000.0);
+  EXPECT_DOUBLE_EQ(config.value().GetDouble("theta", 0).value(), 0.1);
+}
+
+TEST(ConfigMapTest, FallbacksWhenAbsent) {
+  ConfigMap config;
+  EXPECT_EQ(config.GetInt("missing", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(config.GetDouble("missing", 1.5).value(), 1.5);
+  EXPECT_EQ(config.GetString("missing", "dflt").value(), "dflt");
+  EXPECT_TRUE(config.GetBool("missing", true).value());
+}
+
+TEST(ConfigMapTest, MalformedValueIsHardError) {
+  ConfigMap config;
+  config.Set("n", "abc");
+  EXPECT_FALSE(config.GetInt("n", 0).ok());
+  config.Set("x", "1.2.3");
+  EXPECT_FALSE(config.GetDouble("x", 0.0).ok());
+  config.Set("b", "maybe");
+  EXPECT_FALSE(config.GetBool("b", false).ok());
+}
+
+TEST(ConfigMapTest, BooleanSpellings) {
+  ConfigMap config;
+  for (const char* t : {"true", "1", "yes", "on", "TRUE"}) {
+    config.Set("b", t);
+    EXPECT_TRUE(config.GetBool("b", false).value()) << t;
+  }
+  for (const char* f : {"false", "0", "no", "off", "False"}) {
+    config.Set("b", f);
+    EXPECT_FALSE(config.GetBool("b", true).value()) << f;
+  }
+}
+
+TEST(ConfigMapTest, LaterSetOverwrites) {
+  ConfigMap config;
+  config.Set("k", "1");
+  config.Set("k", "2");
+  EXPECT_EQ(config.GetInt("k", 0).value(), 2);
+  EXPECT_EQ(config.size(), 1u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace cdt

@@ -1,0 +1,96 @@
+#include "util/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace util {
+namespace {
+
+TEST(IntervalTest, ContainsAndClamp) {
+  Interval box{1.0, 5.0};
+  EXPECT_TRUE(box.valid());
+  EXPECT_TRUE(box.Contains(1.0));
+  EXPECT_TRUE(box.Contains(5.0));
+  EXPECT_FALSE(box.Contains(0.999));
+  EXPECT_DOUBLE_EQ(box.Clamp(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(box.Clamp(9.0), 5.0);
+  EXPECT_DOUBLE_EQ(box.Clamp(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+}
+
+TEST(IntervalTest, InvalidWhenReversed) {
+  Interval box{2.0, 1.0};
+  EXPECT_FALSE(box.valid());
+}
+
+TEST(AlmostEqualTest, RelativeAndAbsolute) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_TRUE(AlmostEqual(0.0, 1e-12));
+}
+
+TEST(SolveQuadraticTest, TwoRealRootsAscending) {
+  // (x-1)(x-3) = x^2 - 4x + 3
+  auto roots = SolveQuadratic(1.0, -4.0, 3.0);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 1.0, 1e-12);
+  EXPECT_NEAR(roots[1], 3.0, 1e-12);
+}
+
+TEST(SolveQuadraticTest, DoubleRoot) {
+  auto roots = SolveQuadratic(1.0, -2.0, 1.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 1.0, 1e-12);
+}
+
+TEST(SolveQuadraticTest, NoRealRoots) {
+  EXPECT_TRUE(SolveQuadratic(1.0, 0.0, 1.0).empty());
+}
+
+TEST(SolveQuadraticTest, LinearFallback) {
+  auto roots = SolveQuadratic(0.0, 2.0, -4.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 2.0, 1e-12);
+}
+
+TEST(SolveQuadraticTest, NumericallyStableForSmallRoot) {
+  // x^2 - (1e8 + 1e-8)x + 1: roots ~1e8 and ~1e-8; the naive formula loses
+  // the small root to cancellation.
+  auto roots = SolveQuadratic(1.0, -(1e8 + 1e-8), 1.0);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 1e-8, 1e-14);
+  EXPECT_NEAR(roots[1], 1e8, 1.0);
+}
+
+TEST(LinspaceTest, EvenSpacingWithExactEndpoints) {
+  auto grid = Linspace(0.0, 1.0, 5);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid.value().size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.value().front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.value().back(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.value()[2], 0.5);
+}
+
+TEST(LinspaceTest, RejectsTooFewPoints) {
+  EXPECT_FALSE(Linspace(0.0, 1.0, 1).ok());
+}
+
+TEST(GoldenSectionMaxTest, FindsParabolaPeak) {
+  auto [x, v] = GoldenSectionMax(
+      [](double t) { return -(t - 2.5) * (t - 2.5) + 7.0; }, 0.0, 10.0);
+  EXPECT_NEAR(x, 2.5, 1e-7);
+  EXPECT_NEAR(v, 7.0, 1e-12);
+}
+
+TEST(GoldenSectionMaxTest, HandlesEndpointMaximum) {
+  auto [x, v] = GoldenSectionMax([](double t) { return t; }, 0.0, 4.0);
+  EXPECT_NEAR(x, 4.0, 1e-6);
+  EXPECT_NEAR(v, 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace cdt

@@ -1,0 +1,39 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"N", "revenue"});
+  tp.AddRow({"5000", "1.5"});
+  tp.AddRow({"100000", "123456.75"});
+  std::ostringstream os;
+  tp.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("N"), std::string::npos);
+  EXPECT_NE(out.find("100000"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(tp.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, NumericRowFormatsWithPrecision) {
+  TablePrinter tp({"a", "b"});
+  tp.AddNumericRow({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  tp.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.23,2.00\n");
+}
+
+TEST(TablePrinterDeathTest, RejectsWidthMismatch) {
+  TablePrinter tp({"one", "two"});
+  EXPECT_DEATH(tp.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace cdt
