@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_auction_vs_hs.dir/ablation_auction_vs_hs.cc.o"
+  "CMakeFiles/ablation_auction_vs_hs.dir/ablation_auction_vs_hs.cc.o.d"
+  "ablation_auction_vs_hs"
+  "ablation_auction_vs_hs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_auction_vs_hs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_auction_vs_hs.
+# This may be replaced when dependencies are built.

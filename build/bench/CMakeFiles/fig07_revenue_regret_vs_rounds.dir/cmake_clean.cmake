@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_revenue_regret_vs_rounds.dir/fig07_revenue_regret_vs_rounds.cc.o"
+  "CMakeFiles/fig07_revenue_regret_vs_rounds.dir/fig07_revenue_regret_vs_rounds.cc.o.d"
+  "fig07_revenue_regret_vs_rounds"
+  "fig07_revenue_regret_vs_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_revenue_regret_vs_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

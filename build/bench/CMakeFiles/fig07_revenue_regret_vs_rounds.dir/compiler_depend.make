@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_revenue_regret_vs_rounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_revenue_regret_vs_rounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_profit_gap_vs_rounds.dir/fig08_profit_gap_vs_rounds.cc.o"
+  "CMakeFiles/fig08_profit_gap_vs_rounds.dir/fig08_profit_gap_vs_rounds.cc.o.d"
+  "fig08_profit_gap_vs_rounds"
+  "fig08_profit_gap_vs_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_profit_gap_vs_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_revenue_regret_vs_sellers.dir/fig09_revenue_regret_vs_sellers.cc.o"
+  "CMakeFiles/fig09_revenue_regret_vs_sellers.dir/fig09_revenue_regret_vs_sellers.cc.o.d"
+  "fig09_revenue_regret_vs_sellers"
+  "fig09_revenue_regret_vs_sellers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_revenue_regret_vs_sellers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

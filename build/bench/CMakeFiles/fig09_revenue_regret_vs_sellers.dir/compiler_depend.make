@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_revenue_regret_vs_sellers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_profit_gap_vs_sellers.dir/fig10_profit_gap_vs_sellers.cc.o"
+  "CMakeFiles/fig10_profit_gap_vs_sellers.dir/fig10_profit_gap_vs_sellers.cc.o.d"
+  "fig10_profit_gap_vs_sellers"
+  "fig10_profit_gap_vs_sellers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_profit_gap_vs_sellers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_profit_gap_vs_sellers.
+# This may be replaced when dependencies are built.

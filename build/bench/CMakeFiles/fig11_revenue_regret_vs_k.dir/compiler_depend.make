@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_revenue_regret_vs_k.
+# This may be replaced when dependencies are built.

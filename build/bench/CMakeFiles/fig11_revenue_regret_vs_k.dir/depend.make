@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_revenue_regret_vs_k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_avg_profit_vs_k.dir/fig12_avg_profit_vs_k.cc.o"
+  "CMakeFiles/fig12_avg_profit_vs_k.dir/fig12_avg_profit_vs_k.cc.o.d"
+  "fig12_avg_profit_vs_k"
+  "fig12_avg_profit_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_avg_profit_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

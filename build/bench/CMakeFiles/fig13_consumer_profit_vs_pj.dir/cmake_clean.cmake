@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_consumer_profit_vs_pj.dir/fig13_consumer_profit_vs_pj.cc.o"
+  "CMakeFiles/fig13_consumer_profit_vs_pj.dir/fig13_consumer_profit_vs_pj.cc.o.d"
+  "fig13_consumer_profit_vs_pj"
+  "fig13_consumer_profit_vs_pj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_consumer_profit_vs_pj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_consumer_profit_vs_pj.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_profit_vs_seller_time.dir/fig14_profit_vs_seller_time.cc.o"
+  "CMakeFiles/fig14_profit_vs_seller_time.dir/fig14_profit_vs_seller_time.cc.o.d"
+  "fig14_profit_vs_seller_time"
+  "fig14_profit_vs_seller_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_profit_vs_seller_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_profit_vs_cost_param.dir/fig15_profit_vs_cost_param.cc.o"
+  "CMakeFiles/fig15_profit_vs_cost_param.dir/fig15_profit_vs_cost_param.cc.o.d"
+  "fig15_profit_vs_cost_param"
+  "fig15_profit_vs_cost_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_profit_vs_cost_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

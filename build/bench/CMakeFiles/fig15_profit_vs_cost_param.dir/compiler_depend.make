@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_profit_vs_cost_param.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_strategy_vs_cost_param.dir/fig16_strategy_vs_cost_param.cc.o"
+  "CMakeFiles/fig16_strategy_vs_cost_param.dir/fig16_strategy_vs_cost_param.cc.o.d"
+  "fig16_strategy_vs_cost_param"
+  "fig16_strategy_vs_cost_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_strategy_vs_cost_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

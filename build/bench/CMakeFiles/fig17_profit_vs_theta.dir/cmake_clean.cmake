@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_profit_vs_theta.dir/fig17_profit_vs_theta.cc.o"
+  "CMakeFiles/fig17_profit_vs_theta.dir/fig17_profit_vs_theta.cc.o.d"
+  "fig17_profit_vs_theta"
+  "fig17_profit_vs_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_profit_vs_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

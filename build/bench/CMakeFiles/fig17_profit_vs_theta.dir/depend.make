@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_profit_vs_theta.
+# This may be replaced when dependencies are built.

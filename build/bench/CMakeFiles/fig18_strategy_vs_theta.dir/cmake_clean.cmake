@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_strategy_vs_theta.dir/fig18_strategy_vs_theta.cc.o"
+  "CMakeFiles/fig18_strategy_vs_theta.dir/fig18_strategy_vs_theta.cc.o.d"
+  "fig18_strategy_vs_theta"
+  "fig18_strategy_vs_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_strategy_vs_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_strategy_vs_theta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bandit.dir/micro_bandit.cc.o"
+  "CMakeFiles/micro_bandit.dir/micro_bandit.cc.o.d"
+  "micro_bandit"
+  "micro_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

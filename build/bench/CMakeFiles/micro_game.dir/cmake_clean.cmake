@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_game.dir/micro_game.cc.o"
+  "CMakeFiles/micro_game.dir/micro_game.cc.o.d"
+  "micro_game"
+  "micro_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

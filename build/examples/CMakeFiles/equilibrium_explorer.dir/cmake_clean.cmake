@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equilibrium_explorer.dir/equilibrium_explorer.cc.o"
+  "CMakeFiles/equilibrium_explorer.dir/equilibrium_explorer.cc.o.d"
+  "equilibrium_explorer"
+  "equilibrium_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equilibrium_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

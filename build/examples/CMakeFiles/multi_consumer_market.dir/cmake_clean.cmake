@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_consumer_market.dir/multi_consumer_market.cc.o"
+  "CMakeFiles/multi_consumer_market.dir/multi_consumer_market.cc.o.d"
+  "multi_consumer_market"
+  "multi_consumer_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_consumer_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonstationary_market.dir/nonstationary_market.cc.o"
+  "CMakeFiles/nonstationary_market.dir/nonstationary_market.cc.o.d"
+  "nonstationary_market"
+  "nonstationary_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonstationary_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/taxi_trace_market.cc" "examples/CMakeFiles/taxi_trace_market.dir/taxi_trace_market.cc.o" "gcc" "examples/CMakeFiles/taxi_trace_market.dir/taxi_trace_market.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cdt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/cdt_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cdt_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/cdt_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cdt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

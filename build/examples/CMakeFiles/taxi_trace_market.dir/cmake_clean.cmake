@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_trace_market.dir/taxi_trace_market.cc.o"
+  "CMakeFiles/taxi_trace_market.dir/taxi_trace_market.cc.o.d"
+  "taxi_trace_market"
+  "taxi_trace_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_trace_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_analysis.dir/run_analysis.cc.o"
+  "CMakeFiles/cdt_analysis.dir/run_analysis.cc.o.d"
+  "libcdt_analysis.a"
+  "libcdt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bandit/arm.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/arm.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/arm.cc.o.d"
+  "/root/repo/src/bandit/availability_policy.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/availability_policy.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/availability_policy.cc.o.d"
+  "/root/repo/src/bandit/baseline_policies.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/baseline_policies.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/baseline_policies.cc.o.d"
+  "/root/repo/src/bandit/cucb_policy.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/cucb_policy.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/cucb_policy.cc.o.d"
+  "/root/repo/src/bandit/delayed_feedback.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/delayed_feedback.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/delayed_feedback.cc.o.d"
+  "/root/repo/src/bandit/drift_environment.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/drift_environment.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/drift_environment.cc.o.d"
+  "/root/repo/src/bandit/environment.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/environment.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/environment.cc.o.d"
+  "/root/repo/src/bandit/extension_policies.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/extension_policies.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/extension_policies.cc.o.d"
+  "/root/repo/src/bandit/nonstationary_policies.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/nonstationary_policies.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/nonstationary_policies.cc.o.d"
+  "/root/repo/src/bandit/regret.cc" "src/bandit/CMakeFiles/cdt_bandit.dir/regret.cc.o" "gcc" "src/bandit/CMakeFiles/cdt_bandit.dir/regret.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_bandit.dir/arm.cc.o"
+  "CMakeFiles/cdt_bandit.dir/arm.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/availability_policy.cc.o"
+  "CMakeFiles/cdt_bandit.dir/availability_policy.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/baseline_policies.cc.o"
+  "CMakeFiles/cdt_bandit.dir/baseline_policies.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/cucb_policy.cc.o"
+  "CMakeFiles/cdt_bandit.dir/cucb_policy.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/delayed_feedback.cc.o"
+  "CMakeFiles/cdt_bandit.dir/delayed_feedback.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/drift_environment.cc.o"
+  "CMakeFiles/cdt_bandit.dir/drift_environment.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/environment.cc.o"
+  "CMakeFiles/cdt_bandit.dir/environment.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/extension_policies.cc.o"
+  "CMakeFiles/cdt_bandit.dir/extension_policies.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/nonstationary_policies.cc.o"
+  "CMakeFiles/cdt_bandit.dir/nonstationary_policies.cc.o.d"
+  "CMakeFiles/cdt_bandit.dir/regret.cc.o"
+  "CMakeFiles/cdt_bandit.dir/regret.cc.o.d"
+  "libcdt_bandit.a"
+  "libcdt_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cmab_hs.cc" "src/core/CMakeFiles/cdt_core.dir/cmab_hs.cc.o" "gcc" "src/core/CMakeFiles/cdt_core.dir/cmab_hs.cc.o.d"
+  "/root/repo/src/core/comparison.cc" "src/core/CMakeFiles/cdt_core.dir/comparison.cc.o" "gcc" "src/core/CMakeFiles/cdt_core.dir/comparison.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/cdt_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/cdt_core.dir/config.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/cdt_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/cdt_core.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/cdt_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cdt_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/cdt_market.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

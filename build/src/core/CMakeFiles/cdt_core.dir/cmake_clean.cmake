@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_core.dir/cmab_hs.cc.o"
+  "CMakeFiles/cdt_core.dir/cmab_hs.cc.o.d"
+  "CMakeFiles/cdt_core.dir/comparison.cc.o"
+  "CMakeFiles/cdt_core.dir/comparison.cc.o.d"
+  "CMakeFiles/cdt_core.dir/config.cc.o"
+  "CMakeFiles/cdt_core.dir/config.cc.o.d"
+  "CMakeFiles/cdt_core.dir/metrics.cc.o"
+  "CMakeFiles/cdt_core.dir/metrics.cc.o.d"
+  "libcdt_core.a"
+  "libcdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/auction.cc" "src/game/CMakeFiles/cdt_game.dir/auction.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/auction.cc.o.d"
+  "/root/repo/src/game/cost.cc" "src/game/CMakeFiles/cdt_game.dir/cost.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/cost.cc.o.d"
+  "/root/repo/src/game/equilibrium.cc" "src/game/CMakeFiles/cdt_game.dir/equilibrium.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/equilibrium.cc.o.d"
+  "/root/repo/src/game/numeric.cc" "src/game/CMakeFiles/cdt_game.dir/numeric.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/numeric.cc.o.d"
+  "/root/repo/src/game/profit.cc" "src/game/CMakeFiles/cdt_game.dir/profit.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/profit.cc.o.d"
+  "/root/repo/src/game/sensitivity.cc" "src/game/CMakeFiles/cdt_game.dir/sensitivity.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/sensitivity.cc.o.d"
+  "/root/repo/src/game/stackelberg.cc" "src/game/CMakeFiles/cdt_game.dir/stackelberg.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/stackelberg.cc.o.d"
+  "/root/repo/src/game/valuation.cc" "src/game/CMakeFiles/cdt_game.dir/valuation.cc.o" "gcc" "src/game/CMakeFiles/cdt_game.dir/valuation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_game.dir/auction.cc.o"
+  "CMakeFiles/cdt_game.dir/auction.cc.o.d"
+  "CMakeFiles/cdt_game.dir/cost.cc.o"
+  "CMakeFiles/cdt_game.dir/cost.cc.o.d"
+  "CMakeFiles/cdt_game.dir/equilibrium.cc.o"
+  "CMakeFiles/cdt_game.dir/equilibrium.cc.o.d"
+  "CMakeFiles/cdt_game.dir/numeric.cc.o"
+  "CMakeFiles/cdt_game.dir/numeric.cc.o.d"
+  "CMakeFiles/cdt_game.dir/profit.cc.o"
+  "CMakeFiles/cdt_game.dir/profit.cc.o.d"
+  "CMakeFiles/cdt_game.dir/sensitivity.cc.o"
+  "CMakeFiles/cdt_game.dir/sensitivity.cc.o.d"
+  "CMakeFiles/cdt_game.dir/stackelberg.cc.o"
+  "CMakeFiles/cdt_game.dir/stackelberg.cc.o.d"
+  "CMakeFiles/cdt_game.dir/valuation.cc.o"
+  "CMakeFiles/cdt_game.dir/valuation.cc.o.d"
+  "libcdt_game.a"
+  "libcdt_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/aggregation.cc" "src/market/CMakeFiles/cdt_market.dir/aggregation.cc.o" "gcc" "src/market/CMakeFiles/cdt_market.dir/aggregation.cc.o.d"
+  "/root/repo/src/market/ledger.cc" "src/market/CMakeFiles/cdt_market.dir/ledger.cc.o" "gcc" "src/market/CMakeFiles/cdt_market.dir/ledger.cc.o.d"
+  "/root/repo/src/market/marketplace.cc" "src/market/CMakeFiles/cdt_market.dir/marketplace.cc.o" "gcc" "src/market/CMakeFiles/cdt_market.dir/marketplace.cc.o.d"
+  "/root/repo/src/market/run_log.cc" "src/market/CMakeFiles/cdt_market.dir/run_log.cc.o" "gcc" "src/market/CMakeFiles/cdt_market.dir/run_log.cc.o.d"
+  "/root/repo/src/market/trading_engine.cc" "src/market/CMakeFiles/cdt_market.dir/trading_engine.cc.o" "gcc" "src/market/CMakeFiles/cdt_market.dir/trading_engine.cc.o.d"
+  "/root/repo/src/market/types.cc" "src/market/CMakeFiles/cdt_market.dir/types.cc.o" "gcc" "src/market/CMakeFiles/cdt_market.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/bandit/CMakeFiles/cdt_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cdt_game.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_market.dir/aggregation.cc.o"
+  "CMakeFiles/cdt_market.dir/aggregation.cc.o.d"
+  "CMakeFiles/cdt_market.dir/ledger.cc.o"
+  "CMakeFiles/cdt_market.dir/ledger.cc.o.d"
+  "CMakeFiles/cdt_market.dir/marketplace.cc.o"
+  "CMakeFiles/cdt_market.dir/marketplace.cc.o.d"
+  "CMakeFiles/cdt_market.dir/run_log.cc.o"
+  "CMakeFiles/cdt_market.dir/run_log.cc.o.d"
+  "CMakeFiles/cdt_market.dir/trading_engine.cc.o"
+  "CMakeFiles/cdt_market.dir/trading_engine.cc.o.d"
+  "CMakeFiles/cdt_market.dir/types.cc.o"
+  "CMakeFiles/cdt_market.dir/types.cc.o.d"
+  "libcdt_market.a"
+  "libcdt_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

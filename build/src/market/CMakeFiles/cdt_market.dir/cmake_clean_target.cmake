@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdt_market.a"
+)

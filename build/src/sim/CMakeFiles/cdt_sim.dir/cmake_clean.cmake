@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_sim.dir/experiment.cc.o"
+  "CMakeFiles/cdt_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/cdt_sim.dir/series.cc.o"
+  "CMakeFiles/cdt_sim.dir/series.cc.o.d"
+  "libcdt_sim.a"
+  "libcdt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

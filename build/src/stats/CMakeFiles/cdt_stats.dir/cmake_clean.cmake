@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_stats.dir/confidence.cc.o"
+  "CMakeFiles/cdt_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/cdt_stats.dir/distributions.cc.o"
+  "CMakeFiles/cdt_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/cdt_stats.dir/histogram.cc.o"
+  "CMakeFiles/cdt_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/cdt_stats.dir/rng.cc.o"
+  "CMakeFiles/cdt_stats.dir/rng.cc.o.d"
+  "CMakeFiles/cdt_stats.dir/summary.cc.o"
+  "CMakeFiles/cdt_stats.dir/summary.cc.o.d"
+  "CMakeFiles/cdt_stats.dir/tests.cc.o"
+  "CMakeFiles/cdt_stats.dir/tests.cc.o.d"
+  "libcdt_stats.a"
+  "libcdt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/availability.cc" "src/trace/CMakeFiles/cdt_trace.dir/availability.cc.o" "gcc" "src/trace/CMakeFiles/cdt_trace.dir/availability.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/trace/CMakeFiles/cdt_trace.dir/generator.cc.o" "gcc" "src/trace/CMakeFiles/cdt_trace.dir/generator.cc.o.d"
+  "/root/repo/src/trace/loader.cc" "src/trace/CMakeFiles/cdt_trace.dir/loader.cc.o" "gcc" "src/trace/CMakeFiles/cdt_trace.dir/loader.cc.o.d"
+  "/root/repo/src/trace/poi.cc" "src/trace/CMakeFiles/cdt_trace.dir/poi.cc.o" "gcc" "src/trace/CMakeFiles/cdt_trace.dir/poi.cc.o.d"
+  "/root/repo/src/trace/seller_mapping.cc" "src/trace/CMakeFiles/cdt_trace.dir/seller_mapping.cc.o" "gcc" "src/trace/CMakeFiles/cdt_trace.dir/seller_mapping.cc.o.d"
+  "/root/repo/src/trace/trip.cc" "src/trace/CMakeFiles/cdt_trace.dir/trip.cc.o" "gcc" "src/trace/CMakeFiles/cdt_trace.dir/trip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cdt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_trace.dir/availability.cc.o"
+  "CMakeFiles/cdt_trace.dir/availability.cc.o.d"
+  "CMakeFiles/cdt_trace.dir/generator.cc.o"
+  "CMakeFiles/cdt_trace.dir/generator.cc.o.d"
+  "CMakeFiles/cdt_trace.dir/loader.cc.o"
+  "CMakeFiles/cdt_trace.dir/loader.cc.o.d"
+  "CMakeFiles/cdt_trace.dir/poi.cc.o"
+  "CMakeFiles/cdt_trace.dir/poi.cc.o.d"
+  "CMakeFiles/cdt_trace.dir/seller_mapping.cc.o"
+  "CMakeFiles/cdt_trace.dir/seller_mapping.cc.o.d"
+  "CMakeFiles/cdt_trace.dir/trip.cc.o"
+  "CMakeFiles/cdt_trace.dir/trip.cc.o.d"
+  "libcdt_trace.a"
+  "libcdt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdt_util.dir/config.cc.o"
+  "CMakeFiles/cdt_util.dir/config.cc.o.d"
+  "CMakeFiles/cdt_util.dir/csv.cc.o"
+  "CMakeFiles/cdt_util.dir/csv.cc.o.d"
+  "CMakeFiles/cdt_util.dir/logging.cc.o"
+  "CMakeFiles/cdt_util.dir/logging.cc.o.d"
+  "CMakeFiles/cdt_util.dir/math_util.cc.o"
+  "CMakeFiles/cdt_util.dir/math_util.cc.o.d"
+  "CMakeFiles/cdt_util.dir/status.cc.o"
+  "CMakeFiles/cdt_util.dir/status.cc.o.d"
+  "CMakeFiles/cdt_util.dir/string_util.cc.o"
+  "CMakeFiles/cdt_util.dir/string_util.cc.o.d"
+  "CMakeFiles/cdt_util.dir/table_printer.cc.o"
+  "CMakeFiles/cdt_util.dir/table_printer.cc.o.d"
+  "libcdt_util.a"
+  "libcdt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arm_test.dir/bandit/arm_test.cc.o"
+  "CMakeFiles/arm_test.dir/bandit/arm_test.cc.o.d"
+  "arm_test"
+  "arm_test.pdb"
+  "arm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

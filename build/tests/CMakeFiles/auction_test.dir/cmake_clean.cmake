@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_test.dir/game/auction_test.cc.o"
+  "CMakeFiles/auction_test.dir/game/auction_test.cc.o.d"
+  "auction_test"
+  "auction_test.pdb"
+  "auction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

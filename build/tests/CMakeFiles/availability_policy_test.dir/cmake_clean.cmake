@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_policy_test.dir/bandit/availability_policy_test.cc.o"
+  "CMakeFiles/availability_policy_test.dir/bandit/availability_policy_test.cc.o.d"
+  "availability_policy_test"
+  "availability_policy_test.pdb"
+  "availability_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_policies_test.dir/bandit/baseline_policies_test.cc.o"
+  "CMakeFiles/baseline_policies_test.dir/bandit/baseline_policies_test.cc.o.d"
+  "baseline_policies_test"
+  "baseline_policies_test.pdb"
+  "baseline_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

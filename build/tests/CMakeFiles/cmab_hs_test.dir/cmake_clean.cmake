@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmab_hs_test.dir/core/cmab_hs_test.cc.o"
+  "CMakeFiles/cmab_hs_test.dir/core/cmab_hs_test.cc.o.d"
+  "cmab_hs_test"
+  "cmab_hs_test.pdb"
+  "cmab_hs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmab_hs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

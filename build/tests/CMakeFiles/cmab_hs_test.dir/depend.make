@@ -1,0 +1,2 @@
+# Empty dependencies file for cmab_hs_test.
+# This may be replaced when dependencies are built.

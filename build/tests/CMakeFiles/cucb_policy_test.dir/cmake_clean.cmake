@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cucb_policy_test.dir/bandit/cucb_policy_test.cc.o"
+  "CMakeFiles/cucb_policy_test.dir/bandit/cucb_policy_test.cc.o.d"
+  "cucb_policy_test"
+  "cucb_policy_test.pdb"
+  "cucb_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cucb_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delayed_feedback_test.dir/bandit/delayed_feedback_test.cc.o"
+  "CMakeFiles/delayed_feedback_test.dir/bandit/delayed_feedback_test.cc.o.d"
+  "delayed_feedback_test"
+  "delayed_feedback_test.pdb"
+  "delayed_feedback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delayed_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_environment_test.dir/bandit/drift_environment_test.cc.o"
+  "CMakeFiles/drift_environment_test.dir/bandit/drift_environment_test.cc.o.d"
+  "drift_environment_test"
+  "drift_environment_test.pdb"
+  "drift_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

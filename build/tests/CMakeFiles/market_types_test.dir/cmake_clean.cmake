@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_types_test.dir/market/types_test.cc.o"
+  "CMakeFiles/market_types_test.dir/market/types_test.cc.o.d"
+  "market_types_test"
+  "market_types_test.pdb"
+  "market_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonstationary_policies_test.dir/bandit/nonstationary_policies_test.cc.o"
+  "CMakeFiles/nonstationary_policies_test.dir/bandit/nonstationary_policies_test.cc.o.d"
+  "nonstationary_policies_test"
+  "nonstationary_policies_test.pdb"
+  "nonstationary_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonstationary_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

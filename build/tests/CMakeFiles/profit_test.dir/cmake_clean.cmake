@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profit_test.dir/game/profit_test.cc.o"
+  "CMakeFiles/profit_test.dir/game/profit_test.cc.o.d"
+  "profit_test"
+  "profit_test.pdb"
+  "profit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_analysis_test.dir/analysis/run_analysis_test.cc.o"
+  "CMakeFiles/run_analysis_test.dir/analysis/run_analysis_test.cc.o.d"
+  "run_analysis_test"
+  "run_analysis_test.pdb"
+  "run_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_log_test.dir/market/run_log_test.cc.o"
+  "CMakeFiles/run_log_test.dir/market/run_log_test.cc.o.d"
+  "run_log_test"
+  "run_log_test.pdb"
+  "run_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

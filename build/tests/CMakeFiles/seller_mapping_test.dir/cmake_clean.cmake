@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seller_mapping_test.dir/trace/seller_mapping_test.cc.o"
+  "CMakeFiles/seller_mapping_test.dir/trace/seller_mapping_test.cc.o.d"
+  "seller_mapping_test"
+  "seller_mapping_test.pdb"
+  "seller_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seller_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackelberg_test.dir/game/stackelberg_test.cc.o"
+  "CMakeFiles/stackelberg_test.dir/game/stackelberg_test.cc.o.d"
+  "stackelberg_test"
+  "stackelberg_test.pdb"
+  "stackelberg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackelberg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests_test.dir/stats/tests_test.cc.o"
+  "CMakeFiles/stats_tests_test.dir/stats/tests_test.cc.o.d"
+  "stats_tests_test"
+  "stats_tests_test.pdb"
+  "stats_tests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_statistics_test.dir/trace/trace_statistics_test.cc.o"
+  "CMakeFiles/trace_statistics_test.dir/trace/trace_statistics_test.cc.o.d"
+  "trace_statistics_test"
+  "trace_statistics_test.pdb"
+  "trace_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

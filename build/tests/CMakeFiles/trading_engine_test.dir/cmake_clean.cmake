@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_engine_test.dir/market/trading_engine_test.cc.o"
+  "CMakeFiles/trading_engine_test.dir/market/trading_engine_test.cc.o.d"
+  "trading_engine_test"
+  "trading_engine_test.pdb"
+  "trading_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_test.dir/trace/trip_test.cc.o"
+  "CMakeFiles/trip_test.dir/trace/trip_test.cc.o.d"
+  "trip_test"
+  "trip_test.pdb"
+  "trip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

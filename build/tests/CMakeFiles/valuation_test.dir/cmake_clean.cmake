@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valuation_test.dir/game/valuation_test.cc.o"
+  "CMakeFiles/valuation_test.dir/game/valuation_test.cc.o.d"
+  "valuation_test"
+  "valuation_test.pdb"
+  "valuation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valuation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
