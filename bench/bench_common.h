@@ -20,10 +20,13 @@
 namespace cdt {
 namespace benchx {
 
-/// Table-II defaults with the harness seed applied.
+/// Table-II defaults with the harness seed applied. Invariant checking is
+/// off for Release sweeps (it re-solves every round's game); the CI smoke
+/// run covers an invariants-armed bench separately.
 inline core::MechanismConfig PaperConfig(const sim::BenchFlags& flags) {
   core::MechanismConfig config;
   config.seed = flags.seed;
+  config.check_invariants = false;
   return config;
 }
 

@@ -13,6 +13,7 @@ void BM_FullTradingRound(benchmark::State& state) {
   core::MechanismConfig config;
   config.num_selected = static_cast<int>(state.range(0));
   config.num_rounds = 1 << 30;  // never exhausts within the benchmark
+  config.check_invariants = false;
   auto run = core::CmabHs::Create(config);
   (void)run.value()->RunRound();  // initial exploration outside the loop
   for (auto _ : state) {
@@ -21,12 +22,34 @@ void BM_FullTradingRound(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTradingRound)->Arg(10)->Arg(60);
 
+// Same round loop with the economic-invariant checker armed: measures the
+// checker's overhead and doubles as the CI smoke run
+// (--benchmark_filter=Invariants).
+void BM_FullTradingRoundInvariants(benchmark::State& state) {
+  core::MechanismConfig config;
+  config.num_selected = static_cast<int>(state.range(0));
+  config.num_rounds = 1 << 30;
+  config.check_invariants = true;
+  auto run = core::CmabHs::Create(config);
+  (void)run.value()->RunRound();
+  for (auto _ : state) {
+    auto report = run.value()->RunRound();
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_FullTradingRoundInvariants)->Arg(10);
+
 void BM_FullRunThousandRounds(benchmark::State& state) {
   for (auto _ : state) {
     core::MechanismConfig config;
     config.num_sellers = 100;
     config.num_selected = 10;
     config.num_rounds = 1000;
+    config.check_invariants = false;
     auto run = core::CmabHs::Create(config);
     benchmark::DoNotOptimize(run.value()->RunAll());
   }

@@ -95,6 +95,7 @@ market::EngineConfig MechanismConfig::MakeEngineConfig() const {
   engine.initial_tau = initial_tau;
   engine.quality_floor = quality_floor;
   engine.track_transfers = track_transfers;
+  engine.check_invariants = check_invariants;
   engine.consumer_budget = consumer_budget;
   return engine;
 }

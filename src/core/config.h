@@ -47,6 +47,11 @@ struct MechanismConfig {
   bool select_all_first_round = true;
   double quality_floor = 1e-3;
   bool track_transfers = false;
+  /// Arm the per-round economic-invariant checker (ledger conservation,
+  /// individual rationality, stationarity, bandit sanity). Defaults on so
+  /// tests and examples always run under the net; the benchmark harnesses
+  /// disable it for Release sweeps.
+  bool check_invariants = true;
   /// Budget extension: 0 = unlimited (the paper's setting); > 0 stops the
   /// campaign once the consumer's cumulative reward payments reach it.
   double consumer_budget = 0.0;

@@ -71,9 +71,24 @@ Result<std::unique_ptr<TradingEngine>> TradingEngine::Create(
   Result<bandit::EstimatorBank> bank =
       bandit::EstimatorBank::Create(environment->num_sellers(), 1.0);
   if (!bank.ok()) return bank.status();
-  return std::unique_ptr<TradingEngine>(
+  bool check_invariants = config.check_invariants;
+  auto engine = std::unique_ptr<TradingEngine>(
       new TradingEngine(std::move(config), environment, std::move(policy),
                         std::move(bank).value()));
+  engine->oracle_round_revenue_ =
+      static_cast<double>(engine->config_.job.num_pois) *
+      environment->OptimalSetQuality(engine->config_.num_selected);
+  if (check_invariants) {
+    engine->checker_ = static_cast<InvariantChecker*>(
+        engine->AddObserver(std::make_unique<InvariantChecker>()));
+  }
+  return engine;
+}
+
+RoundObserver* TradingEngine::AddObserver(
+    std::unique_ptr<RoundObserver> observer) {
+  observers_.push_back(std::move(observer));
+  return observers_.back().get();
 }
 
 double TradingEngine::GameQuality(int seller) const {
@@ -195,6 +210,9 @@ Result<RoundReport> TradingEngine::RunRound() {
 
   CDT_RETURN_NOT_OK(SettlePayments(report));
   ++next_round_;
+  for (const std::unique_ptr<RoundObserver>& observer : observers_) {
+    CDT_RETURN_NOT_OK(observer->OnRound(*this, report));
+  }
   return report;
 }
 

@@ -14,6 +14,7 @@
 #include "bandit/environment.h"
 #include "bandit/policy.h"
 #include "game/stackelberg.h"
+#include "market/invariants.h"
 #include "market/ledger.h"
 #include "market/types.h"
 
@@ -45,6 +46,12 @@ struct EngineConfig {
   /// Record every monetary transfer in the ledger (memory ~ N·K; disable
   /// for large-N benchmark sweeps — balances are still maintained).
   bool track_transfers = false;
+  /// Arm the economic-invariant checker: after every settled round an
+  /// InvariantChecker verifies ledger conservation, individual rationality,
+  /// Stackelberg stationarity and bandit sanity, and a violation aborts the
+  /// run with a structured error. On by default so tests and examples run
+  /// under the net; Release benchmark sweeps switch it off.
+  bool check_invariants = true;
 
   util::Status Validate(int num_sellers) const;
 };
@@ -78,10 +85,24 @@ class TradingEngine {
   const EngineConfig& config() const { return config_; }
   const Ledger& ledger() const { return ledger_; }
   const bandit::SelectionPolicy& policy() const { return *policy_; }
+  const bandit::QualityEnvironment& environment() const {
+    return *environment_;
+  }
 
   /// The engine's own learned quality estimates used for game pricing
   /// (independent of any estimator the policy maintains).
   const bandit::EstimatorBank& pricing_estimates() const { return bank_; }
+
+  /// Registers an observer invoked after every settled round, in
+  /// registration order; a non-OK status aborts the run. Returns a
+  /// non-owning pointer for later inspection.
+  RoundObserver* AddObserver(std::unique_ptr<RoundObserver> observer);
+
+  /// The checker installed by check_invariants (nullptr when disarmed).
+  const InvariantChecker* invariant_checker() const { return checker_; }
+
+  /// Oracle per-round expected revenue L · Σ_{S*} q (regret baseline).
+  double oracle_round_revenue() const { return oracle_round_revenue_; }
 
  private:
   TradingEngine(EngineConfig config, bandit::QualityEnvironment* environment,
@@ -99,6 +120,9 @@ class TradingEngine {
   std::unique_ptr<bandit::SelectionPolicy> policy_;
   bandit::EstimatorBank bank_;
   Ledger ledger_;
+  std::vector<std::unique_ptr<RoundObserver>> observers_;
+  InvariantChecker* checker_ = nullptr;  // owned via observers_
+  double oracle_round_revenue_ = 0.0;
   std::int64_t next_round_ = 1;
   bool budget_exhausted_ = false;
   double consumer_spend_ = 0.0;

@@ -41,6 +41,48 @@ TEST(MechanismConfigTest, ValidationCatchesBadRanges) {
   EXPECT_FALSE(config.Validate().ok());
 }
 
+TEST(MechanismConfigTest, RejectionsCarryDescriptiveMessages) {
+  MechanismConfig config;
+  config.num_selected = config.num_sellers + 1;  // K > M
+  util::Status status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("K <= M"), std::string::npos)
+      << status.ToString();
+
+  config = {};
+  config.quality_floor = 0.0;
+  status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("quality_floor"), std::string::npos)
+      << status.ToString();
+  config.quality_floor = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = {};
+  config.consumer_price_min = 200.0;  // inverted interval
+  status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("consumer price bounds"), std::string::npos)
+      << status.ToString();
+
+  config = {};
+  config.collection_price_min = 50.0;  // inverted interval
+  status = config.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("collection price bounds"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(MechanismConfigTest, CheckInvariantsFlagFlowsToEngineConfig) {
+  MechanismConfig config;
+  EXPECT_TRUE(config.check_invariants);  // armed by default
+  EXPECT_TRUE(config.MakeEngineConfig().check_invariants);
+  config.check_invariants = false;
+  EXPECT_FALSE(config.MakeEngineConfig().check_invariants);
+}
+
 TEST(MechanismConfigTest, SellerCostsWithinConfiguredRanges) {
   MechanismConfig config;
   auto costs = config.MakeSellerCosts();

@@ -1,0 +1,65 @@
+// Property suite for the invariant checker: randomized full CMAB-HS runs
+// (random scale, economics, price boxes and sensing caps) must finish with
+// the armed checker reporting zero violations. Each seed drives one
+// complete rounds-loop, so the suite sweeps well over 50 independent runs.
+
+#include <gtest/gtest.h>
+
+#include "core/cmab_hs.h"
+#include "market/invariants.h"
+#include "stats/rng.h"
+#include "support/generators.h"
+
+namespace cdt {
+namespace core {
+namespace {
+
+class InvariantPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(InvariantPropertyTest, RandomizedRunIsViolationFree) {
+  stats::Xoshiro256 rng(GetParam());
+  MechanismConfig config = testsupport::RandomMechanismConfig(rng);
+  ASSERT_TRUE(config.Validate().ok());
+  ASSERT_TRUE(config.check_invariants);
+
+  auto run = CmabHs::Create(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  util::Status status = run.value()->RunAll();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  const market::InvariantChecker* checker =
+      run.value()->engine().invariant_checker();
+  ASSERT_NE(checker, nullptr);
+  EXPECT_EQ(checker->violation_count(), 0u);
+  EXPECT_FALSE(checker->violations_truncated());
+}
+
+// Every CMAB policy variant must pass under the same net (the checker sees
+// the engine's flows, not the policy internals, so any selection rule that
+// produces legal rounds must be violation-free).
+TEST_P(InvariantPropertyTest, RandomizedRunIsViolationFreeAcrossPolicies) {
+  stats::Xoshiro256 rng(GetParam() ^ 0xB0B0B0B0ULL);
+  MechanismConfig config = testsupport::RandomMechanismConfig(rng);
+  config.num_rounds = 25;
+  for (PolicyKind kind : {PolicyKind::kCmabHs, PolicyKind::kEpsilonGreedy,
+                          PolicyKind::kRandom, PolicyKind::kThompson}) {
+    PolicySpec spec;
+    spec.kind = kind;
+    auto run = CmabHs::Create(config, spec);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    util::Status status = run.value()->RunAll();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    const market::InvariantChecker* checker =
+        run.value()->engine().invariant_checker();
+    ASSERT_NE(checker, nullptr);
+    EXPECT_EQ(checker->violation_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantPropertyTest,
+                         ::testing::Range<std::uint64_t>(3000, 3060));
+
+}  // namespace
+}  // namespace core
+}  // namespace cdt

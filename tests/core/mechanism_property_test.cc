@@ -86,7 +86,7 @@ TEST_P(MechanismPropertyTest, PerRoundInvariantsHold) {
                   static_cast<double>(config.num_pois) *
                       static_cast<double>(report.selected.size()) + 1e-9);
       });
-  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(status.ok()) << status.ToString();
 
   // Whole-run accounting.
   const market::Ledger& ledger = run.value()->engine().ledger();

@@ -11,35 +11,19 @@
 #include "game/numeric.h"
 #include "game/stackelberg.h"
 #include "stats/rng.h"
+#include "support/generators.h"
 
 namespace cdt {
 namespace game {
 namespace {
 
-GameConfig FuzzConfig(stats::Xoshiro256& rng) {
-  GameConfig config;
-  int k = 1 + static_cast<int>(rng.NextBounded(25));
-  for (int i = 0; i < k; ++i) {
-    config.sellers.push_back(
-        {rng.NextDouble(0.05, 2.0), rng.NextDouble(0.0, 2.0)});
-    config.qualities.push_back(rng.NextDouble(0.01, 1.0));
-  }
-  config.platform = {rng.NextDouble(0.01, 2.0), rng.NextDouble(0.0, 3.0)};
-  config.valuation = {rng.NextDouble(1.5, 2000.0)};
-  // Mix of binding and non-binding boxes/caps.
-  double p_hi = rng.NextDouble(0.5, 50.0);
-  config.collection_price_bounds = {0.01, p_hi};
-  config.consumer_price_bounds = {0.01, rng.NextDouble(5.0, 400.0)};
-  config.max_sensing_time =
-      rng.NextDouble() < 0.5 ? rng.NextDouble(0.1, 5.0) : 1e6;
-  return config;
-}
+using testsupport::RandomGameConfig;
 
 class SolverFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SolverFuzzTest, PlatformBestResponseMatchesNumeric) {
   stats::Xoshiro256 rng(GetParam());
-  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  auto solver = StackelbergSolver::Create(RandomGameConfig(rng));
   ASSERT_TRUE(solver.ok());
   const util::Interval& box =
       solver.value().config().collection_price_bounds;
@@ -58,7 +42,7 @@ TEST_P(SolverFuzzTest, PlatformBestResponseMatchesNumeric) {
 
 TEST_P(SolverFuzzTest, ConsumerBestPriceMatchesNumeric) {
   stats::Xoshiro256 rng(GetParam() ^ 0xABCDEF);
-  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  auto solver = StackelbergSolver::Create(RandomGameConfig(rng));
   ASSERT_TRUE(solver.ok());
   double pj = solver.value().ConsumerBestPrice();
   double value = solver.value().ConsumerProfitAnticipating(pj);
@@ -71,7 +55,7 @@ TEST_P(SolverFuzzTest, ConsumerBestPriceMatchesNumeric) {
 
 TEST_P(SolverFuzzTest, SolvedProfileIsEquilibriumAndFinite) {
   stats::Xoshiro256 rng(GetParam() ^ 0x55AA55);
-  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  auto solver = StackelbergSolver::Create(RandomGameConfig(rng));
   ASSERT_TRUE(solver.ok());
   StrategyProfile profile = solver.value().Solve();
   EXPECT_TRUE(std::isfinite(profile.consumer_profit));
@@ -92,7 +76,7 @@ TEST_P(SolverFuzzTest, SolvedProfileIsEquilibriumAndFinite) {
 
 TEST_P(SolverFuzzTest, TotalTimeAtMatchesDirectSum) {
   stats::Xoshiro256 rng(GetParam() ^ 0x777);
-  auto solver = StackelbergSolver::Create(FuzzConfig(rng));
+  auto solver = StackelbergSolver::Create(RandomGameConfig(rng));
   ASSERT_TRUE(solver.ok());
   const util::Interval& box =
       solver.value().config().collection_price_bounds;

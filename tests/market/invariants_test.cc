@@ -1,0 +1,426 @@
+// Unit tests for the economic-invariant checker: clean engine runs stay
+// violation-free, and deliberately broken states (mutated ledger entries,
+// loss-making sellers, frozen bandit counters, doctored prices) are caught
+// with structured violation records.
+
+#include "market/invariants.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bandit/cucb_policy.h"
+#include "core/cmab_hs.h"
+#include "game/profit.h"
+#include "game/stackelberg.h"
+#include "market/trading_engine.h"
+#include "stats/rng.h"
+
+namespace cdt {
+namespace market {
+namespace {
+
+// --- fabricated-state helpers -------------------------------------------
+
+// A two-seller exploration round whose report is internally consistent;
+// tests then mutate one side of it. Exploration rounds skip the IR and
+// stationarity families, isolating the ledger checks. (The view holds
+// pointers into the scenario, so it is built in place, never copied.)
+struct BrokenScenario {
+  Ledger ledger{2, true};
+  std::vector<game::SellerCostParams> costs{{0.2, 0.5}, {0.3, 0.4}};
+  EngineStateView view;
+  RoundReport report;
+
+  BrokenScenario() {
+    view.seller_costs = &costs;
+    view.ledger = &ledger;
+    view.platform_cost = {0.1, 1.0};
+    view.valuation = {100.0};
+    view.consumer_price_bounds = {0.01, 100.0};
+    view.collection_price_bounds = {0.01, 5.0};
+    view.max_sensing_time = 1000.0;
+    view.num_pois = 4;
+    view.num_selected = 2;
+
+    RoundReport& r = report;
+    r.round = 1;
+    r.initial_exploration = true;
+    r.selected = {0, 1};
+    r.tau = {1.0, 2.0};
+    r.total_time = 3.0;
+    r.collection_price = 1.0;
+    r.consumer_price = 3.0;
+    r.game_qualities = {0.5, 0.5};
+    r.seller_profits.resize(2);
+    for (int j = 0; j < 2; ++j) {
+      r.seller_profits[j] = game::SellerProfit(
+          r.collection_price, r.tau[j], costs[j], r.game_qualities[j]);
+      r.seller_profit_total += r.seller_profits[j];
+    }
+    r.platform_profit =
+        game::PlatformProfit(r.consumer_price, r.collection_price,
+                             r.total_time, view.platform_cost);
+    r.consumer_profit = game::ConsumerProfit(r.consumer_price, 0.5,
+                                             r.total_time, view.valuation);
+  }
+};
+
+// Settles the scenario's payments faithfully, with `skim` withheld from
+// seller 0's payment (skim = 0 reproduces the engine's settlement exactly).
+void Settle(BrokenScenario& s, double skim) {
+  const RoundReport& r = s.report;
+  ASSERT_TRUE(s.ledger
+                  .Record(r.round, kConsumerAccount, kPlatformAccount,
+                          r.consumer_price * r.total_time, "reward")
+                  .ok());
+  ASSERT_TRUE(s.ledger
+                  .Record(r.round, kPlatformAccount, 0,
+                          r.collection_price * r.tau[0] - skim, "pay")
+                  .ok());
+  ASSERT_TRUE(s.ledger
+                  .Record(r.round, kPlatformAccount, 1,
+                          r.collection_price * r.tau[1], "pay")
+                  .ok());
+}
+
+TEST(InvariantCheckerTest, ConsistentFabricatedRoundPasses) {
+  BrokenScenario s;
+  Settle(s, 0.0);
+  InvariantChecker checker;
+  EXPECT_TRUE(checker.Check(s.view, s.report).ok());
+  EXPECT_EQ(checker.violation_count(), 0u);
+}
+
+TEST(InvariantCheckerTest, MutatedLedgerEntryIsDetected) {
+  BrokenScenario s;
+  Settle(s, 0.25);  // platform skims a quarter from seller 0's payment
+  InvariantChecker checker;
+  util::Status status = checker.Check(s.view, s.report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("invariant violation in round 1"),
+            std::string::npos)
+      << status.ToString();
+
+  ASSERT_GE(checker.violation_count(), 1u);
+  bool found = false;
+  for (const InvariantViolation& v : checker.violations()) {
+    EXPECT_EQ(v.kind, InvariantKind::kLedgerConservation);
+    EXPECT_EQ(v.round, 1);
+    if (v.check == "ledger.seller_balance") {
+      found = true;
+      EXPECT_NEAR(v.magnitude, 0.25, 1e-9);
+      EXPECT_NE(v.detail.find("seller 0"), std::string::npos) << v.detail;
+    }
+  }
+  EXPECT_TRUE(found) << "no ledger.seller_balance record";
+}
+
+TEST(InvariantCheckerTest, DoctoredReportProfitIsDetected) {
+  BrokenScenario s;
+  Settle(s, 0.0);
+  s.report.platform_profit += 0.5;  // report inflates the platform's profit
+  InvariantChecker checker;
+  EXPECT_FALSE(checker.Check(s.view, s.report).ok());
+  bool flow = false, profit = false;
+  for (const InvariantViolation& v : checker.violations()) {
+    flow = flow || v.check == "ledger.flow_identity";
+    profit = profit || v.check == "report.platform_profit";
+  }
+  EXPECT_TRUE(flow);
+  EXPECT_TRUE(profit);
+}
+
+TEST(InvariantCheckerTest, LossMakingSellerViolatesIr) {
+  BrokenScenario s;
+  // Regular round: τ = 2 at a collection price far below marginal cost.
+  s.report.initial_exploration = false;
+  s.report.collection_price = 0.1;
+  s.report.consumer_price = 3.0;
+  for (int j = 0; j < 2; ++j) {
+    s.report.seller_profits[j] =
+        game::SellerProfit(s.report.collection_price, s.report.tau[j],
+                           s.costs[j], s.report.game_qualities[j]);
+  }
+  s.report.seller_profit_total =
+      s.report.seller_profits[0] + s.report.seller_profits[1];
+  s.report.platform_profit =
+      game::PlatformProfit(s.report.consumer_price, s.report.collection_price,
+                           s.report.total_time, s.view.platform_cost);
+  Settle(s, 0.0);
+  ASSERT_LT(s.report.seller_profits[1], 0.0);
+
+  InvariantOptions options;
+  options.check_stationarity = false;  // the round is deliberately off-path
+  InvariantChecker checker(options);
+  EXPECT_FALSE(checker.Check(s.view, s.report).ok());
+  bool found = false;
+  for (const InvariantViolation& v : checker.violations()) {
+    if (v.check == "ir.seller") {
+      found = true;
+      EXPECT_EQ(v.kind, InvariantKind::kIndividualRationality);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantCheckerTest, SuboptimalCollectionPriceViolatesStationarity) {
+  // Solve a real game, then report the platform charging the box floor
+  // instead of its best response (sellers re-respond, profits recomputed:
+  // every other family stays consistent).
+  game::GameConfig config;
+  config.sellers = {{0.2, 0.5}, {0.3, 0.4}};
+  config.qualities = {0.8, 0.8};
+  config.platform = {0.1, 1.0};
+  config.valuation = {100.0};
+  config.consumer_price_bounds = {0.01, 100.0};
+  config.collection_price_bounds = {0.01, 10.0};
+  config.max_sensing_time = 1e6;
+  auto solver = game::StackelbergSolver::Create(config);
+  ASSERT_TRUE(solver.ok());
+  game::StrategyProfile eq = solver.value().Solve();
+
+  std::vector<game::SellerCostParams> costs = config.sellers;
+  EngineStateView view;
+  view.seller_costs = &costs;
+  view.platform_cost = config.platform;
+  view.valuation = config.valuation;
+  view.consumer_price_bounds = config.consumer_price_bounds;
+  view.collection_price_bounds = config.collection_price_bounds;
+  view.max_sensing_time = config.max_sensing_time;
+  view.num_pois = 4;
+  view.num_selected = 2;
+
+  RoundReport report;
+  report.round = 1;
+  report.selected = {0, 1};
+  report.consumer_price = eq.consumer_price;
+  report.collection_price = config.collection_price_bounds.lo;
+  report.tau = solver.value().SellerBestTimes(report.collection_price);
+  report.total_time = game::TotalTime(report.tau);
+  report.game_qualities = config.qualities;
+  report.seller_profits.resize(2);
+  for (int j = 0; j < 2; ++j) {
+    report.seller_profits[j] =
+        game::SellerProfit(report.collection_price, report.tau[j], costs[j],
+                           report.game_qualities[j]);
+    report.seller_profit_total += report.seller_profits[j];
+  }
+  report.platform_profit =
+      game::PlatformProfit(report.consumer_price, report.collection_price,
+                           report.total_time, view.platform_cost);
+  report.consumer_profit = game::ConsumerProfit(
+      report.consumer_price, 0.8, report.total_time, view.valuation);
+
+  InvariantChecker checker;
+  EXPECT_FALSE(checker.Check(view, report).ok());
+  bool found = false;
+  for (const InvariantViolation& v : checker.violations()) {
+    if (v.check == "stationarity.platform_opt") {
+      found = true;
+      EXPECT_EQ(v.kind, InvariantKind::kStationarity);
+      EXPECT_GT(v.magnitude, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantCheckerTest, FrozenBanditCounterIsDetected) {
+  BrokenScenario s;
+  auto bank = bandit::EstimatorBank::Create(2, 1.0);
+  ASSERT_TRUE(bank.ok());
+  std::vector<double> obs(4, 0.5);
+  ASSERT_TRUE(bank.value().Update(0, obs).ok());
+  ASSERT_TRUE(bank.value().Update(1, obs).ok());
+  s.view.estimates = &bank.value();
+
+  InvariantChecker checker;
+  Settle(s, 0.0);
+  ASSERT_TRUE(checker.Check(s.view, s.report).ok());
+
+  // Round 2 reuses the same bank without new observations: both the total
+  // and the per-arm counters fail to advance by L per selected seller.
+  BrokenScenario s2;
+  s2.report.round = 2;
+  s2.view.estimates = &bank.value();
+  // Rebuild the cumulative ledger the checker expects after two rounds.
+  Settle(s2, 0.0);
+  s2.report.round = 2;  // re-settle under round 2's id for entry bookkeeping
+  util::Status status = checker.Check(s2.view, s2.report);
+  // The fresh scenario's ledger only holds one round of money, so ledger
+  // violations fire too; the bandit family must be among them.
+  ASSERT_FALSE(status.ok());
+  bool counter = false;
+  for (const InvariantViolation& v : checker.violations()) {
+    if (v.check == "bandit.total_counter" || v.check == "bandit.arm_counter") {
+      counter = true;
+      EXPECT_EQ(v.kind, InvariantKind::kBanditSanity);
+    }
+  }
+  EXPECT_TRUE(counter);
+}
+
+TEST(InvariantCheckerTest, RegretMonotonicityViolationIsDetected) {
+  BrokenScenario s;
+  Settle(s, 0.0);
+  s.view.oracle_round_revenue = 1.0;
+  s.report.expected_quality_revenue = 2.0;  // "beats" the oracle: impossible
+  InvariantChecker checker;
+  EXPECT_FALSE(checker.Check(s.view, s.report).ok());
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].check, "bandit.regret_monotone");
+  EXPECT_NEAR(checker.violations()[0].magnitude, 1.0, 1e-9);
+}
+
+TEST(InvariantCheckerTest, NonMonotoneRoundNumbersAreDetected) {
+  BrokenScenario s;
+  Settle(s, 0.0);
+  InvariantChecker checker;
+  ASSERT_TRUE(checker.Check(s.view, s.report).ok());
+  util::Status status = checker.Check(s.view, s.report);  // round 1 again
+  ASSERT_FALSE(status.ok());
+  bool found = false;
+  for (const InvariantViolation& v : checker.violations()) {
+    found = found || v.check == "round.monotone";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantCheckerTest, MalformedReportShapeIsDetected) {
+  BrokenScenario s;
+  Settle(s, 0.0);
+  s.report.tau.pop_back();  // selected/tau now disagree
+  InvariantChecker checker;
+  EXPECT_FALSE(checker.Check(s.view, s.report).ok());
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].check, "report.shape");
+}
+
+TEST(InvariantCheckerTest, ViolationRecordsTruncateAtTheCap) {
+  BrokenScenario s;
+  Settle(s, 0.5);  // skim: several ledger identities break at once
+  InvariantOptions options;
+  options.max_violations = 1;
+  InvariantChecker checker(options);
+  EXPECT_FALSE(checker.Check(s.view, s.report).ok());
+  EXPECT_EQ(checker.violations().size(), 1u);
+  EXPECT_GT(checker.violation_count(), 1u);
+  EXPECT_TRUE(checker.violations_truncated());
+}
+
+TEST(InvariantViolationTest, ToStringCarriesTheRecord) {
+  InvariantViolation v;
+  v.kind = InvariantKind::kStationarity;
+  v.round = 7;
+  v.check = "stationarity.tau";
+  v.detail = "seller 3 tau 1, best response 2";
+  v.magnitude = 1.0;
+  std::string text = v.ToString();
+  EXPECT_NE(text.find("[Stationarity]"), std::string::npos);
+  EXPECT_NE(text.find("round 7"), std::string::npos);
+  EXPECT_NE(text.find("stationarity.tau"), std::string::npos);
+}
+
+// --- live-engine integration --------------------------------------------
+
+TEST(InvariantCheckerEngineTest, CleanRunStaysViolationFree) {
+  core::MechanismConfig config;
+  config.num_sellers = 12;
+  config.num_selected = 3;
+  config.num_pois = 4;
+  config.num_rounds = 40;
+  config.seed = 11;
+  ASSERT_TRUE(config.check_invariants);  // armed by default
+  auto run = core::CmabHs::Create(config);
+  ASSERT_TRUE(run.ok());
+  util::Status status = run.value()->RunAll();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  const InvariantChecker* checker =
+      run.value()->engine().invariant_checker();
+  ASSERT_NE(checker, nullptr);
+  EXPECT_EQ(checker->violation_count(), 0u);
+}
+
+TEST(InvariantCheckerEngineTest, DisarmedEngineInstallsNoChecker) {
+  core::MechanismConfig config;
+  config.num_sellers = 6;
+  config.num_selected = 2;
+  config.num_pois = 2;
+  config.num_rounds = 5;
+  config.check_invariants = false;
+  auto run = core::CmabHs::Create(config);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value()->engine().invariant_checker(), nullptr);
+  EXPECT_TRUE(run.value()->RunAll().ok());
+}
+
+// An observer that rejects a configured round, proving observer failures
+// propagate out of RunRound, plus a counting observer for coverage of
+// multiple observers on one engine.
+class CountingObserver : public RoundObserver {
+ public:
+  util::Status OnRound(const TradingEngine&,
+                       const RoundReport& report) override {
+    ++rounds_;
+    if (report.round == fail_round_) {
+      return util::Status::Internal("observer rejected round");
+    }
+    return util::Status::OK();
+  }
+
+  void set_fail_round(std::int64_t round) { fail_round_ = round; }
+  int rounds() const { return rounds_; }
+
+ private:
+  std::int64_t fail_round_ = -1;
+  int rounds_ = 0;
+};
+
+TEST(InvariantCheckerEngineTest, CustomObserversSeeEveryRound) {
+  EngineConfig config;
+  config.job.num_pois = 3;
+  config.job.num_rounds = 10;
+  config.job.round_duration = 1000.0;
+  config.job.description = "observer test";
+  config.num_selected = 2;
+  stats::Xoshiro256 rng(5);
+  for (int i = 0; i < 6; ++i) {
+    config.seller_costs.push_back(
+        {rng.NextDouble(0.1, 0.5), rng.NextDouble(0.1, 1.0)});
+  }
+  config.platform_cost = {0.1, 1.0};
+  config.valuation = {1000.0};
+  config.consumer_price_bounds = {0.01, 100.0};
+  config.collection_price_bounds = {0.01, 5.0};
+
+  bandit::EnvironmentConfig env_config;
+  env_config.num_sellers = 6;
+  env_config.num_pois = 3;
+  env_config.seed = 3;
+  auto env = bandit::QualityEnvironment::Create(env_config);
+  ASSERT_TRUE(env.ok());
+  bandit::CucbOptions options;
+  options.num_sellers = 6;
+  options.num_selected = 2;
+  auto policy = bandit::CucbPolicy::Create(options);
+  ASSERT_TRUE(policy.ok());
+
+  auto engine = TradingEngine::Create(
+      config, &env.value(),
+      std::make_unique<bandit::CucbPolicy>(std::move(policy).value()));
+  ASSERT_TRUE(engine.ok());
+  auto counting = std::make_unique<CountingObserver>();
+  auto* counter = static_cast<CountingObserver*>(
+      engine.value()->AddObserver(std::move(counting)));
+  counter->set_fail_round(4);
+
+  util::Status status = engine.value()->RunAll();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("observer rejected round"),
+            std::string::npos);
+  EXPECT_EQ(counter->rounds(), 4);  // rounds 1..4, aborted at 4
+}
+
+}  // namespace
+}  // namespace market
+}  // namespace cdt

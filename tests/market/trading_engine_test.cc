@@ -78,6 +78,42 @@ TEST(TradingEngineTest, CreateValidation) {
   EXPECT_FALSE(TradingEngine::Create(bad, &env, MakeCucb()).ok());
 }
 
+TEST(TradingEngineTest, ValidateRejectionsCarryDescriptiveMessages) {
+  EngineConfig config = MakeConfig();
+  config.num_selected = kSellers + 1;  // K > M
+  util::Status status = config.Validate(kSellers);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("K <= M"), std::string::npos)
+      << status.ToString();
+
+  config = MakeConfig();
+  config.seller_costs.pop_back();  // mismatched cost vector size
+  status = config.Validate(kSellers);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("one cost parameter set per seller"),
+            std::string::npos)
+      << status.ToString();
+
+  config = MakeConfig();
+  config.quality_floor = 0.0;  // non-positive floor
+  status = config.Validate(kSellers);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("quality_floor"), std::string::npos)
+      << status.ToString();
+
+  config = MakeConfig();
+  config.consumer_price_bounds = {10.0, 1.0};  // inverted interval
+  status = config.Validate(kSellers);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("price bounds"), std::string::npos)
+      << status.ToString();
+
+  config = MakeConfig();
+  config.collection_price_bounds = {5.0, 0.01};  // inverted interval
+  EXPECT_FALSE(config.Validate(kSellers).ok());
+}
+
 TEST(TradingEngineTest, FirstRoundIsInitialExploration) {
   auto env = MakeEnvironment();
   auto engine = TradingEngine::Create(MakeConfig(), &env, MakeCucb());

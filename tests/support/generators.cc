@@ -1,0 +1,57 @@
+#include "support/generators.h"
+
+#include <algorithm>
+
+namespace cdt {
+namespace testsupport {
+
+game::GameConfig RandomGameConfig(stats::Xoshiro256& rng) {
+  game::GameConfig config;
+  int k = 1 + static_cast<int>(rng.NextBounded(25));
+  for (int i = 0; i < k; ++i) {
+    config.sellers.push_back(
+        {rng.NextDouble(0.05, 2.0), rng.NextDouble(0.0, 2.0)});
+    config.qualities.push_back(rng.NextDouble(0.01, 1.0));
+  }
+  config.platform = {rng.NextDouble(0.01, 2.0), rng.NextDouble(0.0, 3.0)};
+  config.valuation = {rng.NextDouble(1.5, 2000.0)};
+  // Mix of binding and non-binding boxes/caps.
+  double p_hi = rng.NextDouble(0.5, 50.0);
+  config.collection_price_bounds = {0.01, p_hi};
+  config.consumer_price_bounds = {0.01, rng.NextDouble(5.0, 400.0)};
+  config.max_sensing_time =
+      rng.NextDouble() < 0.5 ? rng.NextDouble(0.1, 5.0) : 1e6;
+  return config;
+}
+
+core::MechanismConfig RandomMechanismConfig(stats::Xoshiro256& rng) {
+  core::MechanismConfig config;
+  config.num_sellers = 2 + static_cast<int>(rng.NextBounded(24));
+  config.num_selected =
+      1 + static_cast<int>(rng.NextBounded(
+              static_cast<std::uint64_t>(std::min(config.num_sellers, 8))));
+  config.num_pois = 1 + static_cast<int>(rng.NextBounded(6));
+  config.num_rounds = 30 + static_cast<std::int64_t>(rng.NextBounded(50));
+  config.observation_stddev = rng.NextDouble(0.05, 0.3);
+  config.seller_a_lo = rng.NextDouble(0.05, 0.5);
+  config.seller_a_hi = config.seller_a_lo + rng.NextDouble(0.0, 1.5);
+  config.seller_b_lo = rng.NextDouble(0.0, 0.5);
+  config.seller_b_hi = config.seller_b_lo + rng.NextDouble(0.0, 1.5);
+  config.theta = rng.NextDouble(0.01, 1.0);
+  config.lambda = rng.NextDouble(0.0, 2.0);
+  config.omega = rng.NextDouble(50.0, 2000.0);
+  config.collection_price_min = 0.01;
+  config.collection_price_max = rng.NextDouble(0.5, 20.0);
+  config.consumer_price_min = 0.01;
+  config.consumer_price_max = rng.NextDouble(5.0, 400.0);
+  // Mix of binding and non-binding sensing-time caps.
+  config.round_duration =
+      rng.NextDouble() < 0.5 ? rng.NextDouble(0.5, 5.0) : 1000.0;
+  config.initial_tau =
+      rng.NextDouble(0.1, 1.0) * std::min(config.round_duration, 2.0);
+  config.seed = rng.Next();
+  return config;
+}
+
+}  // namespace testsupport
+}  // namespace cdt

@@ -1,0 +1,29 @@
+// Shared randomized-configuration generators for property and fuzz tests.
+//
+// Every generator draws from the caller's RNG so a test's GetParam() seed
+// fully determines the configuration, and every draw is valid by
+// construction (Validate() passes) so tests can focus on behaviour.
+
+#ifndef CDT_TESTS_SUPPORT_GENERATORS_H_
+#define CDT_TESTS_SUPPORT_GENERATORS_H_
+
+#include "core/config.h"
+#include "game/stackelberg.h"
+#include "stats/rng.h"
+
+namespace cdt {
+namespace testsupport {
+
+/// One-round HS game instance spanning the regimes the paper's interior
+/// closed forms do not cover: tight sensing-time caps, tight price boxes,
+/// near-zero qualities, and extreme platform costs.
+game::GameConfig RandomGameConfig(stats::Xoshiro256& rng);
+
+/// Full-mechanism configuration at property-test scale (small M, K, L and
+/// a modest round budget) with randomized economics. Always validates.
+core::MechanismConfig RandomMechanismConfig(stats::Xoshiro256& rng);
+
+}  // namespace testsupport
+}  // namespace cdt
+
+#endif  // CDT_TESTS_SUPPORT_GENERATORS_H_

@@ -68,6 +68,49 @@ TEST_F(LoaderTest, MissingFileErrors) {
   EXPECT_FALSE(LoadTrips("/nonexistent/trips.csv").ok());
 }
 
+TEST_F(LoaderTest, RejectsEmptyFile) {
+  { std::ofstream out(path_); }
+  auto loaded = LoadTrips(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("no header"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(LoaderTest, HeaderOnlyYieldsNoTrips) {
+  {
+    std::ofstream out(path_);
+    out << "taxi_id,timestamp,trip_miles,pickup_zone,dropoff_zone\n";
+  }
+  auto loaded = LoadTrips(path_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(LoaderTest, RejectsTruncatedRow) {
+  {
+    std::ofstream out(path_);
+    out << "taxi_id,timestamp,trip_miles,pickup_zone,dropoff_zone\n"
+        << "1,2,3.0,4\n";  // one field short
+  }
+  auto loaded = LoadTrips(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("expected 5 fields, got 4"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(LoaderTest, RejectsNonNumericMiles) {
+  {
+    std::ofstream out(path_);
+    out << "taxi_id,timestamp,trip_miles,pickup_zone,dropoff_zone\n"
+        << "1,2,not-a-number,4,5\n";
+  }
+  auto loaded = LoadTrips(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("row 1"), std::string::npos)
+      << loaded.status().ToString();
+}
+
 }  // namespace
 }  // namespace trace
 }  // namespace cdt

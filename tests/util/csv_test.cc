@@ -97,6 +97,36 @@ TEST_F(CsvFileTest, RejectsRaggedRows) {
   EXPECT_FALSE(ReadCsvFile(path_.string()).ok());
 }
 
+TEST_F(CsvFileTest, RejectsEmptyFile) {
+  { std::ofstream out(path_); }
+  auto loaded = ReadCsvFile(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("no header"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(CsvFileTest, HeaderOnlyFileYieldsNoRows) {
+  {
+    std::ofstream out(path_);
+    out << "a,b,c\n";
+  }
+  auto loaded = ReadCsvFile(path_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().header.size(), 3u);
+  EXPECT_TRUE(loaded.value().rows.empty());
+}
+
+TEST_F(CsvFileTest, RejectsUnterminatedQuoteWithLineNumber) {
+  {
+    std::ofstream out(path_);
+    out << "a,b\n\"unterminated,2\n";
+  }
+  auto loaded = ReadCsvFile(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status().ToString();
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace cdt
