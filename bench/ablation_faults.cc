@@ -1,0 +1,109 @@
+// Fault-injection ablation: profit and regret as a function of the seller
+// default rate, with the economic-invariant checker armed throughout — the
+// sweep doubles as a large-scale proof that graceful degradation (default
+// re-settlement, pro-rated partial delivery, settlement retries, seller
+// quarantine) never breaks ledger conservation, IR or stationarity.
+//
+//   ./ablation_faults [--quick=true] [--seed=<n>] [--out=<dir>]
+//                     [--faults=<extra default rate appended to the sweep>]
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/cmab_hs.h"
+#include "market/faults.h"
+#include "sim/series.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace cdt;
+
+int Run(const sim::BenchFlags& flags) {
+  sim::Reporter reporter(flags.output_dir, std::cout);
+  const std::int64_t rounds = flags.quick ? 1500 : 10000;
+
+  core::MechanismConfig base = benchx::PaperConfig(flags);
+  base.num_sellers = 50;
+  base.num_selected = 8;
+  base.num_rounds = rounds;
+  base.check_invariants = true;  // the whole point of this ablation
+
+  sim::ExperimentSpec spec{
+      "ablation_faults", "Fault ablation",
+      "profit/regret vs seller default rate (invariants armed)",
+      benchx::SettingsString(base)};
+  reporter.Begin(spec);
+
+  sim::FigureData fig("faults_profit_regret",
+                      "economics vs seller default rate", "default_rate",
+                      "value");
+  sim::Series* platform = fig.AddSeries("mean platform profit");
+  sim::Series* consumer = fig.AddSeries("mean consumer profit");
+  sim::Series* regret = fig.AddSeries("cumulative regret");
+  sim::Series* voided = fig.AddSeries("voided rounds");
+  sim::Series* quarantined = fig.AddSeries("quarantine drops");
+
+  std::vector<double> rates = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
+  if (flags.fault_rate > 0.0) rates.push_back(flags.fault_rate);
+
+  for (double rate : rates) {
+    core::MechanismConfig config = base;
+    config.faults.default_rate = rate;
+    // A slice of the non-default fault families rides along so the sweep
+    // exercises every recovery path, not just re-settlement. The side rates
+    // are clamped so the per-seller outcome rates still sum to <= 1.
+    const double side = std::min(rate / 4.0, (1.0 - rate) / 2.0);
+    config.faults.corrupt_rate = side;
+    config.faults.partial_rate = side;
+    config.faults.settlement_failure_rate = std::min(rate / 4.0, 0.5);
+
+    auto run = core::CmabHs::Create(config);
+    if (!run.ok()) return benchx::Fail(run.status());
+    util::Status status = run.value()->RunAll();
+    if (!status.ok()) return benchx::Fail(status);
+
+    const core::MetricsCollector& m = run.value()->metrics();
+    const market::TradingEngine& engine = run.value()->engine();
+    platform->Add(rate, m.platform_profit().mean());
+    consumer->Add(rate, m.consumer_profit().mean());
+    regret->Add(rate, m.regret());
+    voided->Add(rate, static_cast<double>(m.voided_rounds()));
+    quarantined->Add(
+        rate, static_cast<double>(
+                  engine.fault_count(market::FaultKind::kQuarantine)));
+
+    std::size_t violations =
+        engine.invariant_checker() != nullptr
+            ? engine.invariant_checker()->violation_count()
+            : 0;
+    reporter.Note(
+        "  rate=" + util::FormatDouble(rate, 2) + " faults=" +
+        std::to_string(engine.fault_log().size()) + " degraded=" +
+        std::to_string(m.degraded_rounds()) + " voided=" +
+        std::to_string(m.voided_rounds()) + " regret=" +
+        util::FormatDouble(m.regret(), 1) + " violations=" +
+        std::to_string(violations));
+    if (violations != 0) {
+      return benchx::Fail(util::Status::Internal(
+          "invariant violations under fault injection"));
+    }
+  }
+
+  util::Status st = reporter.Report(fig);
+  if (!st.ok()) return benchx::Fail(st);
+  reporter.Note(
+      "expected: profits shrink and regret grows smoothly with the default\n"
+      "rate — and the invariant checker stays silent at every rate, because\n"
+      "recovery re-settles each faulted round on its delivered coalition.");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = cdt::sim::ParseBenchFlags(argc, argv);
+  if (!flags.ok()) return cdt::benchx::Fail(flags.status());
+  return Run(flags.value());
+}

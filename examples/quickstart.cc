@@ -3,11 +3,18 @@
 // the whole trading process (selections, prices, sensing times, profits),
 // mirroring Figs. 4-6 of the paper.
 //
-//   ./quickstart [--seed=<n>] [--rounds=<n>]
+//   ./quickstart [--seed=<n>] [--rounds=<n>] [--faults=<rate>]
+//
+// --faults arms the fault-injection layer: sellers default (and, at a
+// quarter of the rate each, corrupt reports, deliver partially, or hit
+// settlement failures) while the invariant checker stays on, demonstrating
+// graceful degradation end to end.
 
+#include <algorithm>
 #include <iostream>
 
 #include "core/cmab_hs.h"
+#include "market/faults.h"
 #include "util/config.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -31,6 +38,20 @@ int main(int argc, char** argv) {
   config.omega = 100.0;  // small job: scale the valuation down
   config.seed = static_cast<std::uint64_t>(
       flags.value().GetInt("seed", 20210419).value_or(20210419));
+
+  const double fault_rate =
+      flags.value().GetDouble("faults", 0.0).value_or(0.0);
+  if (!(fault_rate >= 0.0) || fault_rate > 1.0) {
+    std::cerr << "--faults must lie in [0, 1]\n";
+    return 1;
+  }
+  config.faults.default_rate = fault_rate;
+  // Side fault families ride along at a quarter of the rate, clamped so the
+  // per-seller outcome rates still sum to <= 1.
+  const double side = std::min(fault_rate / 4.0, (1.0 - fault_rate) / 2.0);
+  config.faults.corrupt_rate = side;
+  config.faults.partial_rate = side;
+  config.faults.settlement_failure_rate = std::min(fault_rate / 4.0, 0.5);
 
   auto run = core::CmabHs::Create(config);
   if (!run.ok()) {
@@ -68,8 +89,14 @@ int main(int argc, char** argv) {
       if (j > 0) tau += ",";
       tau += util::FormatDouble(r.tau[j], 2);
     }
-    table.AddRow({std::to_string(r.round),
-                  (r.initial_exploration ? "[init] " : "") + selected,
+    std::string tag;
+    if (r.initial_exploration) tag += "[init] ";
+    if (r.voided) {
+      tag += "[void] ";
+    } else if (r.degraded) {
+      tag += "[degr] ";
+    }
+    table.AddRow({std::to_string(r.round), tag + selected,
                   util::FormatDouble(r.consumer_price, 3),
                   util::FormatDouble(r.collection_price, 3), tau,
                   util::FormatDouble(r.consumer_profit, 2),
@@ -90,5 +117,33 @@ int main(int argc, char** argv) {
             << util::FormatDouble(metrics.observed_revenue(), 2) << "\n"
             << "  regret vs oracle:         "
             << util::FormatDouble(metrics.regret(), 2) << "\n";
+
+  if (config.faults.any()) {
+    const market::TradingEngine& engine = run.value()->engine();
+    std::cout << "\nFault injection (default rate "
+              << util::FormatDouble(fault_rate, 2) << "):\n"
+              << "  fault events:        " << engine.fault_log().size()
+              << "\n"
+              << "  seller defaults:     "
+              << engine.fault_count(market::FaultKind::kSellerDefault) << "\n"
+              << "  corrupted reports:   "
+              << engine.fault_count(market::FaultKind::kCorruptedReport)
+              << "\n"
+              << "  partial deliveries:  "
+              << engine.fault_count(market::FaultKind::kPartialDelivery)
+              << "\n"
+              << "  settlement failures: "
+              << engine.fault_count(market::FaultKind::kSettlementFailure)
+              << "\n"
+              << "  quarantine drops:    "
+              << engine.fault_count(market::FaultKind::kQuarantine) << "\n"
+              << "  degraded rounds:     " << metrics.degraded_rounds()
+              << "  (voided: " << metrics.voided_rounds() << ")\n";
+    if (engine.invariant_checker() != nullptr) {
+      std::cout << "  invariant violations: "
+                << engine.invariant_checker()->violation_count() << "\n";
+      if (engine.invariant_checker()->violation_count() != 0) return 1;
+    }
+  }
   return 0;
 }

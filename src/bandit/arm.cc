@@ -50,7 +50,8 @@ Status EstimatorBank::Update(int i, const std::vector<double>& observations) {
     return Status::InvalidArgument("empty observation batch");
   }
   for (double q : observations) {
-    if (q < 0.0 || q > 1.0) {
+    // Negated form so NaN (incomparable) is rejected with the range.
+    if (!(q >= 0.0 && q <= 1.0)) {
       return Status::OutOfRange("quality observation outside [0, 1]");
     }
   }

@@ -52,6 +52,8 @@ Status MechanismConfig::Validate() const {
   if (consumer_budget < 0.0) {
     return Status::InvalidArgument("consumer_budget must be >= 0");
   }
+  CDT_RETURN_NOT_OK(faults.Validate());
+  CDT_RETURN_NOT_OK(recovery.Validate());
   return Status::OK();
 }
 
@@ -97,6 +99,13 @@ market::EngineConfig MechanismConfig::MakeEngineConfig() const {
   engine.track_transfers = track_transfers;
   engine.check_invariants = check_invariants;
   engine.consumer_budget = consumer_budget;
+  engine.faults = faults;
+  engine.recovery = recovery;
+  // Tie the fault stream to the master seed (distinct from the quality and
+  // cost streams) unless the profile carries an explicit override.
+  if (engine.faults.seed == market::FaultProfile{}.seed) {
+    engine.faults.seed = seed ^ 0xFA017FA017FA017FULL;
+  }
   return engine;
 }
 

@@ -55,6 +55,11 @@ struct MechanismConfig {
   /// Budget extension: 0 = unlimited (the paper's setting); > 0 stops the
   /// campaign once the consumer's cumulative reward payments reach it.
   double consumer_budget = 0.0;
+  /// Fault injection (all rates zero, the default, disables it entirely;
+  /// the injector seed derives from the master seed unless overridden).
+  market::FaultProfile faults;
+  /// Settlement retry/backoff and quarantine circuit-breaker knobs.
+  market::RecoveryOptions recovery;
 
   /// Master seed; derives the quality, observation and policy streams.
   std::uint64_t seed = 42;

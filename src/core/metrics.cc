@@ -6,6 +6,12 @@ namespace core {
 using util::Result;
 using util::Status;
 
+double SellerFaultStats::delivery_rate() const {
+  const std::int64_t attempts = deliveries + defaults + corruptions;
+  if (attempts == 0) return 1.0;
+  return static_cast<double>(deliveries) / static_cast<double>(attempts);
+}
+
 Result<MetricsCollector> MetricsCollector::Create(
     std::vector<double> qualities, int k, int num_pois,
     std::vector<std::int64_t> checkpoints) {
@@ -20,9 +26,46 @@ Result<MetricsCollector> MetricsCollector::Create(
   return MetricsCollector(std::move(tracker).value(), std::move(checkpoints));
 }
 
+SellerFaultStats& MetricsCollector::FaultStats(int seller) {
+  if (seller_faults_.size() <= static_cast<std::size_t>(seller)) {
+    seller_faults_.resize(static_cast<std::size_t>(seller) + 1);
+  }
+  return seller_faults_[static_cast<std::size_t>(seller)];
+}
+
 Status MetricsCollector::Record(const market::RoundReport& report) {
-  CDT_RETURN_NOT_OK(tracker_.RecordRound(report.selected));
+  // Regret credits only the sellers whose data was actually accepted: a
+  // voided round contributes zero revenue and corrupted reports earn
+  // nothing, so faults show up as regret instead of phantom revenue.
+  const std::vector<int> delivered = market::DeliveredDataSellers(report);
+  CDT_RETURN_NOT_OK(tracker_.RecordRound(delivered));
   observed_revenue_extra_ += report.observed_quality_revenue;
+
+  if (report.degraded) ++degraded_rounds_;
+  if (report.voided) ++voided_rounds_;
+  fault_events_ += static_cast<std::int64_t>(report.faults.size());
+  for (const market::FaultEvent& event : report.faults) {
+    ++fault_counts_[static_cast<std::size_t>(event.kind)];
+    if (event.seller < 0) continue;
+    SellerFaultStats& stats = FaultStats(event.seller);
+    switch (event.kind) {
+      case market::FaultKind::kSellerDefault:
+        ++stats.defaults;
+        break;
+      case market::FaultKind::kCorruptedReport:
+        ++stats.corruptions;
+        break;
+      case market::FaultKind::kPartialDelivery:
+        ++stats.partials;
+        break;
+      case market::FaultKind::kQuarantine:
+        ++stats.quarantine_drops;
+        break;
+      default:
+        break;
+    }
+  }
+  for (int seller : delivered) ++FaultStats(seller).deliveries;
 
   consumer_.Add(report.consumer_profit);
   platform_.Add(report.platform_profit);

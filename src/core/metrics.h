@@ -5,6 +5,7 @@
 #ifndef CDT_CORE_METRICS_H_
 #define CDT_CORE_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -15,6 +16,20 @@
 
 namespace cdt {
 namespace core {
+
+/// Per-seller delivery/fault tallies aggregated from the round reports'
+/// fault events (the engine's ReliabilityTracker holds the live breaker
+/// state; this is the offline view a metrics consumer can keep).
+struct SellerFaultStats {
+  std::int64_t deliveries = 0;
+  std::int64_t defaults = 0;
+  std::int64_t corruptions = 0;
+  std::int64_t partials = 0;
+  std::int64_t quarantine_drops = 0;
+
+  /// deliveries / (deliveries + defaults + corruptions); 1 when unseen.
+  double delivery_rate() const;
+};
 
 /// A snapshot of cumulative metrics after some round.
 struct MetricsCheckpoint {
@@ -74,6 +89,18 @@ class MetricsCollector {
     return snapshots_;
   }
 
+  // --- fault / degradation accounting -------------------------------
+  std::int64_t degraded_rounds() const { return degraded_rounds_; }
+  std::int64_t voided_rounds() const { return voided_rounds_; }
+  std::int64_t fault_events() const { return fault_events_; }
+  std::int64_t fault_count(market::FaultKind kind) const {
+    return fault_counts_[static_cast<std::size_t>(kind)];
+  }
+  /// Indexed by seller; grows lazily to the largest seller seen.
+  const std::vector<SellerFaultStats>& seller_faults() const {
+    return seller_faults_;
+  }
+
   /// Builds a checkpoint of the current cumulative state.
   MetricsCheckpoint Snapshot() const;
 
@@ -83,8 +110,16 @@ class MetricsCollector {
       : tracker_(std::move(tracker)),
         checkpoint_rounds_(std::move(checkpoints)) {}
 
+  /// Ensures seller_faults_ covers `seller` and returns its entry.
+  SellerFaultStats& FaultStats(int seller);
+
   bandit::RegretTracker tracker_;
   double observed_revenue_extra_ = 0.0;
+  std::int64_t degraded_rounds_ = 0;
+  std::int64_t voided_rounds_ = 0;
+  std::int64_t fault_events_ = 0;
+  std::array<std::int64_t, market::kNumFaultKinds> fault_counts_{};
+  std::vector<SellerFaultStats> seller_faults_;
   std::vector<std::int64_t> checkpoint_rounds_;
   std::size_t next_checkpoint_ = 0;
   std::vector<MetricsCheckpoint> snapshots_;

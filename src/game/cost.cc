@@ -1,15 +1,19 @@
 #include "game/cost.h"
 
+#include <cmath>
+
 namespace cdt {
 namespace game {
 
 using util::Status;
 
 Status SellerCostParams::Validate() const {
-  if (a <= 0.0) {
+  // Negated comparisons so NaN parameters fail instead of slipping through
+  // and poisoning the closed forms (Thm. 14 divides by q̄_i a_i).
+  if (!std::isfinite(a) || !(a > 0.0)) {
     return Status::InvalidArgument("seller cost parameter a must be > 0");
   }
-  if (b < 0.0) {
+  if (!std::isfinite(b) || !(b >= 0.0)) {
     return Status::InvalidArgument("seller cost parameter b must be >= 0");
   }
   return Status::OK();
@@ -26,10 +30,10 @@ double SellerMarginalCost(const SellerCostParams& params, double tau,
 }
 
 Status PlatformCostParams::Validate() const {
-  if (theta <= 0.0) {
+  if (!std::isfinite(theta) || !(theta > 0.0)) {
     return Status::InvalidArgument("platform cost parameter theta must be > 0");
   }
-  if (lambda < 0.0) {
+  if (!std::isfinite(lambda) || !(lambda >= 0.0)) {
     return Status::InvalidArgument(
         "platform cost parameter lambda must be >= 0");
   }

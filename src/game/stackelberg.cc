@@ -22,7 +22,13 @@ Status GameConfig::Validate() const {
     CDT_RETURN_NOT_OK(s.Validate());
   }
   for (double q : qualities) {
-    if (q <= 0.0 || q > 1.0) {
+    // Non-finite qualities are rejected outright: every closed form below
+    // divides by q̄_i, and a NaN would flow straight into the ledger.
+    if (!std::isfinite(q)) {
+      return Status::InvalidArgument(
+          "learned qualities must be finite for the game to be defined");
+    }
+    if (!(q > 0.0) || q > 1.0) {
       return Status::OutOfRange(
           "learned qualities must lie in (0, 1] for the game to be defined");
     }

@@ -8,7 +8,8 @@ namespace game {
 using util::Status;
 
 Status ValuationParams::Validate() const {
-  if (omega <= 1.0) {
+  // Negated comparison so a NaN omega fails instead of slipping through.
+  if (!std::isfinite(omega) || !(omega > 1.0)) {
     return Status::InvalidArgument("valuation parameter omega must be > 1");
   }
   return Status::OK();

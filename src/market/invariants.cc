@@ -92,9 +92,12 @@ Status InvariantChecker::Check(const EngineStateView& view,
   std::size_t before = violation_count_;
 
   // Basic report shape; everything downstream indexes these in lockstep.
+  // (A voided round keeps its committed coalition with zeroed tau, so k
+  // stays positive even when nothing was delivered.)
   std::size_t k = report.selected.size();
   if (report.tau.size() != k || report.seller_profits.size() != k ||
-      report.game_qualities.size() != k || k == 0) {
+      report.game_qualities.size() != k || k == 0 ||
+      (!report.contracted_tau.empty() && report.contracted_tau.size() != k)) {
     AddViolation(InvariantKind::kLedgerConservation, report.round,
                  "report.shape",
                  "selected/tau/profits/qualities sizes disagree (" +
@@ -315,8 +318,9 @@ void InvariantChecker::CheckProfits(const EngineStateView& view,
 void InvariantChecker::CheckStationarity(const EngineStateView& view,
                                          const RoundReport& report) {
   // Round-1 exploration plays the fixed (p_max, τ^0) opening, not an
-  // equilibrium — there is nothing stationary to verify.
-  if (report.initial_exploration) return;
+  // equilibrium — there is nothing stationary to verify. A voided round
+  // traded nothing (zero tau, zero flows), so no stage played either.
+  if (report.initial_exploration || report.voided) return;
   if (view.seller_costs == nullptr) return;
 
   double tol = options_.stationarity_tolerance;
@@ -370,12 +374,32 @@ void InvariantChecker::CheckStationarity(const EngineStateView& view,
   expect_in_box("stationarity.collection_box", p,
                 view.collection_price_bounds);
 
-  // Stage 3 (Thm. 14 / Eq. 20): every τ_i is the seller's best response,
-  // and interior times satisfy the first-order condition p = q̄(2aτ + b).
+  // Stage 3 (Thm. 14 / Eq. 20): every contracted τ_i is the seller's best
+  // response, and interior times satisfy the first-order condition
+  // p = q̄(2aτ + b). Under partial delivery the contracted best responses
+  // live in contracted_tau and the delivered times must only stay within
+  // [0, contracted].
+  const std::vector<double>& contracted =
+      report.contracted_tau.empty() ? report.tau : report.contracted_tau;
+  if (!report.contracted_tau.empty()) {
+    for (std::size_t j = 0; j < report.tau.size(); ++j) {
+      double slack = tol * std::max(1.0, std::fabs(contracted[j]));
+      if (report.tau[j] < -slack || report.tau[j] > contracted[j] + slack) {
+        AddViolation(InvariantKind::kStationarity, report.round,
+                     "stationarity.delivered_bounds",
+                     "seller " + std::to_string(report.selected[j]) +
+                         " delivered tau " + Num(report.tau[j]) +
+                         " outside [0, contracted " + Num(contracted[j]) +
+                         "]",
+                     std::max(-report.tau[j],
+                              report.tau[j] - contracted[j]));
+      }
+    }
+  }
   double t_cap = view.max_sensing_time;
   bool all_interior = true;
-  for (std::size_t j = 0; j < report.tau.size(); ++j) {
-    double tau = report.tau[j];
+  for (std::size_t j = 0; j < contracted.size(); ++j) {
+    double tau = contracted[j];
     double best = solver.value().SellerBestTime(static_cast<int>(j), p);
     double residual = std::fabs(tau - best);
     if (residual > tol * std::max(1.0, std::fabs(best))) {
@@ -454,7 +478,11 @@ void InvariantChecker::CheckStationarity(const EngineStateView& view,
   }
 
   // Stage 1 (Eq. 8 / Thm. 16): the consumer's price maximises the
-  // anticipated profit; value comparison against a full re-solve.
+  // anticipated profit; value comparison against a full re-solve. After a
+  // default re-settlement p^J stays committed from the pre-fault
+  // coalition, so it is not optimal for the survivor game — the consumer
+  // optimality claim only applies to un-resettled rounds.
+  if (report.resettled) return;
   double pj_star = solver.value().ConsumerBestPrice();
   double f_at = solver.value().ConsumerProfitAnticipating(pj);
   double f_star = solver.value().ConsumerProfitAnticipating(pj_star);
@@ -470,6 +498,14 @@ void InvariantChecker::CheckStationarity(const EngineStateView& view,
 
 void InvariantChecker::CheckBandit(const EngineStateView& view,
                                    const RoundReport& report) {
+  // Only batches that passed validation feed the estimators: a voided
+  // round delivers nothing, and a corrupted report is discarded so it can
+  // never bias the quality estimates.
+  const std::vector<int> delivered = DeliveredDataSellers(report);
+  auto was_delivered = [&delivered](int seller) {
+    return std::find(delivered.begin(), delivered.end(), seller) !=
+           delivered.end();
+  };
   if (view.estimates != nullptr) {
     const bandit::EstimatorBank& bank = *view.estimates;
     if (prev_arm_observations_.size() <
@@ -478,9 +514,9 @@ void InvariantChecker::CheckBandit(const EngineStateView& view,
                                     0);
     }
     // Counters are monotone: the round adds exactly L observations per
-    // selected seller, nothing is lost and nothing decays.
+    // delivering seller, nothing is lost and nothing decays.
     std::uint64_t expected_inc =
-        static_cast<std::uint64_t>(view.num_pois) * report.selected.size();
+        static_cast<std::uint64_t>(view.num_pois) * delivered.size();
     std::uint64_t total = bank.total_observations();
     if (total != prev_total_observations_ + expected_inc) {
       AddViolation(
@@ -504,14 +540,15 @@ void InvariantChecker::CheckBandit(const EngineStateView& view,
       const bandit::ArmState& arm = bank.arm(seller);
       std::uint64_t prev =
           prev_arm_observations_[static_cast<std::size_t>(seller)];
-      if (arm.observations !=
-          prev + static_cast<std::uint64_t>(view.num_pois)) {
+      std::uint64_t arm_inc =
+          was_delivered(seller) ? static_cast<std::uint64_t>(view.num_pois)
+                                : 0;
+      if (arm.observations != prev + arm_inc) {
         AddViolation(InvariantKind::kBanditSanity, report.round,
                      "bandit.arm_counter",
                      "seller " + std::to_string(seller) + " counter " +
                          std::to_string(arm.observations) + ", expected " +
-                         std::to_string(prev + static_cast<std::uint64_t>(
-                                                   view.num_pois)),
+                         std::to_string(prev + arm_inc),
                      0.0);
       }
       prev_arm_observations_[static_cast<std::size_t>(seller)] =

@@ -25,11 +25,14 @@ Status MarketplaceConfig::Validate(int num_sellers) const {
       return Status::InvalidArgument("job '" + job.name + "': K must be > 0");
     }
     CDT_RETURN_NOT_OK(job.valuation.Validate());
-    if (!job.consumer_price_bounds.valid() ||
-        !job.collection_price_bounds.valid()) {
-      return Status::InvalidArgument("job '" + job.name +
-                                     "': invalid price bounds");
-    }
+    // Same interval checks as EngineConfig::Validate, via the shared
+    // helper, so the marketplace cannot admit a job its engine rejects.
+    CDT_RETURN_NOT_OK(ValidatePriceBounds(
+        job.consumer_price_bounds,
+        "job '" + job.name + "' consumer price bounds"));
+    CDT_RETURN_NOT_OK(ValidatePriceBounds(
+        job.collection_price_bounds,
+        "job '" + job.name + "' collection price bounds"));
     total_k += job.num_selected;
   }
   if (total_k > num_sellers) {
@@ -44,9 +47,7 @@ Status MarketplaceConfig::Validate(int num_sellers) const {
     CDT_RETURN_NOT_OK(s.Validate());
   }
   CDT_RETURN_NOT_OK(platform_cost.Validate());
-  if (quality_floor <= 0.0 || quality_floor > 1.0) {
-    return Status::InvalidArgument("quality_floor must lie in (0, 1]");
-  }
+  CDT_RETURN_NOT_OK(ValidateQualityFloor(quality_floor));
   return Status::OK();
 }
 

@@ -15,7 +15,9 @@ const char* const kHeader[] = {
     "round",          "initial_exploration",      "selected",
     "consumer_price", "collection_price",         "total_time",
     "consumer_profit", "platform_profit",         "seller_profit_total",
-    "expected_quality_revenue", "observed_quality_revenue"};
+    "expected_quality_revenue", "observed_quality_revenue",
+    "degraded",       "voided",                   "num_faults",
+    "faults"};
 constexpr std::size_t kColumns = sizeof(kHeader) / sizeof(kHeader[0]);
 
 util::CsvRow HeaderRow() {
@@ -40,6 +42,10 @@ RunLogRow ToRunLogRow(const RoundReport& report) {
   row.seller_profit_total = report.seller_profit_total;
   row.expected_quality_revenue = report.expected_quality_revenue;
   row.observed_quality_revenue = report.observed_quality_revenue;
+  row.degraded = report.degraded;
+  row.voided = report.voided;
+  row.num_faults = static_cast<int>(report.faults.size());
+  row.faults = EncodeFaultSummary(report.faults);
   return row;
 }
 
@@ -82,7 +88,11 @@ Status RunLogWriter::Append(const RoundReport& report) {
       util::FormatDouble(row.platform_profit, 9),
       util::FormatDouble(row.seller_profit_total, 9),
       util::FormatDouble(row.expected_quality_revenue, 9),
-      util::FormatDouble(row.observed_quality_revenue, 9)};
+      util::FormatDouble(row.observed_quality_revenue, 9),
+      row.degraded ? "1" : "0",
+      row.voided ? "1" : "0",
+      std::to_string(row.num_faults),
+      row.faults};
   out_ << util::FormatCsvLine(cells) << '\n';
   if (!out_.good()) return Status::IoError("run-log write failed");
   ++rows_;
@@ -133,6 +143,15 @@ Result<std::vector<RunLogRow>> LoadRunLog(const std::string& path) {
       auto value = util::ParseDouble(cells[f + 3]);
       if (!value.ok()) return fail(value.status());
       *fields[f] = value.value();
+    }
+    row.degraded = cells[11] == "1";
+    row.voided = cells[12] == "1";
+    auto num_faults = util::ParseInt(cells[13]);
+    if (!num_faults.ok()) return fail(num_faults.status());
+    row.num_faults = static_cast<int>(num_faults.value());
+    row.faults = cells[14];
+    if (row.voided && !row.degraded) {
+      return fail(Status::ParseError("voided row not marked degraded"));
     }
     rows.push_back(std::move(row));
   }

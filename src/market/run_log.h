@@ -29,6 +29,11 @@ struct RunLogRow {
   double seller_profit_total = 0.0;
   double expected_quality_revenue = 0.0;
   double observed_quality_revenue = 0.0;
+  bool degraded = false;
+  bool voided = false;
+  int num_faults = 0;
+  /// EncodeFaultSummary() of the round's fault events ("" = clean round).
+  std::string faults;
 };
 
 /// Converts a full report into its persisted row.

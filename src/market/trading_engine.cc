@@ -23,18 +23,19 @@ Status EngineConfig::Validate(int num_sellers) const {
   }
   CDT_RETURN_NOT_OK(platform_cost.Validate());
   CDT_RETURN_NOT_OK(valuation.Validate());
-  if (!consumer_price_bounds.valid() || !collection_price_bounds.valid()) {
-    return Status::InvalidArgument("invalid price bounds");
-  }
+  CDT_RETURN_NOT_OK(
+      ValidatePriceBounds(consumer_price_bounds, "consumer price bounds"));
+  CDT_RETURN_NOT_OK(
+      ValidatePriceBounds(collection_price_bounds, "collection price bounds"));
   if (!(initial_tau > 0.0) || initial_tau > job.round_duration) {
     return Status::InvalidArgument("initial_tau must lie in (0, T]");
   }
-  if (!(quality_floor > 0.0) || quality_floor > 1.0) {
-    return Status::InvalidArgument("quality_floor must lie in (0, 1]");
-  }
+  CDT_RETURN_NOT_OK(ValidateQualityFloor(quality_floor));
   if (consumer_budget < 0.0) {
     return Status::InvalidArgument("consumer_budget must be >= 0");
   }
+  CDT_RETURN_NOT_OK(faults.Validate());
+  CDT_RETURN_NOT_OK(recovery.Validate());
   return Status::OK();
 }
 
@@ -66,6 +67,11 @@ Result<std::unique_ptr<TradingEngine>> TradingEngine::Create(
     return Status::InvalidArgument(
         "job and environment disagree on the PoI count");
   }
+  if (config.reliability != nullptr &&
+      config.reliability->num_sellers() != environment->num_sellers()) {
+    return Status::InvalidArgument(
+        "reliability tracker and environment disagree on the seller count");
+  }
   // The pricing bank mirrors Eq. (17)-(18); its exploration constant is
   // irrelevant (only means are consumed) but must be positive.
   Result<bandit::EstimatorBank> bank =
@@ -78,6 +84,16 @@ Result<std::unique_ptr<TradingEngine>> TradingEngine::Create(
   engine->oracle_round_revenue_ =
       static_cast<double>(engine->config_.job.num_pois) *
       environment->OptimalSetQuality(engine->config_.num_selected);
+  if (engine->config_.faults.any()) {
+    engine->injector_ = std::make_unique<FaultInjector>(engine->config_.faults);
+  }
+  if (engine->config_.reliability != nullptr) {
+    engine->reliability_ = engine->config_.reliability;
+  } else {
+    engine->owned_reliability_ = std::make_unique<ReliabilityTracker>(
+        environment->num_sellers(), engine->config_.recovery);
+    engine->reliability_ = engine->owned_reliability_.get();
+  }
   if (check_invariants) {
     engine->checker_ = static_cast<InvariantChecker*>(
         engine->AddObserver(std::make_unique<InvariantChecker>()));
@@ -102,6 +118,52 @@ double TradingEngine::GameQuality(int seller) const {
   return std::min(1.0, std::max(config_.quality_floor, q));
 }
 
+void TradingEngine::LogFault(RoundReport* report, FaultKind kind, int seller,
+                             double severity, bool recovered) {
+  FaultEvent event;
+  event.round = report->round;
+  event.kind = kind;
+  event.seller = seller;
+  event.severity = severity;
+  event.recovered = recovered;
+  report->faults.push_back(event);
+}
+
+void TradingEngine::RecomputeProfits(RoundReport* report) const {
+  const std::size_t k = report->selected.size();
+  report->total_time = game::TotalTime(report->tau);
+  double quality_sum = 0.0;
+  for (double q : report->game_qualities) quality_sum += q;
+  double mean_quality =
+      k > 0 ? quality_sum / static_cast<double>(k) : 0.0;
+  report->consumer_profit = game::ConsumerProfit(
+      report->consumer_price, mean_quality, report->total_time,
+      config_.valuation);
+  report->platform_profit = game::PlatformProfit(
+      report->consumer_price, report->collection_price, report->total_time,
+      config_.platform_cost);
+  report->seller_profits.assign(k, 0.0);
+  report->seller_profit_total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    report->seller_profits[j] = game::SellerProfit(
+        report->collection_price, report->tau[j],
+        config_.seller_costs[static_cast<std::size_t>(report->selected[j])],
+        report->game_qualities[j]);
+    report->seller_profit_total += report->seller_profits[j];
+  }
+}
+
+void TradingEngine::VoidRound(RoundReport* report) {
+  report->degraded = true;
+  report->voided = true;
+  if (report->contracted_tau.empty()) report->contracted_tau = report->tau;
+  std::fill(report->tau.begin(), report->tau.end(), 0.0);
+  RecomputeProfits(report);
+  report->expected_quality_revenue = 0.0;
+  report->observed_quality_revenue = 0.0;
+  for (FaultEvent& e : report->faults) e.recovered = false;
+}
+
 Result<RoundReport> TradingEngine::RunRound() {
   if (next_round_ > config_.job.num_rounds) {
     return Status::FailedPrecondition("all rounds already executed");
@@ -117,6 +179,32 @@ Result<RoundReport> TradingEngine::RunRound() {
 
   RoundReport report;
   report.round = t;
+
+  // Quarantine gate: sellers whose circuit breaker is open sit out the
+  // round — unless dropping them would empty the coalition entirely, in
+  // which case the round proceeds unfiltered (degrade, never deadlock).
+  // With no injector and no external tracker every breaker stays closed,
+  // so the clean path is untouched.
+  if (injector_ != nullptr || config_.reliability != nullptr) {
+    std::vector<int> admitted;
+    std::vector<int> quarantined;
+    admitted.reserve(selected.size());
+    for (int seller : selected) {
+      if (reliability_->Available(seller, t)) {
+        admitted.push_back(seller);
+      } else {
+        quarantined.push_back(seller);
+      }
+    }
+    if (!admitted.empty() && !quarantined.empty()) {
+      selected = std::move(admitted);
+      for (int seller : quarantined) {
+        reliability_->RecordQuarantineDrop(seller);
+        LogFault(&report, FaultKind::kQuarantine, seller, 0.0, true);
+      }
+    }
+  }
+
   report.selected = selected;
   report.initial_exploration =
       selected.size() > static_cast<std::size_t>(config_.num_selected);
@@ -181,34 +269,210 @@ Result<RoundReport> TradingEngine::RunRound() {
   }
   for (double psi : report.seller_profits) report.seller_profit_total += psi;
 
+  // Fault plan: one deterministic outcome draw per committed seller.
+  std::vector<SellerFaultDraw> draws;
+  bool have_defaults = false;
+  if (injector_ != nullptr) {
+    draws.resize(selected.size());
+    for (std::size_t j = 0; j < selected.size(); ++j) {
+      draws[j] = injector_->DrawSeller(t, selected[j]);
+      if (draws[j].outcome == DeliveryOutcome::kDefaulted) {
+        have_defaults = true;
+      }
+    }
+  }
+
+  // Seller defaults: the coalition shrinks to the survivors and the round
+  // is re-settled at the committed consumer price — Stage 2 and 3 re-solve
+  // over the survivor game, so Theorem 14-16 stationarity keeps holding
+  // for the delivered coalition. If nobody survives the round is voided.
+  if (have_defaults) {
+    report.degraded = true;
+    std::vector<int> survivors;
+    std::vector<SellerFaultDraw> survivor_draws;
+    survivors.reserve(selected.size());
+    survivor_draws.reserve(selected.size());
+    for (std::size_t j = 0; j < selected.size(); ++j) {
+      if (draws[j].outcome == DeliveryOutcome::kDefaulted) {
+        reliability_->RecordFault(selected[j], t, FaultKind::kSellerDefault);
+        LogFault(&report, FaultKind::kSellerDefault, selected[j], 0.0, true);
+      } else {
+        survivors.push_back(selected[j]);
+        survivor_draws.push_back(draws[j]);
+      }
+    }
+    if (survivors.empty()) {
+      VoidRound(&report);
+    } else if (report.initial_exploration) {
+      // Exploration plays fixed prices; just drop the defaulters. The
+      // break-even p^J was set for the full coalition, so the platform
+      // keeps a non-negative margin on the shrunken one.
+      report.resettled = true;
+      selected = std::move(survivors);
+      draws = std::move(survivor_draws);
+      report.selected = selected;
+      report.tau.assign(selected.size(), config_.initial_tau);
+      report.game_qualities.resize(selected.size());
+      for (std::size_t j = 0; j < selected.size(); ++j) {
+        report.game_qualities[j] = GameQuality(selected[j]);
+      }
+      RecomputeProfits(&report);
+    } else {
+      // Regular round: hold the consumer to its committed p^J and re-run
+      // the platform/seller stages over the survivors.
+      game::GameConfig game_config;
+      game_config.sellers.reserve(survivors.size());
+      game_config.qualities.reserve(survivors.size());
+      for (int i : survivors) {
+        game_config.sellers.push_back(
+            config_.seller_costs[static_cast<std::size_t>(i)]);
+        game_config.qualities.push_back(GameQuality(i));
+      }
+      game_config.platform = config_.platform_cost;
+      game_config.valuation = config_.valuation;
+      game_config.consumer_price_bounds = config_.consumer_price_bounds;
+      game_config.collection_price_bounds = config_.collection_price_bounds;
+      game_config.max_sensing_time = config_.job.round_duration;
+      Result<game::StackelbergSolver> solver =
+          game::StackelbergSolver::Create(std::move(game_config));
+      if (!solver.ok()) {
+        VoidRound(&report);
+      } else {
+        report.resettled = true;
+        selected = std::move(survivors);
+        draws = std::move(survivor_draws);
+        report.selected = selected;
+        report.game_qualities = solver.value().config().qualities;
+        report.collection_price =
+            solver.value().PlatformBestPrice(report.consumer_price);
+        report.tau =
+            solver.value().SellerBestTimes(report.collection_price);
+        RecomputeProfits(&report);
+      }
+    }
+  }
+
+  // Partial delivery: the seller senses only a fraction of its contracted
+  // τ* and is paid pro-rata. Ψ is concave with Ψ(0) = 0, so the pro-rated
+  // profit stays non-negative and IR survives the degradation.
+  if (!report.voided && injector_ != nullptr) {
+    bool any_partial = false;
+    for (std::size_t j = 0; j < report.selected.size(); ++j) {
+      if (draws[j].outcome == DeliveryOutcome::kPartial &&
+          report.tau[j] > 0.0) {
+        any_partial = true;
+        break;
+      }
+    }
+    if (any_partial) {
+      report.degraded = true;
+      report.contracted_tau = report.tau;
+      for (std::size_t j = 0; j < report.selected.size(); ++j) {
+        if (draws[j].outcome != DeliveryOutcome::kPartial ||
+            !(report.tau[j] > 0.0)) {
+          continue;
+        }
+        report.tau[j] *= draws[j].fraction;
+        LogFault(&report, FaultKind::kPartialDelivery, report.selected[j],
+                 draws[j].fraction, true);
+      }
+      RecomputeProfits(&report);
+    }
+  }
+
   // Budget gate: the round is abandoned (no data collected, no payments)
-  // when the consumer cannot afford its reward.
-  if (config_.consumer_budget > 0.0) {
+  // when the consumer cannot afford the delivered coalition's reward.
+  if (!report.voided && config_.consumer_budget > 0.0) {
     double reward = report.consumer_price * report.total_time;
     if (consumer_spend_ + reward > config_.consumer_budget) {
       budget_exhausted_ = true;
+      FaultEvent stop;
+      stop.round = t;
+      stop.kind = FaultKind::kBudgetStop;
+      stop.severity = config_.consumer_budget - consumer_spend_;
+      fault_log_.push_back(stop);
+      ++fault_counts_[static_cast<std::size_t>(FaultKind::kBudgetStop)];
       return Status::FailedPrecondition(
           "consumer budget exhausted after " +
           std::to_string(next_round_ - 1) + " rounds");
     }
   }
 
-  // Data collection: observe the environment for every selected seller and
-  // feed both the policy's learner and the engine's pricing estimates.
-  std::vector<std::vector<double>> observations(selected.size());
-  for (std::size_t j = 0; j < selected.size(); ++j) {
-    observations[j] = environment_->ObserveSeller(selected[j]);
-    double sum = 0.0;
-    for (double q : observations[j]) sum += q;
-    report.observed_quality_revenue += sum;
-    report.expected_quality_revenue +=
-        static_cast<double>(config_.job.num_pois) *
-        environment_->effective_quality(selected[j]);
-    CDT_RETURN_NOT_OK(bank_.Update(selected[j], observations[j]));
+  // Settlement, with capped-exponential-backoff retries under transient
+  // failures. Exhausting the retry budget voids the round: no payments
+  // flow and no data is accepted, so the ledger and the bandit state stay
+  // exactly as if the round had not traded.
+  if (!report.voided) {
+    bool settled = true;
+    if (injector_ != nullptr) {
+      int failures = 0;
+      while (injector_->SettlementAttemptFails(t, failures)) {
+        ++failures;
+        if (failures > config_.recovery.max_settlement_retries) {
+          settled = false;
+          break;
+        }
+        report.settlement_backoff +=
+            BackoffDelay(config_.recovery, failures - 1);
+      }
+      report.settlement_attempts = failures + (settled ? 1 : 0);
+      if (failures > 0) {
+        report.degraded = true;
+        LogFault(&report, FaultKind::kSettlementFailure, -1,
+                 static_cast<double>(failures), settled);
+      }
+    }
+    if (settled) {
+      CDT_RETURN_NOT_OK(SettlePayments(report));
+    } else {
+      VoidRound(&report);
+    }
   }
-  CDT_RETURN_NOT_OK(policy_->Observe(selected, observations));
 
-  CDT_RETURN_NOT_OK(SettlePayments(report));
+  // Data collection: observe the environment for every delivering seller.
+  // Each batch — injected or not — must pass validation before it feeds
+  // the pricing bank, the policy's learner, or the revenue accounting, so
+  // corrupted reports can never bias the quality estimates.
+  if (!report.voided) {
+    std::vector<int> learners;
+    std::vector<std::vector<double>> batches;
+    learners.reserve(report.selected.size());
+    batches.reserve(report.selected.size());
+    for (std::size_t j = 0; j < report.selected.size(); ++j) {
+      int seller = report.selected[j];
+      std::vector<double> observation = environment_->ObserveSeller(seller);
+      if (injector_ != nullptr &&
+          draws[j].outcome == DeliveryOutcome::kCorrupted) {
+        injector_->Corrupt(t, seller, &observation);
+      }
+      if (!ValidObservationBatch(observation)) {
+        report.degraded = true;
+        reliability_->RecordFault(seller, t, FaultKind::kCorruptedReport);
+        LogFault(&report, FaultKind::kCorruptedReport, seller, 0.0, true);
+        continue;
+      }
+      double sum = 0.0;
+      for (double q : observation) sum += q;
+      report.observed_quality_revenue += sum;
+      report.expected_quality_revenue +=
+          static_cast<double>(config_.job.num_pois) *
+          environment_->effective_quality(seller);
+      CDT_RETURN_NOT_OK(bank_.Update(seller, observation));
+      bool partial = injector_ != nullptr &&
+                     draws[j].outcome == DeliveryOutcome::kPartial;
+      reliability_->RecordDelivery(seller, t, partial);
+      learners.push_back(seller);
+      batches.push_back(std::move(observation));
+    }
+    if (!learners.empty()) {
+      CDT_RETURN_NOT_OK(policy_->Observe(learners, batches));
+    }
+  }
+
+  for (const FaultEvent& e : report.faults) {
+    fault_log_.push_back(e);
+    ++fault_counts_[static_cast<std::size_t>(e.kind)];
+  }
   ++next_round_;
   for (const std::unique_ptr<RoundObserver>& observer : observers_) {
     CDT_RETURN_NOT_OK(observer->OnRound(*this, report));
@@ -238,7 +502,9 @@ Status TradingEngine::RunAll(
   while (next_round_ <= config_.job.num_rounds) {
     Result<RoundReport> report = RunRound();
     if (!report.ok()) {
-      // A configured budget running out ends the campaign cleanly.
+      // A configured budget running out ends the campaign cleanly; the
+      // stop is visible as a kBudgetStop entry in fault_log() and through
+      // budget_exhausted().
       if (budget_exhausted_) return Status::OK();
       return report.status();
     }

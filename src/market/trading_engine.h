@@ -6,6 +6,7 @@
 #ifndef CDT_MARKET_TRADING_ENGINE_H_
 #define CDT_MARKET_TRADING_ENGINE_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "bandit/environment.h"
 #include "bandit/policy.h"
 #include "game/stackelberg.h"
+#include "market/faults.h"
 #include "market/invariants.h"
 #include "market/ledger.h"
 #include "market/types.h"
@@ -52,6 +54,20 @@ struct EngineConfig {
   /// run with a structured error. On by default so tests and examples run
   /// under the net; Release benchmark sweeps switch it off.
   bool check_invariants = true;
+  /// Fault injection (all rates zero, the default, disables it). With a
+  /// fault-free profile every round is bit-for-bit identical to an engine
+  /// built without this field: the injector draws from its own hash-keyed
+  /// stream and never touches the environment's RNG.
+  FaultProfile faults;
+  /// Graceful-degradation knobs: settlement retry/backoff schedule and the
+  /// per-seller quarantine circuit breaker.
+  RecoveryOptions recovery;
+  /// Optional externally owned reliability tracker, e.g. shared with an
+  /// AvailabilityAwareCucbPolicy through QuarantineAvailability so
+  /// quarantined sellers are already excluded at selection time. Must
+  /// outlive the engine and match the seller count; nullptr (default)
+  /// makes the engine own its tracker.
+  ReliabilityTracker* reliability = nullptr;
 
   util::Status Validate(int num_sellers) const;
 };
@@ -104,6 +120,17 @@ class TradingEngine {
   /// Oracle per-round expected revenue L · Σ_{S*} q (regret baseline).
   double oracle_round_revenue() const { return oracle_round_revenue_; }
 
+  /// Per-seller reliability statistics and circuit-breaker state.
+  const ReliabilityTracker& reliability() const { return *reliability_; }
+
+  /// Every fault/recovery event of the run, in round order.
+  const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
+
+  /// Number of logged events of the given kind.
+  std::int64_t fault_count(FaultKind kind) const {
+    return fault_counts_[static_cast<std::size_t>(kind)];
+  }
+
  private:
   TradingEngine(EngineConfig config, bandit::QualityEnvironment* environment,
                 std::unique_ptr<bandit::SelectionPolicy> policy,
@@ -111,6 +138,18 @@ class TradingEngine {
 
   /// Learned (or true, in oracle mode) quality of a seller, floored.
   double GameQuality(int seller) const;
+
+  /// Appends a fault event to both the round report and the run log.
+  void LogFault(RoundReport* report, FaultKind kind, int seller,
+                double severity, bool recovered);
+
+  /// Re-evaluates total time and all profits at the report's current
+  /// (prices, tau) — used after recovery rewrote the round's strategies.
+  void RecomputeProfits(RoundReport* report) const;
+
+  /// Marks the round undeliverable: zero tau, zero flows, recomputed
+  /// (zero) profits; every fault event of the round becomes unrecovered.
+  void VoidRound(RoundReport* report);
 
   /// Settles payments for the round through the ledger.
   util::Status SettlePayments(const RoundReport& report);
@@ -126,6 +165,13 @@ class TradingEngine {
   std::int64_t next_round_ = 1;
   bool budget_exhausted_ = false;
   double consumer_spend_ = 0.0;
+
+  /// Non-null only when the config's fault profile is armed.
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ReliabilityTracker> owned_reliability_;
+  ReliabilityTracker* reliability_ = nullptr;  // owned or borrowed
+  std::vector<FaultEvent> fault_log_;
+  std::array<std::int64_t, kNumFaultKinds> fault_counts_{};
 };
 
 }  // namespace market

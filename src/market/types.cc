@@ -1,5 +1,7 @@
 #include "market/types.h"
 
+#include <cmath>
+
 namespace cdt {
 namespace market {
 
@@ -12,6 +14,49 @@ Status Job::Validate() const {
   }
   if (!(round_duration > 0.0)) {
     return Status::InvalidArgument("round duration must be > 0");
+  }
+  return Status::OK();
+}
+
+int RoundReport::CountFaults(FaultKind kind) const {
+  int count = 0;
+  for (const FaultEvent& e : faults) {
+    if (e.kind == kind) ++count;
+  }
+  return count;
+}
+
+std::vector<int> DeliveredDataSellers(const RoundReport& report) {
+  if (report.voided) return {};
+  std::vector<int> delivered;
+  delivered.reserve(report.selected.size());
+  for (int seller : report.selected) {
+    bool corrupted = false;
+    for (const FaultEvent& e : report.faults) {
+      if (e.kind == FaultKind::kCorruptedReport && e.seller == seller) {
+        corrupted = true;
+        break;
+      }
+    }
+    if (!corrupted) delivered.push_back(seller);
+  }
+  return delivered;
+}
+
+Status ValidateQualityFloor(double quality_floor) {
+  if (!std::isfinite(quality_floor) || !(quality_floor > 0.0) ||
+      quality_floor > 1.0) {
+    return Status::InvalidArgument("quality_floor must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+Status ValidatePriceBounds(const util::Interval& bounds,
+                           const std::string& what) {
+  if (!std::isfinite(bounds.lo) || !std::isfinite(bounds.hi) ||
+      !bounds.valid() || bounds.lo < 0.0) {
+    return Status::InvalidArgument(
+        what + " must be a finite interval with 0 <= lo <= hi");
   }
   return Status::OK();
 }

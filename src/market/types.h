@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "market/faults.h"
+#include "util/math_util.h"
 #include "util/status.h"
 
 namespace cdt {
@@ -46,7 +48,45 @@ struct RoundReport {
   double expected_quality_revenue = 0.0;
   /// Σ_{i∈S} Σ_l q_{i,l}^t actually observed.
   double observed_quality_revenue = 0.0;
+
+  // --- Fault / recovery metadata (all defaults = clean round) ---------
+  /// True when any fault rewrote the round (re-settlement, partial
+  /// delivery, void). Clean rounds are bit-for-bit unaffected.
+  bool degraded = false;
+  /// True when defaults shrank the coalition and Stage 2/3 were re-solved
+  /// over the survivors at the committed consumer price.
+  bool resettled = false;
+  /// True when nothing could be delivered or settled: tau is all zeros,
+  /// no payments flowed, and the bandit state was left untouched.
+  bool voided = false;
+  /// Stage-3 best responses τ* the round contracted for; populated only
+  /// when it differs from `tau` (partial delivery or a voided round).
+  std::vector<double> contracted_tau;
+  /// Structured fault/recovery events of this round.
+  std::vector<FaultEvent> faults;
+  /// Settlement attempts (1 = clean) and total simulated backoff spent.
+  int settlement_attempts = 1;
+  double settlement_backoff = 0.0;
+
+  /// Number of `faults` entries of the given kind.
+  int CountFaults(FaultKind kind) const;
 };
+
+/// Sellers whose data was actually accepted this round: the selected
+/// coalition minus corrupted reporters, or nobody for a voided round.
+/// (Defaulters are already absent from `selected` after re-settlement.)
+std::vector<int> DeliveredDataSellers(const RoundReport& report);
+
+// Shared config checks used by both EngineConfig::Validate and
+// MarketplaceConfig::Validate so the two cannot drift (NaN-safe).
+
+/// quality_floor must be finite and in (0, 1].
+util::Status ValidateQualityFloor(double quality_floor);
+
+/// Price interval must be finite, non-empty, with a non-negative floor.
+/// `what` names the interval in error messages.
+util::Status ValidatePriceBounds(const util::Interval& bounds,
+                                 const std::string& what);
 
 }  // namespace market
 }  // namespace cdt

@@ -52,6 +52,12 @@ Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv) {
       config.value().GetInt("seed", static_cast<long long>(flags.seed));
   if (!seed.ok()) return seed.status();
   flags.seed = static_cast<std::uint64_t>(seed.value());
+  Result<double> faults = config.value().GetDouble("faults", flags.fault_rate);
+  if (!faults.ok()) return faults.status();
+  if (!(faults.value() >= 0.0) || faults.value() > 1.0) {
+    return Status::InvalidArgument("--faults must lie in [0, 1]");
+  }
+  flags.fault_rate = faults.value();
   return flags;
 }
 

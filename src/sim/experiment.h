@@ -47,11 +47,13 @@ class Reporter {
 
 /// Parses the common bench flags: --out=<dir> (default "results"),
 /// --quick=<bool> (default false; benches shrink N for smoke runs),
-/// --seed=<int>.
+/// --seed=<int>, --faults=<rate> (default 0; seller-default rate for
+/// harnesses that exercise the fault-injection layer).
 struct BenchFlags {
   std::string output_dir = "results";
   bool quick = false;
   std::uint64_t seed = 42;
+  double fault_rate = 0.0;
 };
 
 util::Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv);

@@ -1,6 +1,7 @@
 #include "game/stackelberg.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -60,6 +61,33 @@ TEST(GameConfigTest, Validation) {
   bad = config;
   bad.sellers.clear();
   bad.qualities.clear();
+  EXPECT_FALSE(bad.Validate().ok());
+
+  // Non-finite inputs must be rejected before they reach the closed forms
+  // (Thm 14-16 divide by q̄·a and the ω-dependent discriminant), otherwise
+  // a corrupted estimate would propagate NaN prices into settlement.
+  bad = config;
+  bad.qualities[0] = std::nan("");
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.qualities[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.sellers[0].a = std::nan("");
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.sellers[0].b = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.platform.theta = std::nan("");
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = config;
+  bad.valuation.omega = std::nan("");
   EXPECT_FALSE(bad.Validate().ok());
 }
 

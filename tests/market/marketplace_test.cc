@@ -1,5 +1,6 @@
 #include "market/marketplace.h"
 
+#include <cmath>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -75,6 +76,25 @@ TEST(MarketplaceTest, CreateValidation) {
 
   bad = MakeConfig();
   bad.base_job.num_pois = kPois + 1;
+  EXPECT_FALSE(Marketplace::Create(bad, &env).ok());
+
+  // Parity with EngineConfig::Validate through the shared helpers: the
+  // marketplace must reject bad quality floors and price intervals (NaN
+  // included) rather than admit a job its engine would refuse.
+  bad = MakeConfig();
+  bad.quality_floor = 0.0;
+  EXPECT_FALSE(Marketplace::Create(bad, &env).ok());
+
+  bad = MakeConfig();
+  bad.quality_floor = std::nan("");
+  EXPECT_FALSE(Marketplace::Create(bad, &env).ok());
+
+  bad = MakeConfig();
+  bad.jobs[0].consumer_price_bounds = {10.0, 1.0};  // inverted
+  EXPECT_FALSE(Marketplace::Create(bad, &env).ok());
+
+  bad = MakeConfig();
+  bad.jobs[1].collection_price_bounds = {std::nan(""), 5.0};
   EXPECT_FALSE(Marketplace::Create(bad, &env).ok());
 }
 

@@ -92,7 +92,7 @@ TEST_F(RunLogTest, LoadRejectsCorruptRow) {
   ASSERT_TRUE(writer.value().Close().ok());
   {
     std::ofstream out(path_, std::ios::app);
-    out << "2,0,1+2,bad,1,1,1,1,1,1,1\n";
+    out << "2,0,1+2,bad,1,1,1,1,1,1,1,0,0,0,\n";
   }
   auto rows = LoadRunLog(path_.string());
   ASSERT_FALSE(rows.ok());
