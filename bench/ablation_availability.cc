@@ -143,5 +143,6 @@ int Run(const sim::BenchFlags& flags) {
 int main(int argc, char** argv) {
   auto flags = cdt::sim::ParseBenchFlags(argc, argv);
   if (!flags.ok()) return cdt::benchx::Fail(flags.status());
-  return Run(flags.value());
+  cdt::benchx::EnableTelemetryFromFlags(flags.value());
+  return cdt::benchx::Finish(flags.value(), Run(flags.value()));
 }

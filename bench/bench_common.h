@@ -14,6 +14,8 @@
 #include "core/comparison.h"
 #include "core/config.h"
 #include "game/stackelberg.h"
+#include "obs/exporters.h"
+#include "obs/telemetry.h"
 #include "sim/experiment.h"
 #include "stats/rng.h"
 
@@ -70,6 +72,40 @@ inline game::GameConfig MakeGameInstance(int k, std::uint64_t seed) {
 inline int Fail(const util::Status& status) {
   std::cerr << "bench failed: " << status.ToString() << std::endl;
   return 1;
+}
+
+/// Arms the telemetry runtime when either export flag is set. Call right
+/// after ParseBenchFlags, before any engine is built, so the whole run is
+/// captured; a no-op (and zero hot-path cost) when both flags are empty.
+inline void EnableTelemetryFromFlags(const sim::BenchFlags& flags) {
+  if (!flags.trace_out.empty() || !flags.metrics_out.empty()) {
+    obs::Enable();
+  }
+}
+
+/// Writes the exports requested by the flags: --trace-out gets the Chrome
+/// trace JSON, --metrics-out the Prometheus text plus a ".jsonl" sibling.
+inline util::Status FlushTelemetry(const sim::BenchFlags& flags) {
+  if (!flags.trace_out.empty()) {
+    CDT_RETURN_NOT_OK(obs::WriteChromeTrace(obs::tracer(), flags.trace_out));
+    std::cerr << "[trace written to " << flags.trace_out << "]\n";
+  }
+  if (!flags.metrics_out.empty()) {
+    CDT_RETURN_NOT_OK(
+        obs::WritePrometheusText(obs::registry(), flags.metrics_out));
+    CDT_RETURN_NOT_OK(
+        obs::WriteMetricsJsonl(obs::registry(), flags.metrics_out + ".jsonl"));
+    std::cerr << "[metrics written to " << flags.metrics_out << " and "
+              << flags.metrics_out << ".jsonl]\n";
+  }
+  return util::Status::OK();
+}
+
+/// Standard harness exit: flush telemetry exports, then propagate `code`.
+inline int Finish(const sim::BenchFlags& flags, int code) {
+  util::Status flushed = FlushTelemetry(flags);
+  if (!flushed.ok() && code == 0) return Fail(flushed);
+  return code;
 }
 
 }  // namespace benchx

@@ -93,5 +93,7 @@ int main(int argc, char** argv) {
   if (!config.ok()) return cdt::benchx::Fail(config.status());
   auto replicas = config.value().GetInt("replicas", 10);
   if (!replicas.ok()) return cdt::benchx::Fail(replicas.status());
-  return Run(flags.value(), static_cast<int>(replicas.value()));
+  cdt::benchx::EnableTelemetryFromFlags(flags.value());
+  return cdt::benchx::Finish(
+      flags.value(), Run(flags.value(), static_cast<int>(replicas.value())));
 }

@@ -4,17 +4,25 @@
 // mirroring Figs. 4-6 of the paper.
 //
 //   ./quickstart [--seed=<n>] [--rounds=<n>] [--faults=<rate>]
+//                [--trace-out=<file>] [--metrics-out=<file>]
 //
 // --faults arms the fault-injection layer: sellers default (and, at a
 // quarter of the rate each, corrupt reports, deliver partially, or hit
 // settlement failures) while the invariant checker stays on, demonstrating
 // graceful degradation end to end.
+//
+// --trace-out writes the run's spans as Chrome trace-event JSON (load in
+// Perfetto / chrome://tracing); --metrics-out writes a Prometheus text
+// snapshot plus a ".jsonl" sibling. Either flag arms the telemetry
+// runtime; see docs/OBSERVABILITY.md.
 
 #include <algorithm>
 #include <iostream>
 
 #include "core/cmab_hs.h"
 #include "market/faults.h"
+#include "obs/exporters.h"
+#include "obs/telemetry.h"
 #include "util/config.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -52,6 +60,12 @@ int main(int argc, char** argv) {
   config.faults.corrupt_rate = side;
   config.faults.partial_rate = side;
   config.faults.settlement_failure_rate = std::min(fault_rate / 4.0, 0.5);
+
+  const std::string trace_out =
+      flags.value().GetString("trace-out", "").value_or("");
+  const std::string metrics_out =
+      flags.value().GetString("metrics-out", "").value_or("");
+  if (!trace_out.empty() || !metrics_out.empty()) obs::Enable();
 
   auto run = core::CmabHs::Create(config);
   if (!run.ok()) {
@@ -144,6 +158,28 @@ int main(int argc, char** argv) {
                 << engine.invariant_checker()->violation_count() << "\n";
       if (engine.invariant_checker()->violation_count() != 0) return 1;
     }
+  }
+
+  if (!trace_out.empty()) {
+    util::Status written = obs::WriteChromeTrace(obs::tracer(), trace_out);
+    if (!written.ok()) {
+      std::cerr << "trace export failed: " << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\n[trace written to " << trace_out << "]\n";
+  }
+  if (!metrics_out.empty()) {
+    util::Status written =
+        obs::WritePrometheusText(obs::registry(), metrics_out);
+    if (written.ok()) {
+      written = obs::WriteMetricsJsonl(obs::registry(), metrics_out + ".jsonl");
+    }
+    if (!written.ok()) {
+      std::cerr << "metrics export failed: " << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "[metrics written to " << metrics_out << " and "
+              << metrics_out << ".jsonl]\n";
   }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "obs/tracer.h"
+
 namespace cdt {
 namespace bandit {
 
@@ -37,7 +39,15 @@ Result<std::vector<int>> CucbPolicy::SelectRound(std::int64_t round) {
     std::iota(all.begin(), all.end(), 0);
     return all;
   }
-  return bank_.TopKByUcb(options_.num_selected);
+  // Eq. (19) scoring and the top-K pick under their own spans, so a trace
+  // shows how selection time splits between the two.
+  std::vector<double> ucb;
+  {
+    CDT_SPAN("bandit.ucb_score");
+    ucb = bank_.UcbValues();
+  }
+  CDT_SPAN("bandit.topk");
+  return TopKIndices(ucb, options_.num_selected);
 }
 
 Status CucbPolicy::Observe(

@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/tracer.h"
 
 namespace cdt {
 namespace game {
 
 using util::Result;
 using util::Status;
+
+#if CDT_TELEMETRY
+namespace {
+
+// Per-stage solve-time histogram; each Solve() site caches its handle in a
+// function-local static (see CDT_SPAN_TIMED).
+obs::Histogram* StageSolveHistogram(const char* stage) {
+  return obs::registry().GetHistogram(
+      "cdt_stage_solve_seconds",
+      "Wall-clock seconds solving one Stackelberg stage.",
+      obs::DefaultLatencyBuckets(), {{"stage", stage}});
+}
+
+}  // namespace
+#endif  // CDT_TELEMETRY
 
 Status GameConfig::Validate() const {
   if (sellers.empty()) {
@@ -381,9 +399,29 @@ double StackelbergSolver::ConsumerBestPrice() const {
 }
 
 StrategyProfile StackelbergSolver::Solve() const {
-  double pj = ConsumerBestPrice();
-  double p = PlatformBestPrice(pj);
-  std::vector<double> tau = SellerBestTimes(p);
+  // Backward induction over the three stages (Thms. 16, 15, 14), each
+  // under its own span/latency histogram. The stage methods themselves
+  // stay uninstrumented: ConsumerBestPrice calls PlatformBestPrice many
+  // times while anticipating, which would flood the trace with sub-spans.
+  CDT_SPAN("game.solve");
+  double pj;
+  {
+    CDT_SPAN_TIMED("game.stage1.consumer_price",
+                   [] { return StageSolveHistogram("consumer"); });
+    pj = ConsumerBestPrice();
+  }
+  double p;
+  {
+    CDT_SPAN_TIMED("game.stage2.platform_price",
+                   [] { return StageSolveHistogram("platform"); });
+    p = PlatformBestPrice(pj);
+  }
+  std::vector<double> tau;
+  {
+    CDT_SPAN_TIMED("game.stage3.seller_times",
+                   [] { return StageSolveHistogram("sellers"); });
+    tau = SellerBestTimes(p);
+  }
   return EvaluateProfile(pj, p, tau);
 }
 

@@ -72,10 +72,16 @@ Result<RunLogWriter> RunLogWriter::Open(const std::string& path) {
   return RunLogWriter(std::move(out));
 }
 
+Status RunLogWriter::Poison(const std::string& message) {
+  if (error_.ok()) error_ = Status::IoError(message);
+  return error_;
+}
+
 Status RunLogWriter::Append(const RoundReport& report) {
   if (closed_) {
     return Status::FailedPrecondition("run log already closed");
   }
+  if (!error_.ok()) return error_;
   RunLogRow row = ToRunLogRow(report);
   util::CsvRow cells{
       std::to_string(row.round),
@@ -94,18 +100,29 @@ Status RunLogWriter::Append(const RoundReport& report) {
       std::to_string(row.num_faults),
       row.faults};
   out_ << util::FormatCsvLine(cells) << '\n';
-  if (!out_.good()) return Status::IoError("run-log write failed");
+  if (!out_.good()) return Poison("run-log write failed");
   ++rows_;
   return Status::OK();
 }
 
+Status RunLogWriter::Flush() {
+  if (closed_) {
+    return Status::FailedPrecondition("run log already closed");
+  }
+  if (!error_.ok()) return error_;
+  out_.flush();
+  if (!out_.good()) return Poison("run-log flush failed");
+  return Status::OK();
+}
+
 Status RunLogWriter::Close() {
-  if (closed_) return Status::OK();
+  if (closed_) return error_;
   closed_ = true;
   out_.flush();
+  if (!out_.good()) Poison("run-log flush-on-close failed");
   out_.close();
-  if (out_.fail()) return Status::IoError("run-log close failed");
-  return Status::OK();
+  if (out_.fail()) Poison("run-log close failed");
+  return error_;
 }
 
 Result<std::vector<RunLogRow>> LoadRunLog(const std::string& path) {

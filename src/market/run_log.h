@@ -42,7 +42,10 @@ RunLogRow ToRunLogRow(const RoundReport& report);
 /// Parses the "+"-joined selected-set string back into indices.
 util::Result<std::vector<int>> ParseSelectedSet(const std::string& text);
 
-/// Streaming CSV writer: open once, append per round, close (flushes).
+/// Streaming CSV writer: open once, append per round, close (flushes and
+/// verifies the stream reached disk). Any I/O failure is sticky: once an
+/// Append/Flush fails, every later Append/Flush/Close reports the original
+/// error instead of silently dropping tail rows.
 class RunLogWriter {
  public:
   /// Opens `path` for writing and emits the header.
@@ -51,7 +54,11 @@ class RunLogWriter {
   /// Appends one round.
   util::Status Append(const RoundReport& report);
 
-  /// Flushes and closes; further appends fail.
+  /// Pushes buffered rows to the OS and checks the stream state.
+  util::Status Flush();
+
+  /// Flushes, closes, and reports any error seen over the writer's life;
+  /// further appends fail. Idempotent: repeat calls return the same status.
   util::Status Close();
 
   std::int64_t rows_written() const { return rows_; }
@@ -59,9 +66,13 @@ class RunLogWriter {
  private:
   explicit RunLogWriter(std::ofstream stream) : out_(std::move(stream)) {}
 
+  /// Records the first I/O failure so later calls keep reporting it.
+  util::Status Poison(const std::string& message);
+
   std::ofstream out_;
   std::int64_t rows_ = 0;
   bool closed_ = false;
+  util::Status error_ = util::Status::OK();
 };
 
 /// Loads a run log written by RunLogWriter; validates every row.

@@ -3,12 +3,38 @@
 #include <algorithm>
 
 #include "game/profit.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/telemetry_observer.h"
+#include "obs/tracer.h"
 
 namespace cdt {
 namespace market {
 
 using util::Result;
 using util::Status;
+
+#if CDT_TELEMETRY
+namespace {
+
+// Handle getters for CDT_SPAN_TIMED: each site caches the result in a
+// function-local static, so the registry mutex is touched once per site.
+obs::Histogram* RoundLatencyHistogram() {
+  return obs::registry().GetHistogram(
+      "cdt_round_latency_seconds",
+      "End-to-end wall-clock seconds of one trading round.",
+      obs::DefaultLatencyBuckets());
+}
+
+obs::Histogram* BanditSelectHistogram() {
+  return obs::registry().GetHistogram(
+      "cdt_bandit_select_seconds",
+      "Wall-clock seconds of the CMAB seller-selection step.",
+      obs::DefaultLatencyBuckets());
+}
+
+}  // namespace
+#endif  // CDT_TELEMETRY
 
 Status EngineConfig::Validate(int num_sellers) const {
   CDT_RETURN_NOT_OK(job.Validate());
@@ -98,6 +124,12 @@ Result<std::unique_ptr<TradingEngine>> TradingEngine::Create(
     engine->checker_ = static_cast<InvariantChecker*>(
         engine->AddObserver(std::make_unique<InvariantChecker>()));
   }
+#if CDT_TELEMETRY
+  // Metrics publisher; dormant (one atomic load per round) until
+  // obs::Enable() arms the runtime. Reads engine state only, so the
+  // economics are bit-for-bit identical with telemetry on or off.
+  engine->AddObserver(std::make_unique<obs::TelemetryObserver>());
+#endif
   return engine;
 }
 
@@ -169,8 +201,12 @@ Result<RoundReport> TradingEngine::RunRound() {
     return Status::FailedPrecondition("all rounds already executed");
   }
   std::int64_t t = next_round_;
+  CDT_SPAN_TIMED("round", RoundLatencyHistogram);
 
-  Result<std::vector<int>> selected_result = policy_->SelectRound(t);
+  Result<std::vector<int>> selected_result = [&] {
+    CDT_SPAN_TIMED("bandit.select", BanditSelectHistogram);
+    return policy_->SelectRound(t);
+  }();
   if (!selected_result.ok()) return selected_result.status();
   std::vector<int> selected = std::move(selected_result).value();
   if (selected.empty()) {
@@ -186,6 +222,7 @@ Result<RoundReport> TradingEngine::RunRound() {
   // With no injector and no external tracker every breaker stays closed,
   // so the clean path is untouched.
   if (injector_ != nullptr || config_.reliability != nullptr) {
+    CDT_SPAN("engine.quarantine_gate");
     std::vector<int> admitted;
     std::vector<int> quarantined;
     admitted.reserve(selected.size());
@@ -287,6 +324,7 @@ Result<RoundReport> TradingEngine::RunRound() {
   // over the survivor game, so Theorem 14-16 stationarity keeps holding
   // for the delivered coalition. If nobody survives the round is voided.
   if (have_defaults) {
+    CDT_SPAN("engine.resettle");
     report.degraded = true;
     std::vector<int> survivors;
     std::vector<SellerFaultDraw> survivor_draws;
@@ -403,6 +441,7 @@ Result<RoundReport> TradingEngine::RunRound() {
   // flow and no data is accepted, so the ledger and the bandit state stay
   // exactly as if the round had not traded.
   if (!report.voided) {
+    CDT_SPAN("engine.settlement");
     bool settled = true;
     if (injector_ != nullptr) {
       int failures = 0;
@@ -434,6 +473,7 @@ Result<RoundReport> TradingEngine::RunRound() {
   // the pricing bank, the policy's learner, or the revenue accounting, so
   // corrupted reports can never bias the quality estimates.
   if (!report.voided) {
+    CDT_SPAN("engine.collect");
     std::vector<int> learners;
     std::vector<std::vector<double>> batches;
     learners.reserve(report.selected.size());

@@ -1,0 +1,268 @@
+#include "obs/exporters.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cdt {
+namespace obs {
+
+using util::Status;
+
+namespace {
+
+/// JSON / Prometheus-label string escaping (control chars, quotes, '\\').
+std::string EscapeString(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// {k="v",k2="v2"} rendered for Prometheus; "" when label-free.
+std::string PrometheusLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeString(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Prometheus labels with an extra `le` pair appended (histogram buckets).
+std::string PrometheusBucketLabels(const LabelSet& labels,
+                                   const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += k;
+    out += "=\"";
+    out += EscapeString(v);
+    out += "\",";
+  }
+  out += "le=\"";
+  out += le;
+  out += "\"}";
+  return out;
+}
+
+/// JSON object of the label set.
+std::string JsonLabels(const LabelSet& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += EscapeString(labels[i].first);
+    out += "\":\"";
+    out += EscapeString(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* TypeName(MetricsRegistry::Type type) {
+  switch (type) {
+    case MetricsRegistry::Type::kCounter:
+      return "counter";
+    case MetricsRegistry::Type::kGauge:
+      return "gauge";
+    case MetricsRegistry::Type::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << content;
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  // Integral fast path (covers counters and bucket counts).
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest precision that round-trips exactly.
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"cdt\"}}";
+  for (const SpanEvent& e : events) {
+    // Complete ("X") events; ts/dur in microseconds with ns resolution.
+    out += ",\n{\"name\":\"";
+    out += EscapeString(e.name != nullptr ? e.name : "?");
+    out += "\",\"ph\":\"X\",\"ts\":";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.start_ns) * 1e-3);
+    out += buf;
+    out += ",\"dur\":";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.duration_ns()) * 1e-3);
+    out += buf;
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  return ChromeTraceJson(tracer.Snapshot());
+}
+
+std::string PrometheusText(
+    const std::vector<MetricsRegistry::MetricSnapshot>& snapshots) {
+  std::string out;
+  std::string last_name;
+  for (const MetricsRegistry::MetricSnapshot& m : snapshots) {
+    if (m.name != last_name) {
+      // HELP/TYPE headers once per metric family.
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " " + TypeName(m.type) + "\n";
+      last_name = m.name;
+    }
+    switch (m.type) {
+      case MetricsRegistry::Type::kCounter:
+      case MetricsRegistry::Type::kGauge:
+        out += m.name + PrometheusLabels(m.labels) + " " +
+               FormatMetricValue(m.value) + "\n";
+        break;
+      case MetricsRegistry::Type::kHistogram: {
+        const Histogram::Snapshot& h = m.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.counts[i];
+          out += m.name + "_bucket" +
+                 PrometheusBucketLabels(m.labels,
+                                        FormatMetricValue(h.bounds[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.counts.back();
+        out += m.name + "_bucket" + PrometheusBucketLabels(m.labels, "+Inf") +
+               " " + std::to_string(cumulative) + "\n";
+        out += m.name + "_sum" + PrometheusLabels(m.labels) + " " +
+               FormatMetricValue(h.sum) + "\n";
+        out += m.name + "_count" + PrometheusLabels(m.labels) + " " +
+               std::to_string(h.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  return PrometheusText(registry.Collect());
+}
+
+std::string MetricsJsonl(
+    const std::vector<MetricsRegistry::MetricSnapshot>& snapshots) {
+  std::string out;
+  for (const MetricsRegistry::MetricSnapshot& m : snapshots) {
+    out += "{\"name\":\"" + EscapeString(m.name) + "\",\"type\":\"";
+    out += TypeName(m.type);
+    out += "\",\"labels\":" + JsonLabels(m.labels);
+    switch (m.type) {
+      case MetricsRegistry::Type::kCounter:
+      case MetricsRegistry::Type::kGauge:
+        out += ",\"value\":" + FormatMetricValue(m.value);
+        break;
+      case MetricsRegistry::Type::kHistogram: {
+        const Histogram::Snapshot& h = m.histogram;
+        out += ",\"count\":" + std::to_string(h.count);
+        out += ",\"sum\":" + FormatMetricValue(h.sum);
+        out += ",\"rejected\":" + std::to_string(h.rejected);
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "{\"le\":" + FormatMetricValue(h.bounds[i]) +
+                 ",\"count\":" + std::to_string(h.counts[i]) + "}";
+        }
+        if (!h.bounds.empty()) out += ",";
+        out += "{\"le\":\"+Inf\",\"count\":" + std::to_string(h.counts.back()) +
+               "}]";
+        break;
+      }
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string MetricsJsonl(const MetricsRegistry& registry) {
+  return MetricsJsonl(registry.Collect());
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  return WriteFile(path, ChromeTraceJson(tracer));
+}
+
+Status WritePrometheusText(const MetricsRegistry& registry,
+                           const std::string& path) {
+  return WriteFile(path, PrometheusText(registry));
+}
+
+Status WriteMetricsJsonl(const MetricsRegistry& registry,
+                         const std::string& path) {
+  return WriteFile(path, MetricsJsonl(registry));
+}
+
+}  // namespace obs
+}  // namespace cdt

@@ -1,0 +1,55 @@
+// Telemetry exporters:
+//
+//   * ChromeTraceJson  — Chrome trace-event JSON ("X" complete events)
+//     loadable in chrome://tracing and https://ui.perfetto.dev;
+//   * PrometheusText   — the Prometheus text exposition format (HELP/TYPE
+//     comments, `le`-bucketed histograms with _sum/_count);
+//   * MetricsJsonl     — one JSON object per metric per line, the
+//     machine-readable snapshot consumed by tools/validate_telemetry.py.
+//
+// All three are deterministic for a given snapshot (stable metric order,
+// shortest-round-trip number formatting), so exporter outputs can be
+// golden-tested byte for byte.
+
+#ifndef CDT_OBS_EXPORTERS_H_
+#define CDT_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace obs {
+
+/// Shortest decimal string that round-trips to exactly `v` (integral
+/// values print without a decimal point). Deterministic across platforms.
+std::string FormatMetricValue(double v);
+
+/// Renders spans as a Chrome trace-event JSON document.
+std::string ChromeTraceJson(const std::vector<SpanEvent>& events);
+std::string ChromeTraceJson(const Tracer& tracer);
+
+/// Renders the registry in the Prometheus text exposition format.
+std::string PrometheusText(const std::vector<MetricsRegistry::MetricSnapshot>&
+                               snapshots);
+std::string PrometheusText(const MetricsRegistry& registry);
+
+/// Renders the registry as JSONL: one JSON object per metric per line.
+std::string MetricsJsonl(const std::vector<MetricsRegistry::MetricSnapshot>&
+                             snapshots);
+std::string MetricsJsonl(const MetricsRegistry& registry);
+
+/// File-writing wrappers (create/truncate; report IO errors via Status).
+util::Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+util::Status WritePrometheusText(const MetricsRegistry& registry,
+                                 const std::string& path);
+util::Status WriteMetricsJsonl(const MetricsRegistry& registry,
+                               const std::string& path);
+
+}  // namespace obs
+}  // namespace cdt
+
+#endif  // CDT_OBS_EXPORTERS_H_

@@ -1,0 +1,35 @@
+#include "obs/telemetry.h"
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace cdt {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+Tracer& tracer() {
+  // Leaked on purpose: see the header note on static destruction order.
+  static Tracer* const t = new Tracer();
+  return *t;
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* const r = new MetricsRegistry();
+  return *r;
+}
+
+void Enable() { internal::g_enabled.store(true, std::memory_order_relaxed); }
+
+void Disable() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+void ResetForTesting() {
+  Disable();
+  tracer().Clear();
+  registry().Reset();
+}
+
+}  // namespace obs
+}  // namespace cdt

@@ -1,0 +1,90 @@
+// Process-wide telemetry runtime: one atomic arming flag plus lazily
+// constructed global Tracer / MetricsRegistry singletons.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//
+//   * Compile-out-able — building with -DCDT_TELEMETRY=0 (CMake option
+//     CDT_TELEMETRY=OFF) turns every instrumentation macro into a no-op
+//     and constant-folds obs::enabled() to false, so the engine hot path
+//     carries no telemetry code at all.
+//   * Near-zero when dormant — with telemetry compiled in but not armed
+//     (the default), every instrumentation site is guarded by the single
+//     relaxed atomic load in obs::enabled(); no clocks are read, no
+//     handles resolved, no locks taken.
+//   * Handles are forever — metric handles returned by the registry stay
+//     valid for the life of the process (instrumentation caches them in
+//     function-local statics), so the registry never deletes metrics;
+//     ResetForTesting() zeroes values instead.
+//
+// The singletons are leaked on purpose: exporters run before main()
+// returns and leaking sidesteps static-destruction-order hazards.
+
+#ifndef CDT_OBS_TELEMETRY_H_
+#define CDT_OBS_TELEMETRY_H_
+
+#include <atomic>
+
+// CMake normally defines CDT_TELEMETRY=0/1 globally; standalone consumers
+// of the headers default to "compiled in".
+#ifndef CDT_TELEMETRY
+#define CDT_TELEMETRY 1
+#endif
+
+namespace cdt {
+namespace obs {
+
+class Tracer;
+class MetricsRegistry;
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when telemetry is compiled in AND armed at runtime. The only check
+/// instrumentation performs on the hot path.
+inline bool enabled() {
+#if CDT_TELEMETRY
+  return internal::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// The process-wide span tracer (constructed on first use, never
+/// destroyed). Safe to call whether or not telemetry is armed.
+Tracer& tracer();
+
+/// The process-wide metrics registry (constructed on first use, never
+/// destroyed). Safe to call whether or not telemetry is armed.
+MetricsRegistry& registry();
+
+/// Arms / disarms every instrumentation site. Disarming does not clear
+/// recorded spans or metric values — exporters can still flush them.
+void Enable();
+void Disable();
+
+/// Disarms telemetry, clears the global tracer and zeroes every metric in
+/// the global registry. Metric handles stay valid (values reset to 0).
+void ResetForTesting();
+
+}  // namespace obs
+}  // namespace cdt
+
+#define CDT_OBS_INTERNAL_CONCAT2(a, b) a##b
+#define CDT_OBS_INTERNAL_CONCAT(a, b) CDT_OBS_INTERNAL_CONCAT2(a, b)
+
+#if CDT_TELEMETRY
+/// Runs `stmt` only when telemetry is compiled in and armed.
+#define CDT_TELEMETRY_ONLY(stmt)            \
+  do {                                      \
+    if (::cdt::obs::enabled()) {            \
+      stmt;                                 \
+    }                                       \
+  } while (0)
+#else
+#define CDT_TELEMETRY_ONLY(stmt) \
+  do {                           \
+  } while (0)
+#endif
+
+#endif  // CDT_OBS_TELEMETRY_H_

@@ -1,0 +1,90 @@
+// TelemetryObserver: the RoundObserver that folds every settled round of a
+// TradingEngine into the global obs::registry() — round/fault/degradation
+// counters, ledger-flow and regret gauges, settlement retry/backoff totals
+// and the exploration-vs-exploitation split of the bandit's picks.
+//
+// TradingEngine::Create installs one automatically when telemetry is
+// compiled in (CDT_TELEMETRY=1); until obs::Enable() arms the runtime the
+// observer costs one relaxed atomic load per round. It only reads engine
+// state, so enabling telemetry can never perturb the economics.
+//
+// The file lives under src/obs/ with the rest of the telemetry subsystem
+// but is compiled into cdt_market (it needs TradingEngine), keeping the
+// cdt_obs -> cdt_util dependency edge acyclic.
+
+#ifndef CDT_OBS_TELEMETRY_OBSERVER_H_
+#define CDT_OBS_TELEMETRY_OBSERVER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "market/faults.h"
+#include "market/invariants.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace cdt {
+namespace obs {
+
+/// Publishes per-round engine state as metrics (see docs/OBSERVABILITY.md
+/// for the full catalogue). Stateful — cumulative profits, regret and the
+/// breaker-transition baseline accumulate across the rounds it observes —
+/// so, like InvariantChecker, it must watch a run from its first round.
+class TelemetryObserver : public market::RoundObserver {
+ public:
+  /// Resolves every metric handle once; handles stay valid for the life of
+  /// the process (the registry never deletes metrics).
+  TelemetryObserver();
+
+  util::Status OnRound(const market::TradingEngine& engine,
+                       const market::RoundReport& report) override;
+
+ private:
+  // Round counters.
+  Counter* rounds_total_;
+  Counter* rounds_exploration_total_;
+  Counter* rounds_degraded_total_;
+  Counter* rounds_resettled_total_;
+  Counter* rounds_voided_total_;
+
+  // Fault counters, one per FaultKind (labelled by kind name).
+  std::array<Counter*, market::kNumFaultKinds> faults_total_;
+
+  // Settlement recovery.
+  Counter* settlement_retries_total_;
+  Counter* settlement_backoff_seconds_total_;
+
+  // Regret (cumulative and last-round) against the oracle coalition.
+  Gauge* regret_;
+  Gauge* round_regret_;
+
+  // Cumulative profits per party.
+  Gauge* profit_consumer_;
+  Gauge* profit_platform_;
+  Gauge* profit_sellers_;
+
+  // Ledger flows (read straight off the engine's ledger).
+  Gauge* ledger_consumer_outflow_;
+  Gauge* ledger_seller_inflow_;
+
+  // Circuit breaker: currently quarantined sellers and open transitions.
+  Gauge* breaker_open_sellers_;
+  Counter* breaker_opened_total_;
+
+  // Bandit exploration-vs-exploitation split of the selected coalition.
+  Counter* picks_explore_total_;
+  Counter* picks_exploit_total_;
+  Gauge* exploration_ratio_;
+
+  double consumer_profit_cum_ = 0.0;
+  double platform_profit_cum_ = 0.0;
+  double seller_profit_cum_ = 0.0;
+  double oracle_revenue_cum_ = 0.0;
+  double expected_revenue_cum_ = 0.0;
+  std::int64_t breaker_opened_seen_ = 0;
+};
+
+}  // namespace obs
+}  // namespace cdt
+
+#endif  // CDT_OBS_TELEMETRY_OBSERVER_H_

@@ -1,0 +1,85 @@
+#include "obs/tracer.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace cdt {
+namespace obs {
+
+std::uint32_t CurrentThreadId() {
+  static std::atomic<std::uint32_t> next_id{1};
+  thread_local const std::uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  CDT_CHECK(capacity > 0) << "tracer capacity must be > 0";
+  ring_.resize(capacity);
+}
+
+void Tracer::Record(const char* name, std::int64_t start_ns,
+                    std::int64_t end_ns) {
+  const std::uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[head_] = SpanEvent{name, tid, start_ns, end_ns};
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<SpanEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out;
+  out.reserve(size_);
+  // Oldest retained span sits at head_ - size_ (mod capacity).
+  std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - size_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Tracer* tracer,
+                       Histogram* latency_histogram)
+    : name_(name),
+      tracer_(tracer),
+      hist_(latency_histogram),
+      start_ns_(MonotonicNowNs()),
+      active_(true) {}
+
+void ScopedSpan::Start(const char* name, Histogram* latency_histogram) {
+  name_ = name;
+  tracer_ = &tracer();
+  hist_ = latency_histogram;
+  start_ns_ = MonotonicNowNs();
+  active_ = true;
+}
+
+void ScopedSpan::Finish() {
+  const std::int64_t end_ns = MonotonicNowNs();
+  if (tracer_ != nullptr) tracer_->Record(name_, start_ns_, end_ns);
+  if (hist_ != nullptr) {
+    hist_->Record(static_cast<double>(end_ns - start_ns_) * 1e-9);
+  }
+}
+
+}  // namespace obs
+}  // namespace cdt

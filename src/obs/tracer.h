@@ -1,0 +1,135 @@
+// Low-overhead span tracer: RAII ScopedSpans record (name, thread, start,
+// duration) into a fixed-capacity thread-safe ring buffer, exported as
+// Chrome trace-event JSON (chrome://tracing / Perfetto) by the exporters.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// the ring buffer stores the pointer, never copies, so the record path is
+// two monotonic-clock reads plus one short critical section. A dormant
+// span (telemetry disabled) costs exactly one relaxed atomic load.
+
+#ifndef CDT_OBS_TRACER_H_
+#define CDT_OBS_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace cdt {
+namespace obs {
+
+class Histogram;
+
+/// Nanoseconds on the monotonic (steady) clock.
+inline std::int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Process-unique small id of the calling thread (stable for its life).
+std::uint32_t CurrentThreadId();
+
+/// One completed span. `name` is a borrowed string literal.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+
+  std::int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// Thread-safe fixed-capacity span ring buffer. Once full, new spans
+/// overwrite the oldest (dropped() reports how many were evicted), so a
+/// long run keeps its most recent window — the part a trace viewer needs.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Appends one completed span (called by ~ScopedSpan).
+  void Record(const char* name, std::int64_t start_ns, std::int64_t end_ns);
+
+  /// The retained spans, oldest first.
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Spans ever recorded, including evicted ones.
+  std::uint64_t total_recorded() const;
+
+  /// Spans evicted by ring wrap-around.
+  std::uint64_t dropped() const;
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Forgets every retained span and zeroes the counters.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> ring_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;  // retained spans (<= capacity)
+  std::uint64_t total_ = 0;
+};
+
+/// RAII span: starts timing at construction when telemetry is armed,
+/// records into the global tracer (and optionally a latency histogram, in
+/// seconds) at destruction. When telemetry is dormant the constructor is a
+/// single atomic load and the destructor a predictable branch.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* latency_histogram = nullptr) {
+    if (enabled()) Start(name, latency_histogram);
+  }
+
+  /// Test constructor: records into `tracer` unconditionally.
+  ScopedSpan(const char* name, Tracer* tracer,
+             Histogram* latency_histogram = nullptr);
+
+  ~ScopedSpan() {
+    if (active_) Finish();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Start(const char* name, Histogram* latency_histogram);
+  void Finish();
+
+  const char* name_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  Histogram* hist_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace cdt
+
+#if CDT_TELEMETRY
+/// Scoped span around the rest of the current block.
+#define CDT_SPAN(name)                                               \
+  ::cdt::obs::ScopedSpan CDT_OBS_INTERNAL_CONCAT(cdt_scoped_span_,   \
+                                                 __LINE__)(name)
+/// Scoped span that additionally feeds a latency histogram. `hist_fn` is a
+/// zero-argument callable returning ::cdt::obs::Histogram*; it runs once
+/// per call site, on the first armed pass (cached in a local static).
+#define CDT_SPAN_TIMED(name, hist_fn)                                      \
+  ::cdt::obs::ScopedSpan CDT_OBS_INTERNAL_CONCAT(cdt_scoped_span_,         \
+                                                 __LINE__)(                \
+      name, []() -> ::cdt::obs::Histogram* {                               \
+        if (!::cdt::obs::enabled()) return nullptr;                        \
+        static ::cdt::obs::Histogram* const h = (hist_fn)();               \
+        return h;                                                          \
+      }())
+#else
+#define CDT_SPAN(name) ((void)0)
+#define CDT_SPAN_TIMED(name, hist_fn) ((void)0)
+#endif
+
+#endif  // CDT_OBS_TRACER_H_

@@ -58,6 +58,14 @@ Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv) {
     return Status::InvalidArgument("--faults must lie in [0, 1]");
   }
   flags.fault_rate = faults.value();
+  Result<std::string> trace =
+      config.value().GetString("trace-out", flags.trace_out);
+  if (!trace.ok()) return trace.status();
+  flags.trace_out = trace.value();
+  Result<std::string> metrics =
+      config.value().GetString("metrics-out", flags.metrics_out);
+  if (!metrics.ok()) return metrics.status();
+  flags.metrics_out = metrics.value();
   return flags;
 }
 

@@ -48,12 +48,18 @@ class Reporter {
 /// Parses the common bench flags: --out=<dir> (default "results"),
 /// --quick=<bool> (default false; benches shrink N for smoke runs),
 /// --seed=<int>, --faults=<rate> (default 0; seller-default rate for
-/// harnesses that exercise the fault-injection layer).
+/// harnesses that exercise the fault-injection layer),
+/// --trace-out=<file> (Chrome trace-event JSON of the run's spans) and
+/// --metrics-out=<file> (Prometheus text snapshot; a ".jsonl" sibling
+/// carries the same snapshot as JSONL). Either telemetry flag arms the
+/// obs runtime via benchx::EnableTelemetryFromFlags.
 struct BenchFlags {
   std::string output_dir = "results";
   bool quick = false;
   std::uint64_t seed = 42;
   double fault_rate = 0.0;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 util::Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv);

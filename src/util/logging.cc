@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <utility>
 
 namespace cdt {
 namespace util {
@@ -10,11 +12,44 @@ namespace util {
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 
+// Guards the installed sink; cheap because logging below the threshold
+// never reaches Emit, and emitting is not a hot path.
+std::mutex& SinkMutex() {
+  static std::mutex* const mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& InstalledSink() {
+  static LogSink* const sink = new LogSink();
+  return *sink;
+}
+
+/// Runs the installed sink (or the std::cerr default) on one record.
+void Emit(LogLevel level, const std::string& message) {
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    sink = InstalledSink();
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::cerr << message << std::endl;
+  }
+}
+
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
 }  // namespace
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = std::move(InstalledSink());
+  InstalledSink() = std::move(sink);
+  return previous;
+}
 
 const char* LogLevelName(LogLevel level) {
   switch (level) {
@@ -50,7 +85,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    Emit(level_, stream_.str());
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -8,6 +8,7 @@
 #ifndef CDT_UTIL_LOGGING_H_
 #define CDT_UTIL_LOGGING_H_
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -30,6 +31,17 @@ LogLevel GetLogLevel();
 
 /// Sets the process-wide minimum level that is emitted.
 void SetLogLevel(LogLevel level);
+
+/// Destination of emitted log records. `message` is the fully formatted
+/// line ("[LEVEL file:line] text", no trailing newline).
+using LogSink = std::function<void(LogLevel level, const std::string& message)>;
+
+/// Replaces the process-wide log destination; every CDT_LOG statement is
+/// routed through the installed sink. Passing nullptr restores the default
+/// sink (std::cerr + '\n'). Thread-safe; the previous sink is returned so
+/// tests and the telemetry layer can capture output and then restore it.
+/// kFatal messages still abort the process after the sink runs.
+LogSink SetLogSink(LogSink sink);
 
 /// One log statement; accumulates a message and emits it on destruction.
 /// kFatal aborts the process after emitting.

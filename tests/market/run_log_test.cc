@@ -2,6 +2,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -97,6 +99,48 @@ TEST_F(RunLogTest, LoadRejectsCorruptRow) {
   auto rows = LoadRunLog(path_.string());
   ASSERT_FALSE(rows.ok());
   EXPECT_NE(rows.status().message().find("row 2"), std::string::npos);
+}
+
+TEST_F(RunLogTest, FlushSurfacesDataAndCloseIsIdempotent) {
+  auto writer = RunLogWriter::Open(path_.string());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value().Append(MakeReport(1)).ok());
+  ASSERT_TRUE(writer.value().Flush().ok());
+  // After an explicit flush the row is durable even with the writer open.
+  {
+    std::ifstream in(path_);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("3+1+4"), std::string::npos);
+  }
+  ASSERT_TRUE(writer.value().Close().ok());
+  // Repeat Close reports the same (successful) status.
+  EXPECT_TRUE(writer.value().Close().ok());
+  // Flush after close is a precondition error, not a crash.
+  EXPECT_FALSE(writer.value().Flush().ok());
+}
+
+TEST_F(RunLogTest, WriteFailureIsStickyThroughClose) {
+  // /dev/full accepts opens but fails every write with ENOSPC, which is
+  // exactly the disk-full path the sticky error is designed for.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  auto writer = RunLogWriter::Open("/dev/full");
+  ASSERT_TRUE(writer.ok());
+  // The header and first rows may sit in the stream buffer; pumping rows
+  // through Flush forces the failure to surface.
+  util::Status status = util::Status::OK();
+  for (int t = 1; t <= 4 && status.ok(); ++t) {
+    status = writer.value().Append(MakeReport(t));
+    if (status.ok()) status = writer.value().Flush();
+  }
+  ASSERT_FALSE(status.ok());
+  // Every later operation reports the original failure: no silent loss.
+  EXPECT_FALSE(writer.value().Append(MakeReport(99)).ok());
+  EXPECT_FALSE(writer.value().Flush().ok());
+  EXPECT_FALSE(writer.value().Close().ok());
+  EXPECT_FALSE(writer.value().Close().ok());  // still sticky after close
 }
 
 TEST_F(RunLogTest, StreamsAFullSimulation) {

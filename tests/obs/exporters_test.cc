@@ -1,0 +1,131 @@
+#include "obs/exporters.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace cdt {
+namespace obs {
+namespace {
+
+// Golden files live next to the test sources; regenerate with
+//   CDT_REGEN_GOLDEN=1 ./exporters_test
+// and re-review the diff — the export formats are a public API.
+std::string GoldenPath(const std::string& name) {
+  return std::string(CDT_TEST_DATA_DIR) + "/obs/golden/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void CompareToGolden(const std::string& actual, const std::string& name) {
+  if (std::getenv("CDT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(name), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open());
+    out << actual;
+    return;
+  }
+  EXPECT_EQ(actual, ReadFileOrDie(GoldenPath(name))) << "golden: " << name;
+}
+
+/// The deterministic registry content both golden tests export.
+void PopulateRegistry(MetricsRegistry* reg) {
+  reg->GetCounter("cdt_rounds_total", "Rounds settled by the engine.")
+      ->Add(42.0);
+  reg->GetCounter("cdt_faults_total", "Fault events by kind.",
+                  {{"kind", "default"}})
+      ->Add(3.0);
+  reg->GetCounter("cdt_faults_total", "Fault events by kind.",
+                  {{"kind", "partial"}})
+      ->Add(1.0);
+  reg->GetGauge("cdt_regret", "Cumulative regret vs the oracle.")
+      ->Set(12.625);
+  Histogram* h = reg->GetHistogram(
+      "cdt_round_latency_seconds", "Round latency.", {0.001, 0.1, 10.0});
+  h->Record(0.0005);
+  h->Record(0.05);
+  h->Record(0.05);
+  h->Record(3.0);
+  h->Record(1e6);  // overflow bucket
+}
+
+TEST(FormatMetricValueTest, IntegralAndShortestRoundTrip) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(-7.0), "-7");
+  EXPECT_EQ(FormatMetricValue(0.1), "0.1");
+  EXPECT_EQ(FormatMetricValue(12.625), "12.625");
+  EXPECT_EQ(FormatMetricValue(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+  EXPECT_EQ(FormatMetricValue(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(FormatMetricValue(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  // Shortest representation still parses back to the exact double.
+  for (double v : {1.0 / 3.0, 1e-7, 123456.789, 2.5e17}) {
+    EXPECT_EQ(std::strtod(FormatMetricValue(v).c_str(), nullptr), v);
+  }
+}
+
+TEST(PrometheusTextTest, MatchesGolden) {
+  MetricsRegistry reg;
+  PopulateRegistry(&reg);
+  CompareToGolden(PrometheusText(reg), "metrics.prom.golden");
+}
+
+TEST(MetricsJsonlTest, MatchesGolden) {
+  MetricsRegistry reg;
+  PopulateRegistry(&reg);
+  CompareToGolden(MetricsJsonl(reg), "metrics.jsonl.golden");
+}
+
+TEST(ChromeTraceJsonTest, MatchesGolden) {
+  std::vector<SpanEvent> events;
+  events.push_back({"round", 1, 1000, 14500});
+  events.push_back({"bandit.select", 1, 1500, 2750});
+  events.push_back({"game.solve", 2, 3000, 9000});
+  CompareToGolden(ChromeTraceJson(events), "trace.json.golden");
+}
+
+TEST(ChromeTraceJsonTest, EscapesAndMicrosecondUnits) {
+  std::vector<SpanEvent> events;
+  events.push_back({"quo\"te", 7, 2500, 4000});
+  std::string json = ChromeTraceJson(events);
+  EXPECT_NE(json.find("\"name\":\"quo\\\"te\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2.500"), std::string::npos);   // ns -> us
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(WriteExportersTest, WritesFilesAndFailsOnBadPath) {
+  MetricsRegistry reg;
+  PopulateRegistry(&reg);
+  Tracer tracer(8);
+  tracer.Record("x", 0, 1000);
+
+  std::string dir = ::testing::TempDir();
+  EXPECT_TRUE(WritePrometheusText(reg, dir + "/m.prom").ok());
+  EXPECT_TRUE(WriteMetricsJsonl(reg, dir + "/m.jsonl").ok());
+  EXPECT_TRUE(WriteChromeTrace(tracer, dir + "/t.json").ok());
+  EXPECT_EQ(ReadFileOrDie(dir + "/m.prom"), PrometheusText(reg));
+
+  EXPECT_FALSE(
+      WritePrometheusText(reg, "/nonexistent-dir/metrics.prom").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cdt

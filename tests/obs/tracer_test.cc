@@ -1,0 +1,137 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace cdt {
+namespace obs {
+namespace {
+
+TEST(TracerTest, RecordsAndSnapshotsOldestFirst) {
+  Tracer tracer(8);
+  tracer.Record("a", 10, 20);
+  tracer.Record("b", 30, 45);
+  std::vector<SpanEvent> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "a");
+  EXPECT_EQ(spans[0].start_ns, 10);
+  EXPECT_EQ(spans[0].duration_ns(), 10);
+  EXPECT_STREQ(spans[1].name, "b");
+  EXPECT_EQ(spans[1].duration_ns(), 15);
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, RingWrapKeepsTheNewestWindow) {
+  Tracer tracer(4);
+  for (int i = 0; i < 7; ++i) {
+    tracer.Record("s", i, i + 1);
+  }
+  std::vector<SpanEvent> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Spans 0..2 were evicted; 3..6 retained, oldest first.
+  EXPECT_EQ(spans.front().start_ns, 3);
+  EXPECT_EQ(spans.back().start_ns, 6);
+  EXPECT_EQ(tracer.total_recorded(), 7u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(TracerTest, ClearForgetsEverything) {
+  Tracer tracer(4);
+  tracer.Record("s", 0, 1);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ScopedSpanTest, TestConstructorRecordsUnconditionally) {
+  Tracer tracer(8);
+  {
+    ScopedSpan span("scoped", &tracer);
+  }
+  std::vector<SpanEvent> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "scoped");
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+  EXPECT_EQ(spans[0].tid, CurrentThreadId());
+}
+
+TEST(ScopedSpanTest, FeedsTheLatencyHistogram) {
+  Tracer tracer(8);
+  Histogram hist({1.0, 10.0});
+  {
+    ScopedSpan span("timed", &tracer, &hist);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_GE(hist.sum(), 0.0);
+  EXPECT_LT(hist.sum(), 1.0);  // a no-op block lasts well under a second
+}
+
+TEST(ScopedSpanTest, DormantGlobalSpanRecordsNothing) {
+  ResetForTesting();  // disabled
+  {
+    CDT_SPAN("dormant");
+  }
+#if CDT_TELEMETRY
+  EXPECT_EQ(tracer().total_recorded(), 0u);
+#endif
+}
+
+#if CDT_TELEMETRY
+TEST(ScopedSpanTest, ArmedGlobalSpanRecords) {
+  ResetForTesting();
+  Enable();
+  {
+    CDT_SPAN("armed");
+  }
+  Disable();
+  std::vector<SpanEvent> spans = tracer().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "armed");
+  ResetForTesting();
+}
+#endif
+
+TEST(TracerThreadSafetyTest, ConcurrentProducersLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 2000;
+  Tracer tracer(1 << 12);  // smaller than the total: wrap under contention
+  std::vector<std::thread> threads;
+  std::vector<std::uint32_t> tids(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &tids, t] {
+      tids[static_cast<std::size_t>(t)] = CurrentThreadId();
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span("worker", &tracer);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(tracer.total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+  std::vector<SpanEvent> spans = tracer.Snapshot();
+  EXPECT_EQ(spans.size(), tracer.capacity());
+  EXPECT_EQ(tracer.dropped(),
+            tracer.total_recorded() - tracer.capacity());
+  for (const SpanEvent& s : spans) {
+    EXPECT_STREQ(s.name, "worker");
+    EXPECT_GE(s.end_ns, s.start_ns);
+  }
+  // Thread ids are process-unique.
+  std::set<std::uint32_t> unique(tids.begin(), tids.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cdt

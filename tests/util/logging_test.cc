@@ -1,0 +1,98 @@
+#include "util/logging.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdt {
+namespace util {
+namespace {
+
+/// Installs a capturing sink for the test's lifetime, restoring the
+/// previous sink (and the log level) on destruction.
+class SinkCapture {
+ public:
+  SinkCapture() : saved_level_(GetLogLevel()) {
+    previous_ = SetLogSink([this](LogLevel level, const std::string& line) {
+      records_.emplace_back(level, line);
+    });
+  }
+  ~SinkCapture() {
+    SetLogSink(std::move(previous_));
+    SetLogLevel(saved_level_);
+  }
+
+  const std::vector<std::pair<LogLevel, std::string>>& records() const {
+    return records_;
+  }
+
+ private:
+  LogLevel saved_level_;
+  LogSink previous_;
+  std::vector<std::pair<LogLevel, std::string>> records_;
+};
+
+TEST(LoggingTest, SinkReceivesFormattedRecords) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  CDT_LOG(Info) << "selected " << 3 << " sellers";
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].first, LogLevel::kInfo);
+  const std::string& line = capture.records()[0].second;
+  EXPECT_NE(line.find("[INFO "), std::string::npos);
+  EXPECT_NE(line.find("logging_test.cc:"), std::string::npos);
+  EXPECT_NE(line.find("selected 3 sellers"), std::string::npos);
+  EXPECT_TRUE(line.empty() || line.back() != '\n');  // no trailing newline
+}
+
+TEST(LoggingTest, ThresholdStillFiltersBeforeTheSink) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kError);
+  CDT_LOG(Warning) << "suppressed";
+  CDT_LOG(Error) << "delivered";
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].first, LogLevel::kError);
+}
+
+TEST(LoggingTest, SetLogSinkReturnsThePreviousSink) {
+  std::vector<std::string> first_lines;
+  LogSink original = SetLogSink(
+      [&](LogLevel, const std::string& line) { first_lines.push_back(line); });
+
+  std::vector<std::string> second_lines;
+  LogSink first = SetLogSink(
+      [&](LogLevel, const std::string& line) { second_lines.push_back(line); });
+  EXPECT_TRUE(static_cast<bool>(first));
+
+  SetLogLevel(LogLevel::kInfo);
+  CDT_LOG(Info) << "to second";
+  EXPECT_TRUE(first_lines.empty());
+  ASSERT_EQ(second_lines.size(), 1u);
+
+  // Re-install the first sink from the returned handle; it works again.
+  SetLogSink(std::move(first));
+  CDT_LOG(Info) << "to first";
+  ASSERT_EQ(first_lines.size(), 1u);
+  EXPECT_EQ(second_lines.size(), 1u);
+
+  SetLogSink(std::move(original));
+  SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(LoggingTest, NullSinkRestoresTheDefault) {
+  // Install-then-clear must leave logging functional (writes to stderr)
+  // and the cleared state must report no previous custom sink.
+  std::vector<std::string> lines;
+  SetLogSink([&](LogLevel, const std::string& line) { lines.push_back(line); });
+  LogSink removed = SetLogSink(nullptr);
+  EXPECT_TRUE(static_cast<bool>(removed));
+  LogSink none = SetLogSink(nullptr);
+  EXPECT_FALSE(static_cast<bool>(none));
+  EXPECT_TRUE(lines.empty());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace cdt

@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Validate CDT telemetry exports against tools/telemetry_schema.json.
+
+Checks three artifacts (any subset may be given):
+
+  --trace trace.json      Chrome trace-event JSON: structure, "X" events
+                          with non-negative ts/dur, the required span names
+                          from the schema, and that every non-round span is
+                          contained in some "round" span on the same tid
+                          (the nesting Perfetto renders as a tree).
+  --jsonl metrics.jsonl   JSONL metric snapshot: one JSON object per line,
+                          every metric in the schema catalogue with the
+                          declared type/label keys/label values, histogram
+                          buckets ascending with bucket counts summing to
+                          `count`, and all `required` metrics present.
+  --prom metrics.prom     Prometheus text exposition: HELP/TYPE headers,
+                          parsable sample lines, cumulative bucket counts,
+                          and family names from the catalogue.
+
+Exit code 0 when every given artifact validates; 1 otherwise with one
+"ERROR <artifact>: ..." line per failure. Stdlib only (json/re/argparse) so
+it runs anywhere CI has a python3.
+
+Usage (the CI fault smoke):
+  quickstart rounds=200 faults=0.3 trace-out=/tmp/t.json metrics-out=/tmp/m.prom
+  python3 tools/validate_telemetry.py --schema tools/telemetry_schema.json \
+      --trace /tmp/t.json --prom /tmp/m.prom --jsonl /tmp/m.prom.jsonl
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+errors = []
+
+
+def err(artifact, message):
+    errors.append(f"ERROR {artifact}: {message}")
+
+
+def load_schema(path):
+    with open(path, "r", encoding="utf-8") as f:
+        schema = json.load(f)
+    for key in ("metrics", "label_values", "required_spans"):
+        if key not in schema:
+            err("schema", f"missing top-level key {key!r}")
+    return schema
+
+
+# ----------------------------------------------------------------- trace ---
+
+
+def validate_trace(path, schema):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err("trace", f"cannot parse {path}: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        err("trace", "traceEvents is missing or not a list")
+        return
+
+    spans = []  # (name, tid, start_us, end_us)
+    for i, e in enumerate(events):
+        if not isinstance(e, dict) or "ph" not in e or "name" not in e:
+            err("trace", f"event {i} lacks ph/name")
+            continue
+        if e["ph"] == "M":
+            continue  # metadata
+        if e["ph"] != "X":
+            err("trace", f"event {i} has unexpected phase {e['ph']!r}")
+            continue
+        for key in ("ts", "dur", "pid", "tid"):
+            if not isinstance(e.get(key), (int, float)):
+                err("trace", f"event {i} ({e['name']}) lacks numeric {key}")
+                break
+        else:
+            if e["ts"] < 0 or e["dur"] < 0:
+                err("trace", f"event {i} ({e['name']}) has negative ts/dur")
+            spans.append((e["name"], e["tid"], e["ts"], e["ts"] + e["dur"]))
+
+    names = {s[0] for s in spans}
+    for required in schema.get("required_spans", []):
+        if required not in names:
+            err("trace", f"required span {required!r} never recorded")
+
+    rounds = [s for s in spans if s[0] == "round"]
+    for name, tid, start, end in spans:
+        if name == "round":
+            continue
+        if not any(
+            r[1] == tid and r[2] <= start and end <= r[3] for r in rounds
+        ):
+            err("trace", f"span {name!r} not nested in any round span")
+            break  # one report is enough; traces can hold thousands of spans
+
+
+# ----------------------------------------------------------------- jsonl ---
+
+
+def check_labels(artifact, name, labels, spec, schema):
+    if sorted(labels.keys()) != sorted(spec.get("labels", [])):
+        err(
+            artifact,
+            f"{name}: label keys {sorted(labels)} != schema "
+            f"{sorted(spec.get('labels', []))}",
+        )
+        return
+    for key, value in labels.items():
+        allowed = schema.get("label_values", {}).get(key)
+        if allowed is not None and value not in allowed:
+            err(artifact, f"{name}: label {key}={value!r} not in {allowed}")
+
+
+def validate_jsonl(path, schema):
+    catalogue = schema.get("metrics", {})
+    seen = set()
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        err("jsonl", f"cannot read {path}: {e}")
+        return
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            m = json.loads(line)
+        except json.JSONDecodeError as e:
+            err("jsonl", f"line {lineno} is not valid JSON: {e}")
+            continue
+        name = m.get("name")
+        spec = catalogue.get(name)
+        if spec is None:
+            err("jsonl", f"line {lineno}: unknown metric {name!r}")
+            continue
+        seen.add(name)
+        if m.get("type") != spec["type"]:
+            err(
+                "jsonl",
+                f"{name}: type {m.get('type')!r} != schema {spec['type']!r}",
+            )
+        check_labels("jsonl", name, m.get("labels", {}), spec, schema)
+
+        if spec["type"] in ("counter", "gauge"):
+            if not isinstance(m.get("value"), (int, float)):
+                err("jsonl", f"{name}: missing numeric value")
+            elif spec["type"] == "counter" and m["value"] < 0:
+                err("jsonl", f"{name}: counter is negative ({m['value']})")
+        else:  # histogram
+            buckets = m.get("buckets")
+            if not isinstance(buckets, list) or not buckets:
+                err("jsonl", f"{name}: histogram lacks buckets")
+                continue
+            if buckets[-1].get("le") != "+Inf":
+                err("jsonl", f"{name}: last bucket le must be +Inf")
+            finite = [b.get("le") for b in buckets[:-1]]
+            if any(not isinstance(le, (int, float)) for le in finite):
+                err("jsonl", f"{name}: non-numeric finite bucket bound")
+            elif finite != sorted(finite) or len(set(finite)) != len(finite):
+                err("jsonl", f"{name}: bucket bounds not strictly ascending")
+            counts = [b.get("count", -1) for b in buckets]
+            if any(not isinstance(c, int) or c < 0 for c in counts):
+                err("jsonl", f"{name}: negative or missing bucket count")
+            elif sum(counts) != m.get("count"):
+                err(
+                    "jsonl",
+                    f"{name}: bucket counts sum to {sum(counts)} "
+                    f"but count={m.get('count')}",
+                )
+            if not isinstance(m.get("sum"), (int, float)) or (
+                isinstance(m.get("sum"), float) and math.isnan(m["sum"])
+            ):
+                err("jsonl", f"{name}: histogram sum missing or NaN")
+
+    for name, spec in catalogue.items():
+        if spec.get("required") and name not in seen:
+            err("jsonl", f"required metric {name!r} missing from snapshot")
+
+
+# ------------------------------------------------------------------ prom ---
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+
+
+def family_of(sample_name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def validate_prom(path, schema):
+    catalogue = schema.get("metrics", {})
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        err("prom", f"cannot read {path}: {e}")
+        return
+
+    typed = {}  # family -> declared type
+    cumulative = {}  # (family, labels-minus-le) -> last bucket count
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                err("prom", f"line {lineno}: malformed TYPE comment")
+                continue
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            err("prom", f"line {lineno}: unparsable sample {line!r}")
+            continue
+        sample, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        family = family_of(sample)
+        if family not in typed:
+            err("prom", f"line {lineno}: sample {sample} before its TYPE")
+        if family not in catalogue:
+            err("prom", f"line {lineno}: unknown metric family {family!r}")
+        try:
+            v = float(value)
+        except ValueError:
+            err("prom", f"line {lineno}: non-numeric value {value!r}")
+            continue
+        if sample.endswith("_bucket"):
+            series = (family, re.sub(r',?le="[^"]*"', "", labels))
+            if v < cumulative.get(series, 0.0):
+                err("prom", f"line {lineno}: bucket counts not cumulative")
+            cumulative[series] = v
+
+    for family, declared in typed.items():
+        spec = catalogue.get(family)
+        if spec is not None and declared != spec["type"]:
+            err(
+                "prom",
+                f"{family}: TYPE {declared!r} != schema {spec['type']!r}",
+            )
+    for name, spec in catalogue.items():
+        if spec.get("required") and name not in typed:
+            err("prom", f"required metric {name!r} missing from exposition")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", default="tools/telemetry_schema.json")
+    parser.add_argument("--trace")
+    parser.add_argument("--jsonl")
+    parser.add_argument("--prom")
+    args = parser.parse_args()
+
+    schema = load_schema(args.schema)
+    if not (args.trace or args.jsonl or args.prom):
+        parser.error("nothing to validate: pass --trace/--jsonl/--prom")
+    if args.trace:
+        validate_trace(args.trace, schema)
+    if args.jsonl:
+        validate_jsonl(args.jsonl, schema)
+    if args.prom:
+        validate_prom(args.prom, schema)
+
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        return 1
+    checked = [a for a in (args.trace, args.jsonl, args.prom) if a]
+    print(f"telemetry OK: {', '.join(checked)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
