@@ -5,12 +5,15 @@
 //
 //   ./ablation_auction_vs_hs [--seed=<n>] [--out=<dir>]
 
+#include <algorithm>
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.h"
 #include "game/auction.h"
 #include "game/profit.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -55,66 +58,90 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* wel_hs = welfare.AddSeries("hs-game");
   sim::Series* wel_au = welfare.AddSeries("auction");
 
-  for (double omega : {600.0, 800.0, 1000.0, 1200.0, 1400.0}) {
-    // 20 candidates; the HS mechanism plays with the 10 best-quality ones
-    // (the bandit layer's role), the auction selects its own 10 winners by
-    // ask from the same 20.
-    game::GameConfig instance = benchx::MakeGameInstance(20, flags.seed);
-    instance.valuation.omega = omega;
+  // One ω point = one independent instance solved under both mechanisms.
+  struct OmegaPoint {
+    double hs_poc, hs_pop, hs_pos, hs_wel;
+    double au_poc, au_pop, au_pos, au_wel;
+  };
+  const double kOmegas[] = {600.0, 800.0, 1000.0, 1200.0, 1400.0};
+  auto points = sim::RunSweep(
+      std::size(kOmegas), flags.jobs,
+      [&](std::size_t w) -> util::Result<OmegaPoint> {
+        // 20 candidates; the HS mechanism plays with the 10 best-quality
+        // ones (the bandit layer's role), the auction selects its own 10
+        // winners by ask from the same 20.
+        game::GameConfig instance = benchx::MakeGameInstance(20, flags.seed);
+        instance.valuation.omega = kOmegas[w];
+        OmegaPoint point;
 
-    // --- HS game over the top-10 by quality ---
-    std::vector<int> by_quality(20);
-    for (int i = 0; i < 20; ++i) by_quality[static_cast<std::size_t>(i)] = i;
-    std::sort(by_quality.begin(), by_quality.end(), [&](int x, int y) {
-      return instance.qualities[static_cast<std::size_t>(x)] >
-             instance.qualities[static_cast<std::size_t>(y)];
-    });
-    by_quality.resize(10);
-    game::GameConfig hs_config;
-    for (int i : by_quality) {
-      hs_config.sellers.push_back(
-          instance.sellers[static_cast<std::size_t>(i)]);
-      hs_config.qualities.push_back(
-          instance.qualities[static_cast<std::size_t>(i)]);
-    }
-    hs_config.platform = instance.platform;
-    hs_config.valuation = instance.valuation;
-    hs_config.consumer_price_bounds = instance.consumer_price_bounds;
-    hs_config.collection_price_bounds = instance.collection_price_bounds;
-    auto solver = game::StackelbergSolver::Create(hs_config);
-    if (!solver.ok()) return benchx::Fail(solver.status());
-    game::StrategyProfile eq = solver.value().Solve();
-    double hs_pos = 0.0;
-    for (double psi : eq.seller_profits) hs_pos += psi;
-    poc_hs->Add(omega, eq.consumer_profit);
-    pop_hs->Add(omega, eq.platform_profit);
-    pos_hs->Add(omega, hs_pos);
-    std::vector<int> hs_ids(10);
-    for (int j = 0; j < 10; ++j) hs_ids[static_cast<std::size_t>(j)] = j;
-    wel_hs->Add(omega, SocialSurplus(hs_config, hs_ids, eq.tau,
-                                     solver.value().aggregates().mean_quality));
+        // --- HS game over the top-10 by quality ---
+        std::vector<int> by_quality(20);
+        for (int i = 0; i < 20; ++i) {
+          by_quality[static_cast<std::size_t>(i)] = i;
+        }
+        std::sort(by_quality.begin(), by_quality.end(), [&](int x, int y) {
+          return instance.qualities[static_cast<std::size_t>(x)] >
+                 instance.qualities[static_cast<std::size_t>(y)];
+        });
+        by_quality.resize(10);
+        game::GameConfig hs_config;
+        for (int i : by_quality) {
+          hs_config.sellers.push_back(
+              instance.sellers[static_cast<std::size_t>(i)]);
+          hs_config.qualities.push_back(
+              instance.qualities[static_cast<std::size_t>(i)]);
+        }
+        hs_config.platform = instance.platform;
+        hs_config.valuation = instance.valuation;
+        hs_config.consumer_price_bounds = instance.consumer_price_bounds;
+        hs_config.collection_price_bounds = instance.collection_price_bounds;
+        auto solver = game::StackelbergSolver::Create(hs_config);
+        if (!solver.ok()) return solver.status();
+        game::StrategyProfile eq = solver.value().Solve();
+        point.hs_pos = 0.0;
+        for (double psi : eq.seller_profits) point.hs_pos += psi;
+        point.hs_poc = eq.consumer_profit;
+        point.hs_pop = eq.platform_profit;
+        std::vector<int> hs_ids(10);
+        for (int j = 0; j < 10; ++j) hs_ids[static_cast<std::size_t>(j)] = j;
+        point.hs_wel = SocialSurplus(hs_config, hs_ids, eq.tau,
+                                     solver.value().aggregates().mean_quality);
 
-    // --- reverse auction over all 20 candidates ---
-    game::AuctionConfig auction;
-    auction.sellers = instance.sellers;
-    auction.qualities = instance.qualities;
-    auction.num_winners = 10;
-    auction.platform = instance.platform;
-    auction.valuation = instance.valuation;
-    auto outcome = game::RunProcurementAuction(auction);
-    if (!outcome.ok()) return benchx::Fail(outcome.status());
-    double au_pos = 0.0;
-    for (double psi : outcome.value().winner_profits) au_pos += psi;
-    poc_au->Add(omega, outcome.value().consumer_profit);
-    pop_au->Add(omega, outcome.value().platform_profit);
-    pos_au->Add(omega, au_pos);
-    double quality_sum = 0.0;
-    for (int w : outcome.value().winners) {
-      quality_sum += instance.qualities[static_cast<std::size_t>(w)];
-    }
-    wel_au->Add(omega,
-                SocialSurplus(instance, outcome.value().winners,
-                              outcome.value().tau, quality_sum / 10.0));
+        // --- reverse auction over all 20 candidates ---
+        game::AuctionConfig auction;
+        auction.sellers = instance.sellers;
+        auction.qualities = instance.qualities;
+        auction.num_winners = 10;
+        auction.platform = instance.platform;
+        auction.valuation = instance.valuation;
+        auto outcome = game::RunProcurementAuction(auction);
+        if (!outcome.ok()) return outcome.status();
+        point.au_pos = 0.0;
+        for (double psi : outcome.value().winner_profits) {
+          point.au_pos += psi;
+        }
+        point.au_poc = outcome.value().consumer_profit;
+        point.au_pop = outcome.value().platform_profit;
+        double quality_sum = 0.0;
+        for (int win : outcome.value().winners) {
+          quality_sum += instance.qualities[static_cast<std::size_t>(win)];
+        }
+        point.au_wel = SocialSurplus(instance, outcome.value().winners,
+                                     outcome.value().tau, quality_sum / 10.0);
+        return point;
+      });
+  if (!points.ok()) return benchx::Fail(points.status());
+  for (std::size_t w = 0; w < points.value().size(); ++w) {
+    double omega = kOmegas[w];
+    const OmegaPoint& point = points.value()[w];
+    poc_hs->Add(omega, point.hs_poc);
+    pop_hs->Add(omega, point.hs_pop);
+    pos_hs->Add(omega, point.hs_pos);
+    wel_hs->Add(omega, point.hs_wel);
+    poc_au->Add(omega, point.au_poc);
+    pop_au->Add(omega, point.au_pop);
+    pos_au->Add(omega, point.au_pos);
+    wel_au->Add(omega, point.au_wel);
   }
 
   for (const sim::FigureData* fig : {&poc, &pop, &pos, &welfare}) {

@@ -7,12 +7,14 @@
 //   ./ablation_availability [--quick=true] [--seed=<n>] [--out=<dir>]
 
 #include <iostream>
+#include <iterator>
 
 #include "bandit/availability_policy.h"
 #include "bandit/cucb_policy.h"
 #include "bandit/environment.h"
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 #include "trace/availability.h"
 #include "trace/generator.h"
 #include "trace/poi.h"
@@ -85,50 +87,69 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* blind = fig.AddSeries("cmab-hs (blind)");
   sim::Series* rate = fig.AddSeries("mean availability rate");
 
-  for (int min_trips : {1, 2, 3, 5, 8}) {
-    auto shifts = trace::AvailabilityModel::FromTrips(
-        tr.value().trips, taxi_ids, 24, 3600, min_trips);
-    if (!shifts.ok()) return benchx::Fail(shifts.status());
-    double mean_rate = 0.0;
-    for (int i = 0; i < kSellers; ++i) {
-      mean_rate += shifts.value().AvailabilityRate(i);
-    }
-    mean_rate /= kSellers;
+  // One min_trips point = one independent pair of policy runs; the shared
+  // trace and taxi-id pool are only read.
+  struct ShiftPoint {
+    double mean_rate;
+    double q_aware;
+    double q_blind;
+  };
+  const int kMinTrips[] = {1, 2, 3, 5, 8};
+  auto shift_points = sim::RunSweep(
+      std::size(kMinTrips), flags.jobs,
+      [&](std::size_t p) -> util::Result<ShiftPoint> {
+        auto shifts = trace::AvailabilityModel::FromTrips(
+            tr.value().trips, taxi_ids, 24, 3600, kMinTrips[p]);
+        if (!shifts.ok()) return shifts.status();
+        ShiftPoint point;
+        point.mean_rate = 0.0;
+        for (int i = 0; i < kSellers; ++i) {
+          point.mean_rate += shifts.value().AvailabilityRate(i);
+        }
+        point.mean_rate /= kSellers;
 
-    bandit::EnvironmentConfig env_config;
-    env_config.num_sellers = kSellers;
-    env_config.num_pois = 10;
-    env_config.seed = flags.seed + 5;
-    auto env_a = bandit::QualityEnvironment::Create(env_config);
-    auto env_b = bandit::QualityEnvironment::Create(env_config);
-    if (!env_a.ok() || !env_b.ok()) return benchx::Fail(env_a.status());
+        bandit::EnvironmentConfig env_config;
+        env_config.num_sellers = kSellers;
+        env_config.num_pois = 10;
+        env_config.seed = flags.seed + 5;
+        auto env_a = bandit::QualityEnvironment::Create(env_config);
+        auto env_b = bandit::QualityEnvironment::Create(env_config);
+        if (!env_a.ok()) return env_a.status();
+        if (!env_b.ok()) return env_b.status();
 
-    const trace::AvailabilityModel& model = shifts.value();
-    auto aware_policy = bandit::AvailabilityAwareCucbPolicy::Create(
-        kSellers, kSelect,
-        [&model](int seller, std::int64_t round) {
-          return model.IsAvailable(seller, round);
-        });
-    if (!aware_policy.ok()) return benchx::Fail(aware_policy.status());
-    bandit::CucbOptions options;
-    options.num_sellers = kSellers;
-    options.num_selected = kSelect;
-    auto blind_policy = bandit::CucbPolicy::Create(options);
-    if (!blind_policy.ok()) return benchx::Fail(blind_policy.status());
+        const trace::AvailabilityModel& model = shifts.value();
+        auto aware_policy = bandit::AvailabilityAwareCucbPolicy::Create(
+            kSellers, kSelect,
+            [&model](int seller, std::int64_t round) {
+              return model.IsAvailable(seller, round);
+            });
+        if (!aware_policy.ok()) return aware_policy.status();
+        bandit::CucbOptions options;
+        options.num_sellers = kSellers;
+        options.num_selected = kSelect;
+        auto blind_policy = bandit::CucbPolicy::Create(options);
+        if (!blind_policy.ok()) return blind_policy.status();
 
-    double q_aware = RunCollectedQuality(aware_policy.value(), env_a.value(),
-                                         model, rounds);
-    double q_blind = RunCollectedQuality(blind_policy.value(), env_b.value(),
-                                         model, rounds);
-    aware->Add(min_trips, q_aware);
-    blind->Add(min_trips, q_blind);
-    rate->Add(min_trips, mean_rate);
-    reporter.Note("  min_trips=" + std::to_string(min_trips) +
-                  " mean availability=" + util::FormatDouble(mean_rate, 3) +
-                  " aware=" + util::FormatDouble(q_aware, 1) + " blind=" +
-                  util::FormatDouble(q_blind, 1) + " gain=" +
-                  util::FormatDouble(100.0 * (q_aware / q_blind - 1.0), 1) +
-                  "%");
+        point.q_aware = RunCollectedQuality(aware_policy.value(),
+                                            env_a.value(), model, rounds);
+        point.q_blind = RunCollectedQuality(blind_policy.value(),
+                                            env_b.value(), model, rounds);
+        return point;
+      });
+  if (!shift_points.ok()) return benchx::Fail(shift_points.status());
+  for (std::size_t p = 0; p < shift_points.value().size(); ++p) {
+    int min_trips = kMinTrips[p];
+    const ShiftPoint& point = shift_points.value()[p];
+    aware->Add(min_trips, point.q_aware);
+    blind->Add(min_trips, point.q_blind);
+    rate->Add(min_trips, point.mean_rate);
+    reporter.Note(
+        "  min_trips=" + std::to_string(min_trips) + " mean availability=" +
+        util::FormatDouble(point.mean_rate, 3) + " aware=" +
+        util::FormatDouble(point.q_aware, 1) + " blind=" +
+        util::FormatDouble(point.q_blind, 1) + " gain=" +
+        util::FormatDouble(100.0 * (point.q_aware / point.q_blind - 1.0), 1) +
+        "%");
   }
   util::Status st = reporter.Report(fig);
   if (!st.ok()) return benchx::Fail(st);

@@ -14,6 +14,7 @@
 #include "core/cmab_hs.h"
 #include "market/faults.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 #include "util/string_util.h"
 
 namespace {
@@ -48,44 +49,65 @@ int Run(const sim::BenchFlags& flags) {
   std::vector<double> rates = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
   if (flags.fault_rate > 0.0) rates.push_back(flags.fault_rate);
 
-  for (double rate : rates) {
-    core::MechanismConfig config = base;
-    config.faults.default_rate = rate;
-    // A slice of the non-default fault families rides along so the sweep
-    // exercises every recovery path, not just re-settlement. The side rates
-    // are clamped so the per-seller outcome rates still sum to <= 1.
-    const double side = std::min(rate / 4.0, (1.0 - rate) / 2.0);
-    config.faults.corrupt_rate = side;
-    config.faults.partial_rate = side;
-    config.faults.settlement_failure_rate = std::min(rate / 4.0, 0.5);
+  // One default-rate point = one independent full CMAB-HS run with the
+  // invariant checker armed.
+  struct FaultPoint {
+    double platform_mean, consumer_mean, regret;
+    std::int64_t voided, degraded;
+    std::size_t faults, quarantine_drops, violations;
+  };
+  auto fault_points = sim::RunSweep(
+      rates.size(), flags.jobs,
+      [&](std::size_t r) -> util::Result<FaultPoint> {
+        core::MechanismConfig config = base;
+        double rate = rates[r];
+        config.faults.default_rate = rate;
+        // A slice of the non-default fault families rides along so the
+        // sweep exercises every recovery path, not just re-settlement. The
+        // side rates are clamped so the per-seller outcome rates still sum
+        // to <= 1.
+        const double side = std::min(rate / 4.0, (1.0 - rate) / 2.0);
+        config.faults.corrupt_rate = side;
+        config.faults.partial_rate = side;
+        config.faults.settlement_failure_rate = std::min(rate / 4.0, 0.5);
 
-    auto run = core::CmabHs::Create(config);
-    if (!run.ok()) return benchx::Fail(run.status());
-    util::Status status = run.value()->RunAll();
-    if (!status.ok()) return benchx::Fail(status);
+        auto run = core::CmabHs::Create(config);
+        if (!run.ok()) return run.status();
+        CDT_RETURN_NOT_OK(run.value()->RunAll());
 
-    const core::MetricsCollector& m = run.value()->metrics();
-    const market::TradingEngine& engine = run.value()->engine();
-    platform->Add(rate, m.platform_profit().mean());
-    consumer->Add(rate, m.consumer_profit().mean());
-    regret->Add(rate, m.regret());
-    voided->Add(rate, static_cast<double>(m.voided_rounds()));
-    quarantined->Add(
-        rate, static_cast<double>(
-                  engine.fault_count(market::FaultKind::kQuarantine)));
-
-    std::size_t violations =
-        engine.invariant_checker() != nullptr
-            ? engine.invariant_checker()->violation_count()
-            : 0;
+        const core::MetricsCollector& m = run.value()->metrics();
+        const market::TradingEngine& engine = run.value()->engine();
+        FaultPoint point;
+        point.platform_mean = m.platform_profit().mean();
+        point.consumer_mean = m.consumer_profit().mean();
+        point.regret = m.regret();
+        point.voided = m.voided_rounds();
+        point.degraded = m.degraded_rounds();
+        point.faults = engine.fault_log().size();
+        point.quarantine_drops =
+            engine.fault_count(market::FaultKind::kQuarantine);
+        point.violations = engine.invariant_checker() != nullptr
+                               ? engine.invariant_checker()->violation_count()
+                               : 0;
+        return point;
+      });
+  if (!fault_points.ok()) return benchx::Fail(fault_points.status());
+  for (std::size_t r = 0; r < fault_points.value().size(); ++r) {
+    double rate = rates[r];
+    const FaultPoint& point = fault_points.value()[r];
+    platform->Add(rate, point.platform_mean);
+    consumer->Add(rate, point.consumer_mean);
+    regret->Add(rate, point.regret);
+    voided->Add(rate, static_cast<double>(point.voided));
+    quarantined->Add(rate, static_cast<double>(point.quarantine_drops));
     reporter.Note(
         "  rate=" + util::FormatDouble(rate, 2) + " faults=" +
-        std::to_string(engine.fault_log().size()) + " degraded=" +
-        std::to_string(m.degraded_rounds()) + " voided=" +
-        std::to_string(m.voided_rounds()) + " regret=" +
-        util::FormatDouble(m.regret(), 1) + " violations=" +
-        std::to_string(violations));
-    if (violations != 0) {
+        std::to_string(point.faults) + " degraded=" +
+        std::to_string(point.degraded) + " voided=" +
+        std::to_string(point.voided) + " regret=" +
+        util::FormatDouble(point.regret, 1) + " violations=" +
+        std::to_string(point.violations));
+    if (point.violations != 0) {
       return benchx::Fail(util::Status::Internal(
           "invariant violations under fault injection"));
     }

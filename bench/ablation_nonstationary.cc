@@ -7,12 +7,14 @@
 
 #include <functional>
 #include <iostream>
+#include <iterator>
 
 #include "bandit/cucb_policy.h"
 #include "bandit/drift_environment.h"
 #include "bandit/nonstationary_policies.h"
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 #include "util/string_util.h"
 
 namespace {
@@ -37,6 +39,36 @@ double RunDynamicRegret(bandit::SelectionPolicy& policy,
     env.AdvanceRound();
   }
   return oracle - achieved;
+}
+
+// Policy kinds compared throughout: 0 = stationary CMAB-HS,
+// 1 = sliding-window CUCB(500), 2 = discounted UCB(0.999). Builds a fresh
+// policy and runs it against `env` so each sweep task stays independent.
+util::Result<double> RunPolicyKind(
+    std::size_t kind, int sellers, int select,
+    bandit::DriftingEnvironment& env, std::int64_t rounds,
+    const std::function<void(std::int64_t)>& script) {
+  switch (kind) {
+    case 0: {
+      bandit::CucbOptions options;
+      options.num_sellers = sellers;
+      options.num_selected = select;
+      auto policy = bandit::CucbPolicy::Create(options);
+      if (!policy.ok()) return policy.status();
+      return RunDynamicRegret(policy.value(), env, rounds, script);
+    }
+    case 1: {
+      auto policy =
+          bandit::SlidingWindowCucbPolicy::Create(sellers, select, 500);
+      if (!policy.ok()) return policy.status();
+      return RunDynamicRegret(policy.value(), env, rounds, script);
+    }
+    default: {
+      auto policy = bandit::DiscountedUcbPolicy::Create(sellers, select, 0.999);
+      if (!policy.ok()) return policy.status();
+      return RunDynamicRegret(policy.value(), env, rounds, script);
+    }
+  }
 }
 
 std::vector<double> InitialQualities(int m, std::uint64_t seed) {
@@ -64,38 +96,27 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* s_stat = walk.AddSeries("cmab-hs (stationary)");
   sim::Series* s_win = walk.AddSeries("sw-cucb(500)");
   sim::Series* s_disc = walk.AddSeries("d-ucb(0.999)");
-  for (double step : {0.0005, 0.002, 0.005, 0.01, 0.02}) {
-    bandit::DriftConfig drift;
-    drift.kind = bandit::DriftKind::kRandomWalk;
-    drift.step_stddev = step;
-    std::vector<double> initial = InitialQualities(kSellers, flags.seed);
-
-    bandit::CucbOptions options;
-    options.num_sellers = kSellers;
-    options.num_selected = kSelect;
-    auto stationary = bandit::CucbPolicy::Create(options);
-    auto window =
-        bandit::SlidingWindowCucbPolicy::Create(kSellers, kSelect, 500);
-    auto discounted =
-        bandit::DiscountedUcbPolicy::Create(kSellers, kSelect, 0.999);
-    if (!stationary.ok()) return benchx::Fail(stationary.status());
-    if (!window.ok()) return benchx::Fail(window.status());
-    if (!discounted.ok()) return benchx::Fail(discounted.status());
-
-    auto make_env = [&] {
-      auto env = bandit::DriftingEnvironment::Create(initial, 10, 0.1,
-                                                     drift, flags.seed + 7);
-      return std::move(env).value();
-    };
-    auto env_a = make_env();
-    auto env_b = make_env();
-    auto env_c = make_env();
-    s_stat->Add(step, RunDynamicRegret(stationary.value(), env_a, rounds,
-                                       nullptr));
-    s_win->Add(step,
-               RunDynamicRegret(window.value(), env_b, rounds, nullptr));
-    s_disc->Add(step, RunDynamicRegret(discounted.value(), env_c, rounds,
-                                       nullptr));
+  // One (drift step, policy) pair = one independent run; the grid is
+  // flattened so all 15 runs can execute concurrently.
+  const double kSteps[] = {0.0005, 0.002, 0.005, 0.01, 0.02};
+  auto walk_regrets = sim::RunSweep(
+      std::size(kSteps) * 3, flags.jobs,
+      [&](std::size_t i) -> util::Result<double> {
+        bandit::DriftConfig drift;
+        drift.kind = bandit::DriftKind::kRandomWalk;
+        drift.step_stddev = kSteps[i / 3];
+        std::vector<double> initial = InitialQualities(kSellers, flags.seed);
+        auto env = bandit::DriftingEnvironment::Create(initial, 10, 0.1,
+                                                       drift, flags.seed + 7);
+        if (!env.ok()) return env.status();
+        return RunPolicyKind(i % 3, kSellers, kSelect, env.value(), rounds,
+                             nullptr);
+      });
+  if (!walk_regrets.ok()) return benchx::Fail(walk_regrets.status());
+  for (std::size_t s = 0; s < std::size(kSteps); ++s) {
+    s_stat->Add(kSteps[s], walk_regrets.value()[s * 3 + 0]);
+    s_win->Add(kSteps[s], walk_regrets.value()[s * 3 + 1]);
+    s_disc->Add(kSteps[s], walk_regrets.value()[s * 3 + 2]);
   }
   util::Status st = reporter.Report(walk);
   if (!st.ok()) return benchx::Fail(st);
@@ -116,42 +137,31 @@ int Run(const sim::BenchFlags& flags) {
     }
   }
 
+  const char* kAbruptLabels[] = {"cmab-hs (stationary)", "sw-cucb(500)",
+                                 "d-ucb(0.999)"};
+  auto abrupt_regrets = sim::RunSweep(
+      std::size(kAbruptLabels), flags.jobs,
+      [&](std::size_t i) -> util::Result<double> {
+        auto env = bandit::DriftingEnvironment::Create(initial, 10, 0.1, none,
+                                                       flags.seed + 13);
+        if (!env.ok()) return env.status();
+        return RunPolicyKind(i, kSellers, kSelect, env.value(), rounds,
+                             [&](std::int64_t t) {
+                               if (t == rounds / 2) {
+                                 (void)env.value().SetNominalQuality(best,
+                                                                     0.05);
+                               }
+                             });
+      });
+  if (!abrupt_regrets.ok()) return benchx::Fail(abrupt_regrets.status());
   reporter.Note("abrupt collapse scenario (best seller -> 0.05 at N/2):");
   int idx = 0;
-  auto run_abrupt = [&](bandit::SelectionPolicy& policy,
-                        const std::string& label) -> util::Status {
-    auto env = bandit::DriftingEnvironment::Create(initial, 10, 0.1, none,
-                                                   flags.seed + 13);
-    if (!env.ok()) return env.status();
-    double regret = RunDynamicRegret(
-        policy, env.value(), rounds, [&](std::int64_t t) {
-          if (t == rounds / 2) {
-            (void)env.value().SetNominalQuality(best, 0.05);
-          }
-        });
+  for (std::size_t i = 0; i < abrupt_regrets.value().size(); ++i) {
+    double regret = abrupt_regrets.value()[i];
     s_abrupt->Add(idx++, regret);
-    reporter.Note("  " + label + ": dynamic regret = " +
-                  util::FormatDouble(regret, 1));
-    return util::Status::OK();
-  };
-
-  bandit::CucbOptions options;
-  options.num_sellers = kSellers;
-  options.num_selected = kSelect;
-  auto stationary = bandit::CucbPolicy::Create(options);
-  auto window =
-      bandit::SlidingWindowCucbPolicy::Create(kSellers, kSelect, 500);
-  auto discounted =
-      bandit::DiscountedUcbPolicy::Create(kSellers, kSelect, 0.999);
-  if (!stationary.ok()) return benchx::Fail(stationary.status());
-  if (!window.ok()) return benchx::Fail(window.status());
-  if (!discounted.ok()) return benchx::Fail(discounted.status());
-  st = run_abrupt(stationary.value(), "cmab-hs (stationary)");
-  if (!st.ok()) return benchx::Fail(st);
-  st = run_abrupt(window.value(), "sw-cucb(500)");
-  if (!st.ok()) return benchx::Fail(st);
-  st = run_abrupt(discounted.value(), "d-ucb(0.999)");
-  if (!st.ok()) return benchx::Fail(st);
+    reporter.Note("  " + std::string(kAbruptLabels[i]) +
+                  ": dynamic regret = " + util::FormatDouble(regret, 1));
+  }
 
   st = reporter.Report(abrupt);
   if (!st.ok()) return benchx::Fail(st);

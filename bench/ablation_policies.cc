@@ -7,9 +7,11 @@
 //   ./ablation_policies [--quick=true] [--seed=<n>] [--out=<dir>]
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 #include "util/string_util.h"
 
 namespace {
@@ -45,19 +47,25 @@ int Run(const sim::BenchFlags& flags) {
       {"cold start (no select-all)", 0.0, false},
       {"ucb1 + cold start", 2.0, false},
   };
+  // Each variant is an independent full CMAB-HS run.
+  auto regrets = sim::RunSweep(
+      std::size(variants), flags.jobs,
+      [&](std::size_t i) -> util::Result<double> {
+        core::MechanismConfig config = base;
+        config.exploration = variants[i].exploration;
+        config.select_all_first_round = variants[i].select_all;
+        auto run = core::CmabHs::Create(config);
+        if (!run.ok()) return run.status();
+        CDT_RETURN_NOT_OK(run.value()->RunAll());
+        return run.value()->metrics().regret();
+      });
+  if (!regrets.ok()) return benchx::Fail(regrets.status());
   reporter.Note("CMAB-HS ablations (regret after N rounds):");
   int idx = 0;
-  for (const Variant& variant : variants) {
-    core::MechanismConfig config = base;
-    config.exploration = variant.exploration;
-    config.select_all_first_round = variant.select_all;
-    auto run = core::CmabHs::Create(config);
-    if (!run.ok()) return benchx::Fail(run.status());
-    util::Status status = run.value()->RunAll();
-    if (!status.ok()) return benchx::Fail(status);
-    double regret = run.value()->metrics().regret();
+  for (std::size_t i = 0; i < regrets.value().size(); ++i) {
+    double regret = regrets.value()[i];
     series->Add(idx++, regret);
-    reporter.Note("  " + std::string(variant.label) + ": regret=" +
+    reporter.Note("  " + std::string(variants[i].label) + ": regret=" +
                   util::FormatDouble(regret, 1));
   }
   util::Status st = reporter.Report(ablation);
@@ -73,6 +81,7 @@ int Run(const sim::BenchFlags& flags) {
       {core::PolicyKind::kRandom, 0.0},
   };
   options.compute_deltas = false;
+  options.jobs = flags.jobs;
   auto result = core::RunComparison(base, options);
   if (!result.ok()) return benchx::Fail(result.status());
   sim::FigureData zoo("ablation_policy_zoo", "policy zoo regret",

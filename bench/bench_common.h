@@ -1,8 +1,13 @@
 // Shared helpers for the figure-reproduction harnesses under bench/.
 //
 // Every harness accepts --out=<dir> (CSV output, default "results"),
-// --quick=true (scaled-down smoke run) and --seed=<n>, parsed via
-// sim::ParseBenchFlags.
+// --quick=true (scaled-down smoke run), --seed=<n> and --jobs=<n>, parsed
+// via sim::ParseBenchFlags. --jobs controls how many sweep points (or
+// replicas) run concurrently through sim::RunSweep: 0 (the default) means
+// hardware_concurrency, 1 walks the grid serially. Every sweep point
+// derives its seed from --seed and its grid position alone, and results
+// are assembled in grid order, so console tables and CSV output are
+// byte-identical for every --jobs value.
 
 #ifndef CDT_BENCH_BENCH_COMMON_H_
 #define CDT_BENCH_BENCH_COMMON_H_

@@ -10,6 +10,7 @@
 #include "bench_common.h"
 #include "core/cmab_hs.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -38,39 +39,61 @@ int Run(const sim::BenchFlags& flags) {
                           "revenue");
   sim::FigureData regret("fig07b_regret", "regret vs N", "N", "regret");
 
-  // Checkpointed single runs for N-independent policies.
-  for (core::PolicySpec policy :
-       {core::PolicySpec{core::PolicyKind::kOptimal, 0.0},
-        core::PolicySpec{core::PolicyKind::kCmabHs, 0.0},
-        core::PolicySpec{core::PolicyKind::kRandom, 0.0}}) {
-    auto run = core::CmabHs::Create(config, policy, rounds);
-    if (!run.ok()) return benchx::Fail(run.status());
-    util::Status status = run.value()->RunAll();
-    if (!status.ok()) return benchx::Fail(status);
-    sim::Series* rev = revenue.AddSeries(policy.Name());
-    sim::Series* reg = regret.AddSeries(policy.Name());
-    for (const core::MetricsCheckpoint& cp :
-         run.value()->metrics().checkpoints()) {
+  // Checkpointed single runs for N-independent policies, evaluated --jobs
+  // at a time; the series are assembled from the results in policy order.
+  const std::vector<core::PolicySpec> singles = {
+      {core::PolicyKind::kOptimal, 0.0},
+      {core::PolicyKind::kCmabHs, 0.0},
+      {core::PolicyKind::kRandom, 0.0}};
+  auto single_runs = sim::RunSweep(
+      singles.size(), flags.jobs,
+      [&](std::size_t i)
+          -> util::Result<std::vector<core::MetricsCheckpoint>> {
+        auto run = core::CmabHs::Create(config, singles[i], rounds);
+        if (!run.ok()) return run.status();
+        util::Status status = run.value()->RunAll();
+        if (!status.ok()) return status;
+        return run.value()->metrics().checkpoints();
+      });
+  if (!single_runs.ok()) return benchx::Fail(single_runs.status());
+  for (std::size_t i = 0; i < singles.size(); ++i) {
+    sim::Series* rev = revenue.AddSeries(singles[i].Name());
+    sim::Series* reg = regret.AddSeries(singles[i].Name());
+    for (const core::MetricsCheckpoint& cp : single_runs.value()[i]) {
       rev->Add(static_cast<double>(cp.round), cp.expected_revenue);
       reg->Add(static_cast<double>(cp.round), cp.regret);
     }
   }
 
-  // Per-N runs for ε-first.
-  for (double epsilon : {0.1, 0.5}) {
-    core::PolicySpec policy{core::PolicyKind::kEpsilonFirst, epsilon};
+  // Per-N runs for ε-first: a flattened ε × N grid of independent runs.
+  const std::vector<double> epsilons = {0.1, 0.5};
+  struct EpsPoint {
+    double revenue;
+    double regret;
+  };
+  auto eps_points = sim::RunSweep(
+      epsilons.size() * rounds.size(), flags.jobs,
+      [&](std::size_t idx) -> util::Result<EpsPoint> {
+        core::PolicySpec policy{core::PolicyKind::kEpsilonFirst,
+                                epsilons[idx / rounds.size()]};
+        core::MechanismConfig cfg = config;
+        cfg.num_rounds = rounds[idx % rounds.size()];
+        auto run = core::CmabHs::Create(cfg, policy);
+        if (!run.ok()) return run.status();
+        util::Status status = run.value()->RunAll();
+        if (!status.ok()) return status;
+        return EpsPoint{run.value()->metrics().expected_revenue(),
+                        run.value()->metrics().regret()};
+      });
+  if (!eps_points.ok()) return benchx::Fail(eps_points.status());
+  for (std::size_t e = 0; e < epsilons.size(); ++e) {
+    core::PolicySpec policy{core::PolicyKind::kEpsilonFirst, epsilons[e]};
     sim::Series* rev = revenue.AddSeries(policy.Name());
     sim::Series* reg = regret.AddSeries(policy.Name());
-    for (std::int64_t n : rounds) {
-      core::MechanismConfig cfg = config;
-      cfg.num_rounds = n;
-      auto run = core::CmabHs::Create(cfg, policy);
-      if (!run.ok()) return benchx::Fail(run.status());
-      util::Status status = run.value()->RunAll();
-      if (!status.ok()) return benchx::Fail(status);
-      rev->Add(static_cast<double>(n),
-               run.value()->metrics().expected_revenue());
-      reg->Add(static_cast<double>(n), run.value()->metrics().regret());
+    for (std::size_t ni = 0; ni < rounds.size(); ++ni) {
+      const EpsPoint& point = eps_points.value()[e * rounds.size() + ni];
+      rev->Add(static_cast<double>(rounds[ni]), point.revenue);
+      reg->Add(static_cast<double>(rounds[ni]), point.regret);
     }
   }
 

@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -31,19 +32,24 @@ int Run(const sim::BenchFlags& flags) {
   sim::FigureData pos("fig08c_delta_pos", "d-PoS vs N", "N", "d-PoS");
 
   core::ComparisonOptions options;  // default policy set (paper's four)
+  auto results = sim::RunSweep(
+      std::size(kPaperRounds), flags.jobs,
+      [&](std::size_t i) -> util::Result<core::ComparisonResult> {
+        core::MechanismConfig cfg = config;
+        cfg.num_rounds = kPaperRounds[i] / divisor;
+        return core::RunComparison(cfg, options);
+      });
+  if (!results.ok()) return benchx::Fail(results.status());
   bool first = true;
-  for (std::int64_t n : kPaperRounds) {
-    config.num_rounds = n / divisor;
-    auto result = core::RunComparison(config, options);
-    if (!result.ok()) return benchx::Fail(result.status());
-    for (const core::AlgorithmResult& algo : result.value().algorithms) {
+  for (std::size_t i = 0; i < results.value().size(); ++i) {
+    for (const core::AlgorithmResult& algo : results.value()[i].algorithms) {
       if (algo.name == "optimal") continue;
       if (first) {
         poc.AddSeries(algo.name);
         pop.AddSeries(algo.name);
         pos.AddSeries(algo.name);
       }
-      double x = static_cast<double>(config.num_rounds);
+      double x = static_cast<double>(kPaperRounds[i] / divisor);
       for (std::size_t s = 0; s < poc.series().size(); ++s) {
         if (poc.series()[s]->name() == algo.name) {
           poc.series()[s]->Add(x, algo.delta_consumer);

@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -28,12 +29,18 @@ int Run(const sim::BenchFlags& flags) {
 
   core::ComparisonOptions options;
   options.compute_deltas = false;  // Fig. 10 covers the deltas
+  auto results = sim::RunSweep(
+      std::size(kSellerCounts), flags.jobs,
+      [&](std::size_t i) -> util::Result<core::ComparisonResult> {
+        core::MechanismConfig cfg = config;
+        cfg.num_sellers = kSellerCounts[i];
+        return core::RunComparison(cfg, options);
+      });
+  if (!results.ok()) return benchx::Fail(results.status());
   bool first = true;
-  for (int m : kSellerCounts) {
-    config.num_sellers = m;
-    auto result = core::RunComparison(config, options);
-    if (!result.ok()) return benchx::Fail(result.status());
-    for (const core::AlgorithmResult& algo : result.value().algorithms) {
+  for (std::size_t i = 0; i < results.value().size(); ++i) {
+    int m = kSellerCounts[i];
+    for (const core::AlgorithmResult& algo : results.value()[i].algorithms) {
       if (first) {
         revenue.AddSeries(algo.name);
         regret.AddSeries(algo.name);

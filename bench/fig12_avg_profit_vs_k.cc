@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -30,12 +31,18 @@ int Run(const sim::BenchFlags& flags) {
 
   core::ComparisonOptions options;
   options.compute_deltas = false;
+  auto results = sim::RunSweep(
+      std::size(kSelectedCounts), flags.jobs,
+      [&](std::size_t i) -> util::Result<core::ComparisonResult> {
+        core::MechanismConfig cfg = config;
+        cfg.num_selected = kSelectedCounts[i];
+        return core::RunComparison(cfg, options);
+      });
+  if (!results.ok()) return benchx::Fail(results.status());
   bool first = true;
-  for (int k : kSelectedCounts) {
-    config.num_selected = k;
-    auto result = core::RunComparison(config, options);
-    if (!result.ok()) return benchx::Fail(result.status());
-    for (const core::AlgorithmResult& algo : result.value().algorithms) {
+  for (std::size_t i = 0; i < results.value().size(); ++i) {
+    int k = kSelectedCounts[i];
+    for (const core::AlgorithmResult& algo : results.value()[i].algorithms) {
       if (first) {
         poc.AddSeries(algo.name);
         pop.AddSeries(algo.name);

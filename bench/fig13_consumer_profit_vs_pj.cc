@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 #include "util/string_util.h"
 
 namespace {
@@ -22,25 +23,45 @@ int Run(const sim::BenchFlags& flags) {
           std::to_string(flags.seed)};
   reporter.Begin(spec);
 
-  // (a) PoC vs p^J for each ω.
+  // (a) PoC vs p^J for each ω. One ω is one sweep unit (own solver, no
+  // printing); the series and SE notes are emitted afterwards in ω order.
   sim::FigureData poc_omega("fig13a_poc_vs_pj_omega",
                             "consumer profit vs p^J by omega", "p^J", "PoC");
-  for (double omega : {600.0, 800.0, 1000.0, 1200.0, 1400.0}) {
-    game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
-    config.valuation.omega = omega;
-    auto solver = game::StackelbergSolver::Create(config);
-    if (!solver.ok()) return benchx::Fail(solver.status());
+  const std::vector<double> omegas = {600.0, 800.0, 1000.0, 1200.0, 1400.0};
+  struct OmegaCurve {
+    std::vector<double> poc;  // PoC at p^J = 1..40
+    double pj_star;
+    double poc_star;
+  };
+  auto curves = sim::RunSweep(
+      omegas.size(), flags.jobs,
+      [&](std::size_t i) -> util::Result<OmegaCurve> {
+        game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
+        config.valuation.omega = omegas[i];
+        auto solver = game::StackelbergSolver::Create(config);
+        if (!solver.ok()) return solver.status();
+        OmegaCurve curve;
+        curve.poc.reserve(40);
+        for (int p = 1; p <= 40; ++p) {
+          curve.poc.push_back(solver.value().ConsumerProfitAnticipating(
+              static_cast<double>(p)));
+        }
+        curve.pj_star = solver.value().ConsumerBestPrice();
+        curve.poc_star =
+            solver.value().ConsumerProfitAnticipating(curve.pj_star);
+        return curve;
+      });
+  if (!curves.ok()) return benchx::Fail(curves.status());
+  for (std::size_t i = 0; i < omegas.size(); ++i) {
+    const OmegaCurve& curve = curves.value()[i];
     sim::Series* s =
-        poc_omega.AddSeries("omega=" + std::to_string(int(omega)));
-    for (int i = 1; i <= 40; ++i) {
-      double pj = static_cast<double>(i);
-      s->Add(pj, solver.value().ConsumerProfitAnticipating(pj));
+        poc_omega.AddSeries("omega=" + std::to_string(int(omegas[i])));
+    for (int p = 1; p <= 40; ++p) {
+      s->Add(static_cast<double>(p), curve.poc[static_cast<std::size_t>(p - 1)]);
     }
-    double pj_star = solver.value().ConsumerBestPrice();
-    reporter.Note("  omega=" + std::to_string(int(omega)) + ": SE at p^J*=" +
-                  util::FormatDouble(pj_star, 3) + " with PoC=" +
-                  util::FormatDouble(
-                      solver.value().ConsumerProfitAnticipating(pj_star), 2));
+    reporter.Note("  omega=" + std::to_string(int(omegas[i])) +
+                  ": SE at p^J*=" + util::FormatDouble(curve.pj_star, 3) +
+                  " with PoC=" + util::FormatDouble(curve.poc_star, 2));
   }
   util::Status st = reporter.Report(poc_omega);
   if (!st.ok()) return benchx::Fail(st);
@@ -57,11 +78,20 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* pos3 = parties.AddSeries("PoS-3");
   sim::Series* pos6 = parties.AddSeries("PoS-6");
   sim::Series* pos8 = parties.AddSeries("PoS-8");
-  for (int i = 1; i <= 40; ++i) {
-    double pj = static_cast<double>(i);
-    double p = solver.value().PlatformBestPrice(pj);
-    game::StrategyProfile prof = solver.value().EvaluateProfile(
-        pj, p, solver.value().SellerBestTimes(p));
+  // The probes share one solver; every method used is const, so the grid
+  // evaluates safely in parallel.
+  auto profiles = sim::RunSweep(
+      40, flags.jobs,
+      [&](std::size_t i) -> util::Result<game::StrategyProfile> {
+        double pj = static_cast<double>(i + 1);
+        double p = solver.value().PlatformBestPrice(pj);
+        return solver.value().EvaluateProfile(
+            pj, p, solver.value().SellerBestTimes(p));
+      });
+  if (!profiles.ok()) return benchx::Fail(profiles.status());
+  for (std::size_t i = 0; i < profiles.value().size(); ++i) {
+    double pj = static_cast<double>(i + 1);
+    const game::StrategyProfile& prof = profiles.value()[i];
     poc->Add(pj, prof.consumer_profit);
     pop->Add(pj, prof.platform_profit);
     pos3->Add(pj, prof.seller_profits[2]);

@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 #include "util/string_util.h"
 
 namespace {
@@ -35,17 +36,24 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* pos6 = fig.AddSeries("PoS-6");
   sim::Series* pos8 = fig.AddSeries("PoS-8");
 
-  // Sweep τ_6 from 0 to 3x its equilibrium value.
-  for (int i = 0; i <= 30; ++i) {
-    std::vector<double> tau = eq.tau;
-    tau[5] = eq.tau[5] * 0.1 * static_cast<double>(i);
-    game::StrategyProfile prof = solver.value().EvaluateProfile(
-        eq.consumer_price, eq.collection_price, tau);
-    poc->Add(tau[5], prof.consumer_profit);
-    pop->Add(tau[5], prof.platform_profit);
-    pos3->Add(tau[5], prof.seller_profits[2]);
-    pos6->Add(tau[5], prof.seller_profits[5]);
-    pos8->Add(tau[5], prof.seller_profits[7]);
+  // Sweep τ_6 from 0 to 3x its equilibrium value. EvaluateProfile is
+  // const, so the deviation grid evaluates in parallel on one solver.
+  auto profiles = sim::RunSweep(
+      31, flags.jobs,
+      [&](std::size_t i) -> util::Result<game::StrategyProfile> {
+        std::vector<double> tau = eq.tau;
+        tau[5] = eq.tau[5] * 0.1 * static_cast<double>(i);
+        return solver.value().EvaluateProfile(eq.consumer_price,
+                                              eq.collection_price, tau);
+      });
+  if (!profiles.ok()) return benchx::Fail(profiles.status());
+  for (const game::StrategyProfile& prof : profiles.value()) {
+    double tau6 = prof.tau[5];
+    poc->Add(tau6, prof.consumer_profit);
+    pop->Add(tau6, prof.platform_profit);
+    pos3->Add(tau6, prof.seller_profits[2]);
+    pos6->Add(tau6, prof.seller_profits[5]);
+    pos8->Add(tau6, prof.seller_profits[7]);
   }
   util::Status st = reporter.Report(fig);
   if (!st.ok()) return benchx::Fail(st);

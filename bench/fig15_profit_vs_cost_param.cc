@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -27,13 +28,21 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* pos6 = fig.AddSeries("PoS-6");
   sim::Series* pos8 = fig.AddSeries("PoS-8");
 
-  for (int i = 1; i <= 50; ++i) {
-    double a6 = 0.1 * static_cast<double>(i);
-    game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
-    config.sellers[5].a = a6;
-    auto solver = game::StackelbergSolver::Create(config);
-    if (!solver.ok()) return benchx::Fail(solver.status());
-    game::StrategyProfile eq = solver.value().Solve();
+  // One a_6 grid point = one independent instance + solve.
+  auto equilibria = sim::RunSweep(
+      50, flags.jobs,
+      [&](std::size_t i) -> util::Result<game::StrategyProfile> {
+        double a6 = 0.1 * static_cast<double>(i + 1);
+        game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
+        config.sellers[5].a = a6;
+        auto solver = game::StackelbergSolver::Create(config);
+        if (!solver.ok()) return solver.status();
+        return solver.value().Solve();
+      });
+  if (!equilibria.ok()) return benchx::Fail(equilibria.status());
+  for (std::size_t i = 0; i < equilibria.value().size(); ++i) {
+    double a6 = 0.1 * static_cast<double>(i + 1);
+    const game::StrategyProfile& eq = equilibria.value()[i];
     poc->Add(a6, eq.consumer_profit);
     pop->Add(a6, eq.platform_profit);
     pos3->Add(a6, eq.seller_profits[2]);

@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -29,13 +30,21 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* sos6 = times.AddSeries("SoS-6");
   sim::Series* sos8 = times.AddSeries("SoS-8");
 
-  for (int i = 1; i <= 50; ++i) {
-    double a6 = 0.1 * static_cast<double>(i);
-    game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
-    config.sellers[5].a = a6;
-    auto solver = game::StackelbergSolver::Create(config);
-    if (!solver.ok()) return benchx::Fail(solver.status());
-    game::StrategyProfile eq = solver.value().Solve();
+  // One a_6 grid point = one independent instance + solve.
+  auto equilibria = sim::RunSweep(
+      50, flags.jobs,
+      [&](std::size_t i) -> util::Result<game::StrategyProfile> {
+        double a6 = 0.1 * static_cast<double>(i + 1);
+        game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
+        config.sellers[5].a = a6;
+        auto solver = game::StackelbergSolver::Create(config);
+        if (!solver.ok()) return solver.status();
+        return solver.value().Solve();
+      });
+  if (!equilibria.ok()) return benchx::Fail(equilibria.status());
+  for (std::size_t i = 0; i < equilibria.value().size(); ++i) {
+    double a6 = 0.1 * static_cast<double>(i + 1);
+    const game::StrategyProfile& eq = equilibria.value()[i];
     soc->Add(a6, eq.consumer_price);
     sop->Add(a6, eq.collection_price);
     sos3->Add(a6, eq.tau[2]);

@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "sim/series.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -27,13 +28,21 @@ int Run(const sim::BenchFlags& flags) {
   sim::Series* pos6 = fig.AddSeries("PoS-6");
   sim::Series* pos8 = fig.AddSeries("PoS-8");
 
-  for (int i = 1; i <= 19; ++i) {
-    double theta = 0.05 * static_cast<double>(i) + 0.05;
-    game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
-    config.platform.theta = theta;
-    auto solver = game::StackelbergSolver::Create(config);
-    if (!solver.ok()) return benchx::Fail(solver.status());
-    game::StrategyProfile eq = solver.value().Solve();
+  // One θ grid point = one independent instance + solve.
+  auto equilibria = sim::RunSweep(
+      19, flags.jobs,
+      [&](std::size_t i) -> util::Result<game::StrategyProfile> {
+        double theta = 0.05 * static_cast<double>(i + 1) + 0.05;
+        game::GameConfig config = benchx::MakeGameInstance(10, flags.seed);
+        config.platform.theta = theta;
+        auto solver = game::StackelbergSolver::Create(config);
+        if (!solver.ok()) return solver.status();
+        return solver.value().Solve();
+      });
+  if (!equilibria.ok()) return benchx::Fail(equilibria.status());
+  for (std::size_t i = 0; i < equilibria.value().size(); ++i) {
+    double theta = 0.05 * static_cast<double>(i + 1) + 0.05;
+    const game::StrategyProfile& eq = equilibria.value()[i];
     poc->Add(theta, eq.consumer_profit);
     pop->Add(theta, eq.platform_profit);
     pos3->Add(theta, eq.seller_profits[2]);

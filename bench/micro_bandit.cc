@@ -54,26 +54,49 @@ void BM_CucbSelectRound(benchmark::State& state) {
   options.num_sellers = 300;
   options.num_selected = static_cast<int>(state.range(0));
   auto policy = bandit::CucbPolicy::Create(options);
+  bandit::CucbPolicy& cucb = policy.value();  // hoisted: keep value() untimed
   std::vector<double> batch(10, 0.5);
   std::vector<int> all(300);
   std::vector<std::vector<double>> obs(300, batch);
   for (int i = 0; i < 300; ++i) all[i] = i;
-  (void)policy.value().Observe(all, obs);
+  (void)cucb.Observe(all, obs);
   std::int64_t round = 2;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.value().SelectRound(round++));
+    benchmark::DoNotOptimize(cucb.SelectRound(round++));
   }
 }
 BENCHMARK(BM_CucbSelectRound)->Arg(10)->Arg(60);
+
+// Allocation-free variant: the engine's hot path reuses one selection
+// buffer across rounds, so this is the number RunRound actually sees.
+void BM_CucbSelectRoundInto(benchmark::State& state) {
+  bandit::CucbOptions options;
+  options.num_sellers = 300;
+  options.num_selected = static_cast<int>(state.range(0));
+  auto policy = bandit::CucbPolicy::Create(options);
+  bandit::CucbPolicy& cucb = policy.value();
+  std::vector<double> batch(10, 0.5);
+  std::vector<int> all(300);
+  std::vector<std::vector<double>> obs(300, batch);
+  for (int i = 0; i < 300; ++i) all[i] = i;
+  (void)cucb.Observe(all, obs);
+  std::vector<int> selected;
+  std::int64_t round = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cucb.SelectRoundInto(round++, &selected));
+  }
+}
+BENCHMARK(BM_CucbSelectRoundInto)->Arg(10)->Arg(60);
 
 void BM_EnvironmentObserve(benchmark::State& state) {
   bandit::EnvironmentConfig config;
   config.num_sellers = 300;
   config.num_pois = 10;
   auto env = bandit::QualityEnvironment::Create(config);
+  bandit::QualityEnvironment& environment = env.value();
   int seller = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(env.value().ObserveSeller(seller));
+    benchmark::DoNotOptimize(environment.ObserveSeller(seller));
     seller = (seller + 1) % 300;
   }
 }

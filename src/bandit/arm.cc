@@ -1,6 +1,8 @@
 #include "bandit/arm.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "stats/confidence.h"
@@ -11,11 +13,16 @@ namespace bandit {
 using util::Result;
 using util::Status;
 
-std::vector<int> TopKIndices(const std::vector<double>& values, int k) {
-  std::vector<int> order(values.size());
+void TopKIndicesInto(const std::vector<double>& values, int k,
+                     std::vector<int>* out) {
+  std::vector<int>& order = *out;
+  order.resize(values.size());
   std::iota(order.begin(), order.end(), 0);
   int take = std::min<int>(k, static_cast<int>(order.size()));
-  if (take <= 0) return {};
+  if (take <= 0) {
+    order.clear();
+    return;
+  }
   std::partial_sort(order.begin(), order.begin() + take, order.end(),
                     [&values](int a, int b) {
                       double va = values[static_cast<std::size_t>(a)];
@@ -24,6 +31,11 @@ std::vector<int> TopKIndices(const std::vector<double>& values, int k) {
                       return a < b;
                     });
   order.resize(static_cast<std::size_t>(take));
+}
+
+std::vector<int> TopKIndices(const std::vector<double>& values, int k) {
+  std::vector<int> order;
+  TopKIndicesInto(values, k, &order);
   return order;
 }
 
@@ -74,15 +86,38 @@ double EstimatorBank::UcbValue(int i) const {
 }
 
 std::vector<double> EstimatorBank::UcbValues() const {
-  std::vector<double> out(arms_.size());
-  for (std::size_t i = 0; i < arms_.size(); ++i) {
-    out[i] = UcbValue(static_cast<int>(i));
-  }
+  std::vector<double> out;
+  UcbValuesInto(&out);
   return out;
+}
+
+void EstimatorBank::UcbValuesInto(std::vector<double>* out) const {
+  out->resize(arms_.size());
+  // The radius is sqrt((c · ln T) / n_i) with c · ln T shared by every
+  // arm; hoisting it keeps the scan bit-identical to the per-arm call
+  // (same association: (c * log) / n) while doing one log instead of M.
+  const double scaled_log =
+      exploration_ *
+      std::log(
+          std::max<double>(static_cast<double>(total_observations_), 2.0));
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    const ArmState& arm = arms_[i];
+    (*out)[i] =
+        arm.observations == 0
+            ? std::numeric_limits<double>::infinity()
+            : arm.mean + std::sqrt(scaled_log /
+                                   static_cast<double>(arm.observations));
+  }
 }
 
 std::vector<int> EstimatorBank::TopKByUcb(int k) const {
   return TopKIndices(UcbValues(), k);
+}
+
+void EstimatorBank::TopKByUcbInto(int k, std::vector<double>* ucb_scratch,
+                                  std::vector<int>* out) const {
+  UcbValuesInto(ucb_scratch);
+  TopKIndicesInto(*ucb_scratch, k, out);
 }
 
 std::vector<int> EstimatorBank::TopKByMean(int k) const {

@@ -50,9 +50,18 @@ class EstimatorBank {
   /// All UCB indices (size M).
   std::vector<double> UcbValues() const;
 
+  /// UcbValues into a caller-owned buffer (resized to M; allocation-free
+  /// once the buffer reached capacity — the round hot path).
+  void UcbValuesInto(std::vector<double>* out) const;
+
   /// Indices of the k arms with the largest UCB values (descending,
   /// deterministic tie-break by index).
   std::vector<int> TopKByUcb(int k) const;
+
+  /// TopKByUcb through caller-owned buffers: `ucb_scratch` receives the
+  /// UCB values, `out` the winning indices (see TopKIndicesInto).
+  void TopKByUcbInto(int k, std::vector<double>* ucb_scratch,
+                     std::vector<int>* out) const;
 
   /// Indices of the k arms with the largest empirical means.
   std::vector<int> TopKByMean(int k) const;
@@ -68,6 +77,13 @@ class EstimatorBank {
 /// Returns indices of the k largest entries of `values` (descending value,
 /// ascending index on ties). Shared by the bank and the policies.
 std::vector<int> TopKIndices(const std::vector<double>& values, int k);
+
+/// TopKIndices into a caller-owned buffer: `out` is resized to
+/// min(k, values.size()) and filled with the winning indices. The buffer
+/// is used as the full candidate ordering internally, so its capacity
+/// settles at values.size() and steady-state calls allocate nothing.
+void TopKIndicesInto(const std::vector<double>& values, int k,
+                     std::vector<int>* out);
 
 }  // namespace bandit
 }  // namespace cdt

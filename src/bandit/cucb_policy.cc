@@ -30,24 +30,31 @@ Result<CucbPolicy> CucbPolicy::Create(const CucbOptions& options) {
 }
 
 Result<std::vector<int>> CucbPolicy::SelectRound(std::int64_t round) {
+  std::vector<int> selected;
+  CDT_RETURN_NOT_OK(SelectRoundInto(round, &selected));
+  return selected;
+}
+
+Status CucbPolicy::SelectRoundInto(std::int64_t round,
+                                   std::vector<int>* out) {
   if (round < 1) {
     return Status::InvalidArgument("rounds are 1-based");
   }
   if (round == 1 && options_.select_all_first_round) {
     // Initial exploration: select every seller (Algorithm 1, steps 2-4).
-    std::vector<int> all(static_cast<std::size_t>(options_.num_sellers));
-    std::iota(all.begin(), all.end(), 0);
-    return all;
+    out->resize(static_cast<std::size_t>(options_.num_sellers));
+    std::iota(out->begin(), out->end(), 0);
+    return Status::OK();
   }
   // Eq. (19) scoring and the top-K pick under their own spans, so a trace
   // shows how selection time splits between the two.
-  std::vector<double> ucb;
   {
     CDT_SPAN("bandit.ucb_score");
-    ucb = bank_.UcbValues();
+    bank_.UcbValuesInto(&ucb_scratch_);
   }
   CDT_SPAN("bandit.topk");
-  return TopKIndices(ucb, options_.num_selected);
+  TopKIndicesInto(ucb_scratch_, options_.num_selected, out);
+  return Status::OK();
 }
 
 Status CucbPolicy::Observe(

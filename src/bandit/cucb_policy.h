@@ -32,6 +32,11 @@ class CucbPolicy : public SelectionPolicy {
 
   util::Result<std::vector<int>> SelectRound(std::int64_t round) override;
 
+  /// Allocation-free selection: after the scratch buffers warm up in the
+  /// first call, subsequent rounds do zero heap allocations.
+  util::Status SelectRoundInto(std::int64_t round,
+                               std::vector<int>* out) override;
+
   util::Status Observe(
       const std::vector<int>& selected,
       const std::vector<std::vector<double>>& observations) override;
@@ -44,6 +49,8 @@ class CucbPolicy : public SelectionPolicy {
 
   CucbOptions options_;
   EstimatorBank bank_;
+  /// UCB scores scratch, reused every round (capacity M after round 2).
+  std::vector<double> ucb_scratch_;
 };
 
 }  // namespace bandit

@@ -33,6 +33,18 @@ class SelectionPolicy {
   /// designated exploration rounds (Algorithm 1 selects all M in round 1).
   virtual util::Result<std::vector<int>> SelectRound(std::int64_t round) = 0;
 
+  /// SelectRound into a caller-owned buffer (the engine's per-round hot
+  /// path). The default delegates to SelectRound; policies with a
+  /// performance-sensitive selection (CucbPolicy) override this to fill
+  /// `out` without allocating, and implement SelectRound on top of it.
+  virtual util::Status SelectRoundInto(std::int64_t round,
+                                       std::vector<int>* out) {
+    util::Result<std::vector<int>> selected = SelectRound(round);
+    if (!selected.ok()) return selected.status();
+    *out = std::move(selected).value();
+    return util::Status::OK();
+  }
+
   /// Feedback for the round: `observations[j]` are the per-PoI quality
   /// samples of `selected[j]`.
   virtual util::Status Observe(

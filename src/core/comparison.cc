@@ -1,6 +1,9 @@
 #include "core/comparison.h"
 
 #include <cmath>
+#include <memory>
+
+#include "util/thread_pool.h"
 
 namespace cdt {
 namespace core {
@@ -40,22 +43,40 @@ Result<ComparisonResult> RunComparison(const MechanismConfig& config,
                                        const ComparisonOptions& options) {
   CDT_RETURN_NOT_OK(config.Validate());
 
-  ComparisonResult result;
+  // The run list: optimal baseline first (Δ reference), then every
+  // non-optimal policy in the requested order.
+  std::vector<PolicySpec> specs;
+  specs.push_back(PolicySpec{PolicyKind::kOptimal, 0.0});
+  for (const PolicySpec& spec : options.policies) {
+    if (spec.kind == PolicyKind::kOptimal) continue;  // always run already
+    specs.push_back(spec);
+  }
 
-  // Optimal baseline first (Δ reference).
-  PolicySpec optimal_spec{PolicyKind::kOptimal, 0.0};
-  Result<std::unique_ptr<CmabHs>> optimal =
-      CmabHs::Create(config, optimal_spec, options.checkpoints);
-  if (!optimal.ok()) return optimal.status();
-  optimal.value()->metrics().set_keep_trajectories(options.compute_deltas);
-  CDT_RETURN_NOT_OK(optimal.value()->RunAll());
-  result.algorithms.push_back(Summarize(*optimal.value()));
+  // Every run is an independent, identically seeded simulation, so they
+  // can execute concurrently; results land in per-spec slots and all
+  // summarizing below walks them in spec order, making the output
+  // bit-for-bit independent of the job count.
+  std::vector<std::unique_ptr<CmabHs>> runs(specs.size());
+  util::ThreadPool pool(options.jobs);
+  CDT_RETURN_NOT_OK(pool.ParallelFor(
+      0, specs.size(), [&](std::size_t i) -> util::Status {
+        Result<std::unique_ptr<CmabHs>> run =
+            CmabHs::Create(config, specs[i], options.checkpoints);
+        if (!run.ok()) return run.status();
+        run.value()->metrics().set_keep_trajectories(options.compute_deltas);
+        CDT_RETURN_NOT_OK(run.value()->RunAll());
+        runs[i] = std::move(run).value();
+        return util::Status::OK();
+      }));
+
+  ComparisonResult result;
+  const CmabHs& optimal = *runs[0];
+  result.algorithms.push_back(Summarize(optimal));
 
   // Instance-level gap statistics + Theorem 19 bound (need K < M).
   if (config.num_selected < config.num_sellers) {
     Result<bandit::GapStatistics> gaps = bandit::ComputeGaps(
-        optimal.value()->environment().effective_qualities(),
-        config.num_selected);
+        optimal.environment().effective_qualities(), config.num_selected);
     if (!gaps.ok()) return gaps.status();
     result.gaps = gaps.value();
     result.theorem19_bound = bandit::Theorem19RegretBound(
@@ -63,18 +84,11 @@ Result<ComparisonResult> RunComparison(const MechanismConfig& config,
         config.num_pois, result.gaps);
   }
 
-  const MetricsCollector& base = optimal.value()->metrics();
-
-  for (const PolicySpec& spec : options.policies) {
-    if (spec.kind == PolicyKind::kOptimal) continue;  // already run
-    Result<std::unique_ptr<CmabHs>> run =
-        CmabHs::Create(config, spec, options.checkpoints);
-    if (!run.ok()) return run.status();
-    run.value()->metrics().set_keep_trajectories(options.compute_deltas);
-    CDT_RETURN_NOT_OK(run.value()->RunAll());
-    AlgorithmResult algo = Summarize(*run.value());
+  const MetricsCollector& base = optimal.metrics();
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    AlgorithmResult algo = Summarize(*runs[i]);
     if (options.compute_deltas) {
-      const MetricsCollector& m = run.value()->metrics();
+      const MetricsCollector& m = runs[i]->metrics();
       algo.delta_consumer =
           MeanAbsDelta(base.consumer_trajectory(), m.consumer_trajectory());
       algo.delta_platform =

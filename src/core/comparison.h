@@ -59,6 +59,12 @@ struct ComparisonOptions {
   /// Keep per-round profit trajectories for Δ metrics. Costs O(N) memory
   /// per run; disable to skip the Δ columns.
   bool compute_deltas = true;
+  /// Concurrent policy runs (each policy is an independent, identically
+  /// seeded simulation, so the result — including every Δ metric — is
+  /// bit-for-bit independent of this value). 1 = serial; <= 0 is clamped
+  /// to 1. Note parallel runs hold all policies' trajectories in memory
+  /// at once when compute_deltas is set.
+  int jobs = 1;
 };
 
 /// Runs every policy over an identically seeded environment.

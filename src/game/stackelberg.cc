@@ -94,6 +94,35 @@ Result<StackelbergSolver> StackelbergSolver::Create(GameConfig config) {
   return StackelbergSolver(std::move(config), agg);
 }
 
+Status StackelbergSolver::ResetCoalition(
+    std::vector<SellerCostParams>* sellers, std::vector<double>* qualities) {
+  if (sellers->empty()) {
+    return Status::InvalidArgument("game needs >= 1 selected seller");
+  }
+  if (sellers->size() != qualities->size()) {
+    return Status::InvalidArgument(
+        "sellers and qualities must have equal size");
+  }
+  // Only the round-varying inputs are re-checked; the cost parameters are
+  // structural and were validated when the caller built them (same error
+  // wording as GameConfig::Validate so failures read identically).
+  for (double q : *qualities) {
+    if (!std::isfinite(q)) {
+      return Status::InvalidArgument(
+          "learned qualities must be finite for the game to be defined");
+    }
+    if (!(q > 0.0) || q > 1.0) {
+      return Status::OutOfRange(
+          "learned qualities must lie in (0, 1] for the game to be defined");
+    }
+  }
+  config_.sellers.swap(*sellers);
+  config_.qualities.swap(*qualities);
+  agg_ = ComputeAggregates(config_);
+  BuildSupplyKinks();
+  return Status::OK();
+}
+
 double StackelbergSolver::SellerBestTime(int i, double collection_price)
     const {
   double q = config_.qualities[static_cast<std::size_t>(i)];
@@ -141,11 +170,8 @@ void StackelbergSolver::BuildSupplyKinks() {
 
   // Kink events of Στ(p) = Σ clamp((p − q_i b_i)/(2 q_i a_i), 0, T):
   // activation at p = q_i b_i, saturation at p = q_i b_i + 2 q_i a_i T.
-  struct Event {
-    double price;
-    double delta_a, delta_b, delta_c;
-  };
-  std::vector<Event> events;
+  std::vector<KinkEvent>& events = event_scratch_;
+  events.clear();
   events.reserve(2 * config_.sellers.size());
   double a_lin = 0.0, b_lin = 0.0, c_const = 0.0;  // state at p = box.lo
   for (std::size_t i = 0; i < config_.sellers.size(); ++i) {
@@ -171,13 +197,15 @@ void StackelbergSolver::BuildSupplyKinks() {
       events.push_back({saturate, -inv, -off, t_cap});
     }
   }
-  std::sort(events.begin(), events.end(),
-            [](const Event& x, const Event& y) { return x.price < y.price; });
+  std::sort(events.begin(), events.end(), [](const KinkEvent& x,
+                                             const KinkEvent& y) {
+    return x.price < y.price;
+  });
 
   kinks_.clear();
   kinks_.reserve(events.size() + 1);
   kinks_.push_back({box.lo, a_lin, b_lin, c_const});
-  for (const Event& e : events) {
+  for (const KinkEvent& e : events) {
     a_lin += e.delta_a;
     b_lin += e.delta_b;
     c_const += e.delta_c;

@@ -75,6 +75,18 @@ class StackelbergSolver {
   /// Validates the configuration; all getters below are then total.
   static util::Result<StackelbergSolver> Create(GameConfig config);
 
+  /// Re-targets the solver at a new coalition without tearing it down:
+  /// swaps the caller's seller/quality buffers into the config (the caller
+  /// receives the old buffers back, keeping their capacity for the next
+  /// round) and rebuilds the aggregates and supply-kink structure in place.
+  /// Only the qualities are re-validated — they are the learned inputs that
+  /// change round to round; the seller cost parameters must already be
+  /// valid, as Create() or a prior ResetCoalition established. On error the
+  /// buffers are not swapped and the solver is unchanged. Steady state this
+  /// performs zero heap allocations.
+  util::Status ResetCoalition(std::vector<SellerCostParams>* sellers,
+                              std::vector<double>* qualities);
+
   const GameConfig& config() const { return config_; }
   const Aggregates& aggregates() const { return agg_; }
   int num_sellers() const { return static_cast<int>(config_.sellers.size()); }
@@ -145,6 +157,12 @@ class StackelbergSolver {
     double c;  // T · (number of saturated sellers)
   };
 
+  /// One activation/saturation event while building the kink structure.
+  struct KinkEvent {
+    double price;
+    double delta_a, delta_b, delta_c;
+  };
+
   StackelbergSolver(GameConfig config, Aggregates agg)
       : config_(std::move(config)), agg_(agg) {
     BuildSupplyKinks();
@@ -162,6 +180,8 @@ class StackelbergSolver {
   /// Sorted by price; kinks_[0].price == collection box lower bound, so a
   /// binary search always lands on a valid segment.
   std::vector<SupplyKink> kinks_;
+  /// Scratch reused across BuildSupplyKinks calls (ResetCoalition).
+  std::vector<KinkEvent> event_scratch_;
 };
 
 /// Computes the Theorem 15/16 aggregates for a validated config.

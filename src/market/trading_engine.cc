@@ -150,6 +150,37 @@ double TradingEngine::GameQuality(int seller) const {
   return std::min(1.0, std::max(config_.quality_floor, q));
 }
 
+Result<const game::StackelbergSolver*> TradingEngine::PrepareSolver(
+    const std::vector<int>& selected) {
+  solve_sellers_.clear();
+  solve_qualities_.clear();
+  solve_sellers_.reserve(selected.size());
+  solve_qualities_.reserve(selected.size());
+  for (int i : selected) {
+    solve_sellers_.push_back(
+        config_.seller_costs[static_cast<std::size_t>(i)]);
+    solve_qualities_.push_back(GameQuality(i));
+  }
+  if (solver_.has_value()) {
+    CDT_RETURN_NOT_OK(
+        solver_->ResetCoalition(&solve_sellers_, &solve_qualities_));
+    return &*solver_;
+  }
+  game::GameConfig game_config;
+  game_config.sellers = std::move(solve_sellers_);
+  game_config.qualities = std::move(solve_qualities_);
+  game_config.platform = config_.platform_cost;
+  game_config.valuation = config_.valuation;
+  game_config.consumer_price_bounds = config_.consumer_price_bounds;
+  game_config.collection_price_bounds = config_.collection_price_bounds;
+  game_config.max_sensing_time = config_.job.round_duration;
+  Result<game::StackelbergSolver> solver =
+      game::StackelbergSolver::Create(std::move(game_config));
+  if (!solver.ok()) return solver.status();
+  solver_.emplace(std::move(solver).value());
+  return &*solver_;
+}
+
 void TradingEngine::LogFault(RoundReport* report, FaultKind kind, int seller,
                              double severity, bool recovered) {
   FaultEvent event;
@@ -203,12 +234,13 @@ Result<RoundReport> TradingEngine::RunRound() {
   std::int64_t t = next_round_;
   CDT_SPAN_TIMED("round", RoundLatencyHistogram);
 
-  Result<std::vector<int>> selected_result = [&] {
+  {
     CDT_SPAN_TIMED("bandit.select", BanditSelectHistogram);
-    return policy_->SelectRound(t);
-  }();
-  if (!selected_result.ok()) return selected_result.status();
-  std::vector<int> selected = std::move(selected_result).value();
+    CDT_RETURN_NOT_OK(policy_->SelectRoundInto(t, &selected_scratch_));
+  }
+  // The scratch is the round's working selection; fault paths may replace
+  // it wholesale (quarantine / resettle), which is fine — it regrows once.
+  std::vector<int>& selected = selected_scratch_;
   if (selected.empty()) {
     return Status::Internal("policy selected no sellers");
   }
@@ -277,25 +309,13 @@ Result<RoundReport> TradingEngine::RunRound() {
         pj, p, report.total_time, config_.platform_cost);
   } else {
     // Regular round: play the three-stage HS game among the consumer, the
-    // platform, and the selected sellers (Algorithm 1, step 11).
-    game::GameConfig game_config;
-    game_config.sellers.reserve(selected.size());
-    game_config.qualities.reserve(selected.size());
-    for (int i : selected) {
-      game_config.sellers.push_back(
-          config_.seller_costs[static_cast<std::size_t>(i)]);
-      game_config.qualities.push_back(GameQuality(i));
-    }
-    report.game_qualities = game_config.qualities;
-    game_config.platform = config_.platform_cost;
-    game_config.valuation = config_.valuation;
-    game_config.consumer_price_bounds = config_.consumer_price_bounds;
-    game_config.collection_price_bounds = config_.collection_price_bounds;
-    game_config.max_sensing_time = config_.job.round_duration;
-    Result<game::StackelbergSolver> solver =
-        game::StackelbergSolver::Create(std::move(game_config));
+    // platform, and the selected sellers (Algorithm 1, step 11). The
+    // solver workspace is reused round to round — full validation ran when
+    // it was first built; only the learned qualities are re-checked.
+    Result<const game::StackelbergSolver*> solver = PrepareSolver(selected);
     if (!solver.ok()) return solver.status();
-    game::StrategyProfile profile = solver.value().Solve();
+    report.game_qualities = solver.value()->config().qualities;
+    game::StrategyProfile profile = solver.value()->Solve();
     report.consumer_price = profile.consumer_price;
     report.collection_price = profile.collection_price;
     report.tau = std::move(profile.tau);
@@ -358,21 +378,8 @@ Result<RoundReport> TradingEngine::RunRound() {
     } else {
       // Regular round: hold the consumer to its committed p^J and re-run
       // the platform/seller stages over the survivors.
-      game::GameConfig game_config;
-      game_config.sellers.reserve(survivors.size());
-      game_config.qualities.reserve(survivors.size());
-      for (int i : survivors) {
-        game_config.sellers.push_back(
-            config_.seller_costs[static_cast<std::size_t>(i)]);
-        game_config.qualities.push_back(GameQuality(i));
-      }
-      game_config.platform = config_.platform_cost;
-      game_config.valuation = config_.valuation;
-      game_config.consumer_price_bounds = config_.consumer_price_bounds;
-      game_config.collection_price_bounds = config_.collection_price_bounds;
-      game_config.max_sensing_time = config_.job.round_duration;
-      Result<game::StackelbergSolver> solver =
-          game::StackelbergSolver::Create(std::move(game_config));
+      Result<const game::StackelbergSolver*> solver =
+          PrepareSolver(survivors);
       if (!solver.ok()) {
         VoidRound(&report);
       } else {
@@ -380,11 +387,11 @@ Result<RoundReport> TradingEngine::RunRound() {
         selected = std::move(survivors);
         draws = std::move(survivor_draws);
         report.selected = selected;
-        report.game_qualities = solver.value().config().qualities;
+        report.game_qualities = solver.value()->config().qualities;
         report.collection_price =
-            solver.value().PlatformBestPrice(report.consumer_price);
+            solver.value()->PlatformBestPrice(report.consumer_price);
         report.tau =
-            solver.value().SellerBestTimes(report.collection_price);
+            solver.value()->SellerBestTimes(report.collection_price);
         RecomputeProfits(&report);
       }
     }

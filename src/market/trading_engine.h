@@ -9,6 +9,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bandit/arm.h"
@@ -154,6 +155,16 @@ class TradingEngine {
   /// Settles payments for the round through the ledger.
   util::Status SettlePayments(const RoundReport& report);
 
+  /// Points the reusable solve workspace at the coalition `selected` (cost
+  /// parameters + current learned qualities) and returns the ready solver.
+  /// The first call constructs the solver (full GameConfig::Validate);
+  /// later calls re-target it via StackelbergSolver::ResetCoalition, which
+  /// re-checks only the round-varying qualities and performs zero heap
+  /// allocations in steady state. On error the workspace is untouched and
+  /// the next call re-prepares from scratch.
+  util::Result<const game::StackelbergSolver*> PrepareSolver(
+      const std::vector<int>& selected);
+
   EngineConfig config_;
   bandit::QualityEnvironment* environment_;  // borrowed
   std::unique_ptr<bandit::SelectionPolicy> policy_;
@@ -165,6 +176,15 @@ class TradingEngine {
   std::int64_t next_round_ = 1;
   bool budget_exhausted_ = false;
   double consumer_spend_ = 0.0;
+
+  /// Solve workspace (PrepareSolver): coalition staging buffers and the
+  /// round-reused solver. The buffers swap back and forth with the solver's
+  /// config vectors, so both sides keep their capacity across rounds.
+  std::vector<game::SellerCostParams> solve_sellers_;
+  std::vector<double> solve_qualities_;
+  std::optional<game::StackelbergSolver> solver_;
+  /// Selection scratch handed to SelectionPolicy::SelectRoundInto.
+  std::vector<int> selected_scratch_;
 
   /// Non-null only when the config's fault profile is armed.
   std::unique_ptr<FaultInjector> injector_;

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cdt {
 namespace sim {
@@ -52,6 +53,13 @@ Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv) {
       config.value().GetInt("seed", static_cast<long long>(flags.seed));
   if (!seed.ok()) return seed.status();
   flags.seed = static_cast<std::uint64_t>(seed.value());
+  Result<long long> jobs = config.value().GetInt("jobs", 0);
+  if (!jobs.ok()) return jobs.status();
+  if (jobs.value() < 0) {
+    return Status::InvalidArgument("--jobs must be >= 0 (0 = all cores)");
+  }
+  flags.jobs = jobs.value() == 0 ? util::ThreadPool::DefaultJobs()
+                                 : static_cast<int>(jobs.value());
   Result<double> faults = config.value().GetDouble("faults", flags.fault_rate);
   if (!faults.ok()) return faults.status();
   if (!(faults.value() >= 0.0) || faults.value() > 1.0) {

@@ -47,7 +47,10 @@ class Reporter {
 
 /// Parses the common bench flags: --out=<dir> (default "results"),
 /// --quick=<bool> (default false; benches shrink N for smoke runs),
-/// --seed=<int>, --faults=<rate> (default 0; seller-default rate for
+/// --seed=<int>, --jobs=<N> (sweep-point parallelism; 0, the default,
+/// means hardware_concurrency, and 1 reproduces the serial walk
+/// bit-for-bit — CSV output is byte-identical for every jobs value),
+/// --faults=<rate> (default 0; seller-default rate for
 /// harnesses that exercise the fault-injection layer),
 /// --trace-out=<file> (Chrome trace-event JSON of the run's spans) and
 /// --metrics-out=<file> (Prometheus text snapshot; a ".jsonl" sibling
@@ -57,6 +60,9 @@ struct BenchFlags {
   std::string output_dir = "results";
   bool quick = false;
   std::uint64_t seed = 42;
+  /// Resolved job count: ParseBenchFlags maps --jobs=0 (and the absence of
+  /// the flag) to util::ThreadPool::DefaultJobs(), so this is always >= 1.
+  int jobs = 1;
   double fault_rate = 0.0;
   std::string trace_out;
   std::string metrics_out;

@@ -1,0 +1,67 @@
+// RunSweep: deterministic parallel evaluation of a sweep grid.
+//
+// Every figure harness walks a grid of independent points (a value of M, K,
+// ω, a fault rate, a replica index, …), evaluates each point into a result
+// struct, and then renders series/CSV from the results in grid order. The
+// points are independent by construction — each builds its own seeded
+// CmabHs/solver — so they can run concurrently, as long as the *assembly*
+// stays in grid order. RunSweep encodes exactly that contract:
+//
+//   * `fn(i)` is called once per grid index and must not print or touch
+//     shared state; it returns util::Result<R> with everything the caller
+//     needs to render the point.
+//   * Results land in a vector indexed by grid position, so the output —
+//     and therefore every CSV byte — is identical for any `jobs` value.
+//   * The first failing point's Status (lowest index) is returned, matching
+//     the serial loop's first-error behavior.
+//
+//   std::vector<int> num_sellers = {100, 200, 300, 400, 500};
+//   auto points = sim::RunSweep(num_sellers.size(), flags.jobs,
+//       [&](std::size_t i) -> util::Result<PointData> {
+//         return EvaluatePoint(num_sellers[i]);
+//       });
+//   if (!points.ok()) return Fail(points.status());
+//   for (const PointData& p : points.value()) series->Add(...);
+
+#ifndef CDT_SIM_SWEEP_H_
+#define CDT_SIM_SWEEP_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cdt {
+namespace sim {
+
+/// Evaluates `fn(0..count-1)` across `jobs` threads (`jobs <= 1` → the
+/// plain serial loop, bit-for-bit) and returns the results in index order.
+/// `Fn` must be `util::Result<R>(std::size_t)` for a move-constructible R.
+template <typename Fn>
+auto RunSweep(std::size_t count, int jobs, const Fn& fn)
+    -> util::Result<
+        std::vector<typename decltype(fn(std::size_t{0}))::value_type>> {
+  using R = typename decltype(fn(std::size_t{0}))::value_type;
+  std::vector<std::optional<R>> slots(count);
+  util::ThreadPool pool(jobs);
+  util::Status status =
+      pool.ParallelFor(0, count, [&slots, &fn](std::size_t i) -> util::Status {
+        auto result = fn(i);
+        if (!result.ok()) return result.status();
+        slots[i].emplace(std::move(result).value());
+        return util::Status::OK();
+      });
+  if (!status.ok()) return status;
+  std::vector<R> out;
+  out.reserve(count);
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace sim
+}  // namespace cdt
+
+#endif  // CDT_SIM_SWEEP_H_

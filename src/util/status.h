@@ -92,6 +92,9 @@ class Status {
 template <typename T>
 class Result {
  public:
+  /// The wrapped value type, for generic code (e.g. sim::RunSweep).
+  using value_type = T;
+
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
 

@@ -1,0 +1,142 @@
+// Regression test for the parallel experiment runtime: running the same
+// comparison or sweep with any job count must produce bit-identical
+// results — every policy run and sweep point is an independent,
+// identically seeded simulation, so parallelism may only change wall
+// clock, never output.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/comparison.h"
+#include "sim/series.h"
+#include "sim/sweep.h"
+#include "stats/rng.h"
+#include "util/csv.h"
+
+namespace cdt {
+namespace core {
+namespace {
+
+MechanismConfig SmallConfig() {
+  MechanismConfig config;
+  config.num_sellers = 20;
+  config.num_selected = 5;
+  config.num_rounds = 200;
+  config.seed = 424242;
+  return config;
+}
+
+util::Result<ComparisonResult> RunWithJobs(int jobs) {
+  ComparisonOptions options;
+  options.checkpoints = {50, 100, 200};
+  options.compute_deltas = true;
+  options.jobs = jobs;
+  return RunComparison(SmallConfig(), options);
+}
+
+void ExpectBitIdentical(const AlgorithmResult& a, const AlgorithmResult& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.expected_revenue, b.expected_revenue);
+  EXPECT_EQ(a.observed_revenue, b.observed_revenue);
+  EXPECT_EQ(a.regret, b.regret);
+  EXPECT_EQ(a.mean_consumer_profit, b.mean_consumer_profit);
+  EXPECT_EQ(a.mean_platform_profit, b.mean_platform_profit);
+  EXPECT_EQ(a.mean_seller_profit_total, b.mean_seller_profit_total);
+  EXPECT_EQ(a.mean_seller_profit_each, b.mean_seller_profit_each);
+  EXPECT_EQ(a.delta_consumer, b.delta_consumer);
+  EXPECT_EQ(a.delta_platform, b.delta_platform);
+  EXPECT_EQ(a.delta_seller, b.delta_seller);
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t c = 0; c < a.checkpoints.size(); ++c) {
+    EXPECT_EQ(a.checkpoints[c].round, b.checkpoints[c].round);
+    EXPECT_EQ(a.checkpoints[c].expected_revenue,
+              b.checkpoints[c].expected_revenue);
+    EXPECT_EQ(a.checkpoints[c].observed_revenue,
+              b.checkpoints[c].observed_revenue);
+    EXPECT_EQ(a.checkpoints[c].regret, b.checkpoints[c].regret);
+    EXPECT_EQ(a.checkpoints[c].mean_consumer_profit,
+              b.checkpoints[c].mean_consumer_profit);
+    EXPECT_EQ(a.checkpoints[c].mean_platform_profit,
+              b.checkpoints[c].mean_platform_profit);
+    EXPECT_EQ(a.checkpoints[c].mean_seller_profit_total,
+              b.checkpoints[c].mean_seller_profit_total);
+    EXPECT_EQ(a.checkpoints[c].mean_seller_profit_each,
+              b.checkpoints[c].mean_seller_profit_each);
+  }
+}
+
+TEST(ParallelDeterminismTest, ComparisonIsBitIdenticalAcrossJobCounts) {
+  auto serial = RunWithJobs(1);
+  auto parallel = RunWithJobs(8);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_EQ(serial.value().algorithms.size(),
+            parallel.value().algorithms.size());
+  for (std::size_t i = 0; i < serial.value().algorithms.size(); ++i) {
+    ExpectBitIdentical(serial.value().algorithms[i],
+                       parallel.value().algorithms[i]);
+  }
+  EXPECT_EQ(serial.value().gaps.delta_min, parallel.value().gaps.delta_min);
+  EXPECT_EQ(serial.value().gaps.delta_max, parallel.value().gaps.delta_max);
+  EXPECT_EQ(serial.value().theorem19_bound,
+            parallel.value().theorem19_bound);
+}
+
+// A sweep body whose value depends only on the point index (derived seed),
+// mirroring how every figure harness derives per-point state.
+util::Result<double> SweepPoint(std::size_t i) {
+  stats::Xoshiro256 rng(1000003ULL * (i + 1));
+  double total = 0.0;
+  for (int draw = 0; draw < 100; ++draw) total += rng.NextDouble(0.0, 1.0);
+  return total;
+}
+
+TEST(ParallelDeterminismTest, SweepPreservesIndexOrderAndValues) {
+  auto serial = sim::RunSweep(32, 1, SweepPoint);
+  auto parallel = sim::RunSweep(32, 8, SweepPoint);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial.value().size(), 32u);
+  ASSERT_EQ(parallel.value().size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    // Slot i holds exactly point i's value regardless of completion order.
+    EXPECT_EQ(serial.value()[i], SweepPoint(i).value());
+    EXPECT_EQ(parallel.value()[i], serial.value()[i]);
+  }
+}
+
+TEST(ParallelDeterminismTest, SweepPropagatesPointFailure) {
+  auto result = sim::RunSweep(16, 4, [](std::size_t i) -> util::Result<int> {
+    if (i == 5) return util::Status::InvalidArgument("point 5 is broken");
+    return static_cast<int>(i);
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), "point 5 is broken");
+}
+
+TEST(ParallelDeterminismTest, CsvRowsAreBitIdenticalAcrossJobCounts) {
+  auto make_csv = [](int jobs) {
+    auto values = sim::RunSweep(20, jobs, SweepPoint);
+    sim::FigureData fig("determinism", "determinism", "i", "value");
+    sim::Series* series = fig.AddSeries("sweep");
+    for (std::size_t i = 0; i < values.value().size(); ++i) {
+      series->Add(static_cast<double>(i), values.value()[i]);
+    }
+    util::CsvTable table = fig.ToCsvLong();
+    std::vector<std::string> lines;
+    lines.push_back(util::FormatCsvLine(table.header));
+    for (const util::CsvRow& row : table.rows) {
+      lines.push_back(util::FormatCsvLine(row));
+    }
+    return lines;
+  };
+  EXPECT_EQ(make_csv(1), make_csv(8));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cdt
