@@ -31,6 +31,17 @@ int Run(const sim::BenchFlags& flags) {
   base.num_rounds = rounds;
   base.check_invariants = true;  // the whole point of this ablation
 
+  {
+    // Canonical record/replay campaign: the --faults rate, injector armed.
+    core::MechanismConfig canonical = base;
+    canonical.faults.default_rate = flags.fault_rate;
+    canonical.faults.settlement_failure_rate = flags.fault_rate / 2.0;
+    int rr_code = 0;
+    if (benchx::HandleRecordReplay(flags, canonical, {}, &rr_code)) {
+      return rr_code;
+    }
+  }
+
   sim::ExperimentSpec spec{
       "ablation_faults", "Fault ablation",
       "profit/regret vs seller default rate (invariants armed)",

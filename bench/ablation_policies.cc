@@ -24,6 +24,9 @@ int Run(const sim::BenchFlags& flags) {
   base.num_sellers = 100;
   base.num_rounds = flags.quick ? 2000 : 50000;
 
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, base, {}, &rr_code)) return rr_code;
+
   sim::ExperimentSpec spec{
       "ablation", "Ablations",
       "UCB exploration constant, initial exploration, policy zoo",

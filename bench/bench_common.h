@@ -16,11 +16,14 @@
 #include <sstream>
 #include <string>
 
+#include "core/cmab_hs.h"
 #include "core/comparison.h"
 #include "core/config.h"
 #include "game/stackelberg.h"
 #include "obs/exporters.h"
 #include "obs/telemetry.h"
+#include "persist/recorder.h"
+#include "persist/replay.h"
 #include "sim/experiment.h"
 #include "stats/rng.h"
 
@@ -111,6 +114,62 @@ inline int Finish(const sim::BenchFlags& flags, int code) {
   util::Status flushed = FlushTelemetry(flags);
   if (!flushed.ok() && code == 0) return Fail(flushed);
   return code;
+}
+
+/// --record-out: runs one campaign of `config`/`policy` with a
+/// persist::RunRecorder attached, sealing the event log at the end.
+inline int RecordCampaign(const sim::BenchFlags& flags,
+                          const core::MechanismConfig& config,
+                          const core::PolicySpec& policy) {
+  persist::RunRecorder::Options options;
+  options.log_path = flags.record_out;
+  options.snapshot_path = flags.snapshot_out;
+  options.snapshot_every = flags.snapshot_every;
+  auto run = core::CmabHs::Create(config, policy);
+  if (!run.ok()) return Fail(run.status());
+  auto recorder = persist::RunRecorder::Create(options, config, policy);
+  if (!recorder.ok()) return Fail(recorder.status());
+  persist::RunRecorder* rec = recorder.value().get();
+  run.value()->mutable_engine().AddObserver(std::move(recorder).value());
+  util::Status status = run.value()->RunAll();
+  if (!status.ok()) return Fail(status);
+  status = rec->Finish();
+  if (!status.ok()) return Fail(status);
+  std::cerr << "[recorded " << rec->rounds_recorded() << " rounds to "
+            << flags.record_out << " (config crc " << rec->config_crc()
+            << ")]\n";
+  return 0;
+}
+
+/// --replay-in: re-executes a recorded event log and byte-verifies every
+/// round (the replay upgrade gate, runnable from any campaign harness).
+inline int ReplayCampaign(const sim::BenchFlags& flags) {
+  auto recorded = persist::LoadRecordedRun(flags.replay_in);
+  if (!recorded.ok()) return Fail(recorded.status());
+  auto verified = persist::VerifyReplay(recorded.value());
+  if (!verified.ok()) return Fail(verified.status());
+  std::cerr << "[replay verified " << verified.value().rounds_verified
+            << " rounds of " << flags.replay_in << " bit-for-bit]\n";
+  return 0;
+}
+
+/// Record/replay intercept for campaign harnesses: when --record-out or
+/// --replay-in is set, the run is fully handled here (recording or
+/// verifying one canonical campaign of `config`/`policy`) and the harness
+/// must exit with *code instead of running its figure sweep.
+inline bool HandleRecordReplay(const sim::BenchFlags& flags,
+                               const core::MechanismConfig& config,
+                               const core::PolicySpec& policy, int* code) {
+  if (!flags.record_out.empty()) {
+    *code = RecordCampaign(flags, config, policy);
+    return true;
+  }
+  if (!flags.replay_in.empty()) {
+    *code = ReplayCampaign(flags);
+    return true;
+  }
+  *code = 0;
+  return false;
 }
 
 }  // namespace benchx

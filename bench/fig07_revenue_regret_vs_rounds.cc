@@ -28,6 +28,9 @@ int Run(const sim::BenchFlags& flags) {
   core::MechanismConfig config = benchx::PaperConfig(flags);
   config.num_rounds = rounds.back();
 
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, config, {}, &rr_code)) return rr_code;
+
   sim::ExperimentSpec spec{
       "fig07", "Fig. 7",
       "total revenue (a) and regret (b) vs number of rounds N",

@@ -20,6 +20,14 @@ int Run(const sim::BenchFlags& flags) {
   std::int64_t divisor = flags.quick ? 50 : 1;
 
   core::MechanismConfig config = benchx::PaperConfig(flags);
+  {
+    core::MechanismConfig canonical = config;
+    canonical.num_rounds = 100000 / divisor;
+    int rr_code = 0;
+    if (benchx::HandleRecordReplay(flags, canonical, {}, &rr_code)) {
+      return rr_code;
+    }
+  }
   sim::ExperimentSpec spec{
       "fig08", "Fig. 8",
       "mean per-round profit gap vs optimal (d-PoC, d-PoP, d-PoS) vs N",

@@ -18,6 +18,9 @@ int Run(const sim::BenchFlags& flags) {
   core::MechanismConfig config = benchx::PaperConfig(flags);
   config.num_rounds = flags.quick ? 2000 : 100000;
 
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, config, {}, &rr_code)) return rr_code;
+
   sim::ExperimentSpec spec{
       "fig10", "Fig. 10",
       "mean per-round profit gap vs optimal (d-PoC, d-PoP, d-PoS) vs M",

@@ -18,6 +18,9 @@ int Run(const sim::BenchFlags& flags) {
   core::MechanismConfig config = benchx::PaperConfig(flags);
   config.num_rounds = flags.quick ? 2000 : 100000;
 
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, config, {}, &rr_code)) return rr_code;
+
   sim::ExperimentSpec spec{
       "fig11", "Fig. 11",
       "total revenue (a) and regret (b) vs selected sellers K",

@@ -30,6 +30,9 @@ int Run(const sim::BenchFlags& flags, int replicas) {
   base.num_sellers = 100;
   base.num_rounds = flags.quick ? 2000 : 20000;
 
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, base, {}, &rr_code)) return rr_code;
+
   sim::ExperimentSpec spec{
       "replication", "Replication study",
       "regret/revenue across " + std::to_string(replicas) +

@@ -79,6 +79,33 @@ Status EstimatorBank::Update(int i, const std::vector<double>& observations) {
   return Status::OK();
 }
 
+Status EstimatorBank::Restore(const std::vector<ArmState>& arms,
+                              std::uint64_t total_observations) {
+  if (arms.size() != arms_.size()) {
+    return Status::InvalidArgument(
+        "estimator restore arm count mismatch: have " +
+        std::to_string(arms_.size()) + ", snapshot has " +
+        std::to_string(arms.size()));
+  }
+  std::uint64_t sum = 0;
+  for (const ArmState& arm : arms) {
+    if (!(arm.mean >= 0.0 && arm.mean <= 1.0)) {
+      return Status::OutOfRange("restored arm mean outside [0, 1]");
+    }
+    if (arm.observations == 0 && arm.mean != 0.0) {
+      return Status::InvalidArgument("unexplored arm with non-zero mean");
+    }
+    sum += arm.observations;
+  }
+  if (sum != total_observations) {
+    return Status::InvalidArgument(
+        "restored total_observations disagrees with per-arm counters");
+  }
+  arms_ = arms;
+  total_observations_ = total_observations;
+  return Status::OK();
+}
+
 double EstimatorBank::UcbValue(int i) const {
   const ArmState& arm = arms_.at(static_cast<std::size_t>(i));
   return arm.mean + stats::UcbRadius(arm.observations, total_observations_,

@@ -43,6 +43,12 @@ class EstimatorBank {
   /// Observations outside [0,1] are rejected.
   util::Status Update(int i, const std::vector<double>& observations);
 
+  /// Restores a previously captured learning state (snapshot/replay): one
+  /// ArmState per arm plus the total counter, which must equal the sum of
+  /// the per-arm counters. Means must be finite and in [0, 1].
+  util::Status Restore(const std::vector<ArmState>& arms,
+                       std::uint64_t total_observations);
+
   /// UCB index q̂_i^t; +infinity for an unexplored arm, so cold-start
   /// selection naturally prefers unseen arms.
   double UcbValue(int i) const;

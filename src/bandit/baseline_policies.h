@@ -32,6 +32,9 @@ class OraclePolicy : public SelectionPolicy {
       const std::vector<int>& selected,
       const std::vector<std::vector<double>>& observations) override;
 
+  /// The oracle's selection is fixed at construction — nothing to restore.
+  bool snapshot_safe() const override { return true; }
+
  private:
   OraclePolicy(std::vector<int> selection, int num_sellers)
       : selection_(std::move(selection)), num_sellers_(num_sellers) {}

@@ -43,6 +43,11 @@ class CucbPolicy : public SelectionPolicy {
 
   const EstimatorBank* estimator() const override { return &bank_; }
 
+  /// The bank is the policy's only mutable state, so snapshots restore it
+  /// bit-for-bit (the UCB scratch is recomputed every round).
+  bool snapshot_safe() const override { return true; }
+  EstimatorBank* mutable_estimator() override { return &bank_; }
+
  private:
   CucbPolicy(const CucbOptions& options, EstimatorBank bank)
       : options_(options), bank_(std::move(bank)) {}

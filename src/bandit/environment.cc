@@ -1,6 +1,7 @@
 #include "bandit/environment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace cdt {
@@ -80,6 +81,45 @@ std::vector<double> QualityEnvironment::ObserveSeller(int seller) {
   auto& sampler = samplers_.at(static_cast<std::size_t>(seller));
   for (double& x : out) x = sampler.Sample(rng_);
   return out;
+}
+
+EnvironmentState QualityEnvironment::SaveState() const {
+  EnvironmentState state;
+  state.rng_state = rng_.state();
+  state.has_spare.reserve(samplers_.size());
+  state.spare.reserve(samplers_.size());
+  for (const stats::TruncatedGaussianSampler& sampler : samplers_) {
+    state.has_spare.push_back(sampler.gaussian().has_spare() ? 1 : 0);
+    state.spare.push_back(sampler.gaussian().spare());
+  }
+  return state;
+}
+
+Status QualityEnvironment::RestoreState(const EnvironmentState& state) {
+  if (state.has_spare.size() != samplers_.size() ||
+      state.spare.size() != samplers_.size()) {
+    return Status::InvalidArgument(
+        "environment state seller count mismatch: have " +
+        std::to_string(samplers_.size()) + " samplers, state has " +
+        std::to_string(state.has_spare.size()));
+  }
+  bool all_zero = true;
+  for (std::uint64_t word : state.rng_state) {
+    if (word != 0) all_zero = false;
+  }
+  if (all_zero) {
+    return Status::InvalidArgument("degenerate all-zero RNG state");
+  }
+  for (std::size_t i = 0; i < samplers_.size(); ++i) {
+    double spare = state.spare[i];
+    if (!std::isfinite(spare)) {
+      return Status::OutOfRange("non-finite sampler spare in state");
+    }
+    samplers_[i].mutable_gaussian()->set_spare(state.has_spare[i] != 0,
+                                               spare);
+  }
+  rng_.set_state(state.rng_state);
+  return Status::OK();
 }
 
 std::vector<int> QualityEnvironment::OptimalSet(int k) const {

@@ -6,6 +6,7 @@
 #ifndef CDT_BANDIT_ENVIRONMENT_H_
 #define CDT_BANDIT_ENVIRONMENT_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,17 @@ struct EnvironmentConfig {
   std::uint64_t seed = 1;
 
   util::Status Validate() const;
+};
+
+/// The environment's mutable observation-stream state: the xoshiro RNG
+/// plus every per-seller sampler's Box–Muller spare cache. Capturing and
+/// restoring it lets a persisted run resume its observation stream
+/// bit-for-bit mid-campaign (see src/persist/).
+struct EnvironmentState {
+  std::array<std::uint64_t, 4> rng_state{};
+  /// Per-seller spare flags/values (parallel vectors, size M).
+  std::vector<std::uint8_t> has_spare;
+  std::vector<double> spare;
 };
 
 /// Ground-truth seller qualities plus the observation process.
@@ -64,6 +76,13 @@ class QualityEnvironment {
 
   /// Sum of effective qualities over OptimalSet(k).
   double OptimalSetQuality(int k) const;
+
+  /// Captures the observation-stream state (RNG + sampler spare caches).
+  EnvironmentState SaveState() const;
+
+  /// Restores a previously captured state. Fails closed on a seller-count
+  /// mismatch or a degenerate (all-zero) RNG state.
+  util::Status RestoreState(const EnvironmentState& state);
 
  private:
   QualityEnvironment(std::vector<double> nominal,

@@ -53,6 +53,16 @@ class SelectionPolicy {
 
   /// The learning state, when the policy maintains one (else nullptr).
   virtual const EstimatorBank* estimator() const { return nullptr; }
+
+  /// Snapshot support: true when the policy's entire mutable state is the
+  /// (optional) estimator bank, so a persisted engine snapshot can restore
+  /// it exactly. Policies with private RNG streams (random, ε-greedy,
+  /// Thompson) keep the default false and snapshot restore fails closed.
+  virtual bool snapshot_safe() const { return false; }
+
+  /// Mutable estimator for snapshot restore; nullptr when the policy keeps
+  /// no learning state (or does not support restore).
+  virtual EstimatorBank* mutable_estimator() { return nullptr; }
 };
 
 }  // namespace bandit

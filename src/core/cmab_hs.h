@@ -64,6 +64,9 @@ class CmabHs {
     return *environment_;
   }
   const market::TradingEngine& engine() const { return *engine_; }
+  /// Mutable engine access for the persistence layer (attaching a
+  /// RunRecorder observer, restoring a snapshot before the first round).
+  market::TradingEngine& mutable_engine() { return *engine_; }
   MetricsCollector& metrics() { return *metrics_; }
   const MetricsCollector& metrics() const { return *metrics_; }
 

@@ -284,6 +284,30 @@ void ReliabilityTracker::RecordQuarantineDrop(int seller) {
   ++sellers_.at(static_cast<std::size_t>(seller)).quarantine_drops;
 }
 
+Status ReliabilityTracker::Restore(std::vector<SellerReliability> sellers,
+                                   std::int64_t total_faults) {
+  if (sellers.size() != sellers_.size()) {
+    return Status::InvalidArgument(
+        "reliability restore seller count mismatch: have " +
+        std::to_string(sellers_.size()) + ", snapshot has " +
+        std::to_string(sellers.size()));
+  }
+  if (total_faults < 0) {
+    return Status::InvalidArgument("negative total fault count");
+  }
+  for (const SellerReliability& s : sellers) {
+    if (s.deliveries < 0 || s.partials < 0 || s.defaults < 0 ||
+        s.corruptions < 0 || s.quarantine_drops < 0 || s.times_opened < 0 ||
+        s.consecutive_faults < 0 || s.probation_progress < 0 ||
+        s.opened_round < 0) {
+      return Status::InvalidArgument("negative reliability counter");
+    }
+  }
+  sellers_ = std::move(sellers);
+  total_faults_ = total_faults;
+  return Status::OK();
+}
+
 int ReliabilityTracker::QuarantinedCount(std::int64_t round) const {
   int count = 0;
   for (int i = 0; i < num_sellers(); ++i) {

@@ -207,6 +207,13 @@ class ReliabilityTracker {
 
   std::int64_t total_faults() const { return total_faults_; }
 
+  /// Full per-seller state, for snapshot capture.
+  const std::vector<SellerReliability>& sellers() const { return sellers_; }
+
+  /// Restores a previously captured tracker state (snapshot/replay).
+  util::Status Restore(std::vector<SellerReliability> sellers,
+                       std::int64_t total_faults);
+
   /// Sellers whose breaker is open and still cooling down at `round`.
   int QuarantinedCount(std::int64_t round) const;
 

@@ -69,6 +69,38 @@ void InvariantChecker::AddViolation(InvariantKind kind, std::int64_t round,
   violations_.push_back(std::move(v));
 }
 
+Status InvariantChecker::ResetBaseline(const Ledger& ledger,
+                                       const bandit::EstimatorBank* estimates,
+                                       std::int64_t last_round) {
+  if (last_round < 0) {
+    return Status::InvalidArgument("baseline round must be >= 0");
+  }
+  expected_consumer_outflow_ = ledger.ConsumerOutflow();
+  expected_seller_inflow_ = ledger.SellerInflow();
+  expected_seller_balance_.assign(
+      static_cast<std::size_t>(ledger.num_sellers()), 0.0);
+  for (int i = 0; i < ledger.num_sellers(); ++i) {
+    util::Result<double> balance = ledger.Balance(i);
+    if (!balance.ok()) return balance.status();
+    expected_seller_balance_[static_cast<std::size_t>(i)] = balance.value();
+  }
+  if (estimates != nullptr) {
+    prev_total_observations_ = estimates->total_observations();
+    prev_arm_observations_.assign(
+        static_cast<std::size_t>(estimates->num_arms()), 0);
+    for (int i = 0; i < estimates->num_arms(); ++i) {
+      prev_arm_observations_[static_cast<std::size_t>(i)] =
+          estimates->arm(i).observations;
+    }
+  } else {
+    prev_total_observations_ = 0;
+    prev_arm_observations_.clear();
+  }
+  last_round_ = last_round;
+  cumulative_regret_ = 0.0;
+  return Status::OK();
+}
+
 Status InvariantChecker::OnRound(const TradingEngine& engine,
                                  const RoundReport& report) {
   const EngineConfig& config = engine.config();

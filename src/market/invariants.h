@@ -136,6 +136,15 @@ class InvariantChecker : public RoundObserver {
   /// fabricated views (no engine required).
   util::Status Check(const EngineStateView& view, const RoundReport& report);
 
+  /// Re-seeds the cumulative expectations from a mid-run engine state
+  /// (snapshot restore): ledger aggregates, per-seller balances, bandit
+  /// counters and the round cursor become the new baseline. Cumulative
+  /// regret restarts at zero, which keeps the monotonicity check valid —
+  /// it asserts non-decrease, not an absolute level.
+  util::Status ResetBaseline(const Ledger& ledger,
+                             const bandit::EstimatorBank* estimates,
+                             std::int64_t last_round);
+
   const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }

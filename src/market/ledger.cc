@@ -65,5 +65,30 @@ double Ledger::NetPosition() const {
   return net;
 }
 
+Status Ledger::Restore(std::vector<double> balances, double consumer_outflow,
+                       double seller_inflow,
+                       std::vector<Transfer> transfers) {
+  if (balances.size() != balances_.size()) {
+    return Status::InvalidArgument(
+        "ledger restore balance count mismatch: have " +
+        std::to_string(balances_.size()) + " slots, snapshot has " +
+        std::to_string(balances.size()));
+  }
+  if (!keep_history_ && !transfers.empty()) {
+    return Status::InvalidArgument(
+        "snapshot carries transfer history but this ledger keeps none");
+  }
+  for (const Transfer& t : transfers) {
+    if (!ValidAccount(t.from) || !ValidAccount(t.to) || t.amount < 0.0) {
+      return Status::InvalidArgument("invalid transfer in ledger snapshot");
+    }
+  }
+  balances_ = std::move(balances);
+  consumer_outflow_ = consumer_outflow;
+  seller_inflow_ = seller_inflow;
+  transfers_ = std::move(transfers);
+  return Status::OK();
+}
+
 }  // namespace market
 }  // namespace cdt

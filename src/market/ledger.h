@@ -58,6 +58,15 @@ class Ledger {
 
   const std::vector<Transfer>& transfers() const { return transfers_; }
   int num_sellers() const { return num_sellers_; }
+  bool keep_history() const { return keep_history_; }
+
+  /// Restores a previously captured ledger state (snapshot/replay):
+  /// per-slot balances (consumer, platform, sellers — size M+2), the
+  /// outflow/inflow aggregates, and the transfer history. A history is
+  /// only accepted when this ledger keeps one; a history-keeping ledger
+  /// accepts an empty history (recorded with track_transfers off).
+  util::Status Restore(std::vector<double> balances, double consumer_outflow,
+                       double seller_inflow, std::vector<Transfer> transfers);
 
  private:
   bool ValidAccount(std::int32_t account) const;

@@ -1,5 +1,8 @@
 #include "market/run_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -69,7 +72,7 @@ Result<RunLogWriter> RunLogWriter::Open(const std::string& path) {
   if (!out.good()) {
     return Status::IoError("failed writing run-log header: " + path);
   }
-  return RunLogWriter(std::move(out));
+  return RunLogWriter(std::move(out), path);
 }
 
 Status RunLogWriter::Poison(const std::string& message) {
@@ -122,6 +125,16 @@ Status RunLogWriter::Close() {
   if (!out_.good()) Poison("run-log flush-on-close failed");
   out_.close();
   if (out_.fail()) Poison("run-log close failed");
+  // ofstream exposes no descriptor, so durability takes a reopen + fsync.
+  if (error_.ok()) {
+    int fd = ::open(path_.c_str(), O_WRONLY);
+    if (fd < 0) {
+      Poison("run-log reopen for fsync failed: " + path_);
+    } else {
+      if (::fsync(fd) != 0) Poison("run-log fsync failed: " + path_);
+      ::close(fd);
+    }
+  }
   return error_;
 }
 

@@ -57,19 +57,24 @@ class RunLogWriter {
   /// Pushes buffered rows to the OS and checks the stream state.
   util::Status Flush();
 
-  /// Flushes, closes, and reports any error seen over the writer's life;
-  /// further appends fail. Idempotent: repeat calls return the same status.
+  /// Flushes, fsyncs the file to disk, closes, and reports any error seen
+  /// over the writer's life; further appends fail. Idempotent: repeat
+  /// calls return the same status. The fsync closes the durability gap a
+  /// crash right after Close used to have — a closed run log is on disk,
+  /// not just in the page cache.
   util::Status Close();
 
   std::int64_t rows_written() const { return rows_; }
 
  private:
-  explicit RunLogWriter(std::ofstream stream) : out_(std::move(stream)) {}
+  RunLogWriter(std::ofstream stream, std::string path)
+      : out_(std::move(stream)), path_(std::move(path)) {}
 
   /// Records the first I/O failure so later calls keep reporting it.
   util::Status Poison(const std::string& message);
 
   std::ofstream out_;
+  std::string path_;
   std::int64_t rows_ = 0;
   bool closed_ = false;
   util::Status error_ = util::Status::OK();

@@ -527,6 +527,105 @@ Result<RoundReport> TradingEngine::RunRound() {
   return report;
 }
 
+EngineSnapshot TradingEngine::CaptureSnapshot() const {
+  EngineSnapshot snapshot;
+  snapshot.next_round = next_round_;
+  snapshot.budget_exhausted = budget_exhausted_;
+  snapshot.consumer_spend = consumer_spend_;
+
+  snapshot.pricing_arms.reserve(static_cast<std::size_t>(bank_.num_arms()));
+  for (int i = 0; i < bank_.num_arms(); ++i) {
+    snapshot.pricing_arms.push_back(bank_.arm(i));
+  }
+  snapshot.pricing_total_observations = bank_.total_observations();
+
+  if (const bandit::EstimatorBank* policy_bank = policy_->estimator()) {
+    snapshot.has_policy_arms = true;
+    snapshot.policy_arms.reserve(
+        static_cast<std::size_t>(policy_bank->num_arms()));
+    for (int i = 0; i < policy_bank->num_arms(); ++i) {
+      snapshot.policy_arms.push_back(policy_bank->arm(i));
+    }
+    snapshot.policy_total_observations = policy_bank->total_observations();
+  }
+
+  snapshot.ledger_balances.reserve(
+      static_cast<std::size_t>(ledger_.num_sellers()) + 2);
+  snapshot.ledger_balances.push_back(
+      ledger_.Balance(kConsumerAccount).value());
+  snapshot.ledger_balances.push_back(
+      ledger_.Balance(kPlatformAccount).value());
+  for (int i = 0; i < ledger_.num_sellers(); ++i) {
+    snapshot.ledger_balances.push_back(ledger_.Balance(i).value());
+  }
+  snapshot.ledger_consumer_outflow = ledger_.ConsumerOutflow();
+  snapshot.ledger_seller_inflow = ledger_.SellerInflow();
+  snapshot.ledger_transfers = ledger_.transfers();
+
+  snapshot.reliability = reliability_->sellers();
+  snapshot.reliability_total_faults = reliability_->total_faults();
+  snapshot.fault_counts = fault_counts_;
+
+  snapshot.environment = environment_->SaveState();
+  return snapshot;
+}
+
+Status TradingEngine::RestoreSnapshot(const EngineSnapshot& snapshot) {
+  if (next_round_ != 1) {
+    return Status::FailedPrecondition(
+        "snapshot restore requires a freshly built engine");
+  }
+  if (snapshot.next_round < 1 ||
+      snapshot.next_round > config_.job.num_rounds + 1) {
+    return Status::OutOfRange("snapshot round cursor outside the campaign");
+  }
+  if (!policy_->snapshot_safe()) {
+    return Status::FailedPrecondition(
+        "policy '" + policy_->name() +
+        "' keeps private state and cannot restore exactly");
+  }
+  bandit::EstimatorBank* policy_bank = policy_->mutable_estimator();
+  if (snapshot.has_policy_arms != (policy_bank != nullptr)) {
+    return Status::InvalidArgument(
+        "snapshot and policy disagree on whether a policy estimator exists");
+  }
+  if (!(snapshot.consumer_spend >= 0.0)) {
+    return Status::OutOfRange("negative consumer spend in snapshot");
+  }
+  for (std::int64_t count : snapshot.fault_counts) {
+    if (count < 0) {
+      return Status::OutOfRange("negative fault counter in snapshot");
+    }
+  }
+  // Sub-restores validate before mutating; once one has succeeded a later
+  // failure leaves the engine partially restored, so callers must discard
+  // the engine on any non-OK status.
+  CDT_RETURN_NOT_OK(bank_.Restore(snapshot.pricing_arms,
+                                  snapshot.pricing_total_observations));
+  if (policy_bank != nullptr) {
+    CDT_RETURN_NOT_OK(policy_bank->Restore(
+        snapshot.policy_arms, snapshot.policy_total_observations));
+  }
+  CDT_RETURN_NOT_OK(ledger_.Restore(
+      snapshot.ledger_balances, snapshot.ledger_consumer_outflow,
+      snapshot.ledger_seller_inflow, snapshot.ledger_transfers));
+  CDT_RETURN_NOT_OK(reliability_->Restore(
+      snapshot.reliability, snapshot.reliability_total_faults));
+  CDT_RETURN_NOT_OK(environment_->RestoreState(snapshot.environment));
+
+  next_round_ = snapshot.next_round;
+  budget_exhausted_ = snapshot.budget_exhausted;
+  consumer_spend_ = snapshot.consumer_spend;
+  fault_counts_ = snapshot.fault_counts;
+  fault_log_.clear();
+
+  if (checker_ != nullptr) {
+    CDT_RETURN_NOT_OK(
+        checker_->ResetBaseline(ledger_, &bank_, next_round_ - 1));
+  }
+  return Status::OK();
+}
+
 Status TradingEngine::SettlePayments(const RoundReport& report) {
   // Consumer → platform: p^J · Στ; platform → seller i: p · τ_i. Balances
   // are always maintained; the per-transfer history obeys track_transfers.

@@ -19,6 +19,7 @@
 #include "market/faults.h"
 #include "market/invariants.h"
 #include "market/ledger.h"
+#include "market/snapshot.h"
 #include "market/types.h"
 
 namespace cdt {
@@ -131,6 +132,21 @@ class TradingEngine {
   std::int64_t fault_count(FaultKind kind) const {
     return fault_counts_[static_cast<std::size_t>(kind)];
   }
+
+  /// Captures the engine's full mutable state (plus the borrowed
+  /// environment's observation stream) after the last settled round, so a
+  /// later RestoreSnapshot resumes the campaign bit-for-bit.
+  EngineSnapshot CaptureSnapshot() const;
+
+  /// Applies a snapshot captured from an engine with identical
+  /// configuration. Must be called before any round has run; fails closed
+  /// when the policy cannot restore exactly (snapshot_safe() false), on
+  /// any size/seller-count mismatch, or on corrupt counters — the engine
+  /// is left untouched on error except when a late sub-restore fails
+  /// (the returned status then says the engine must be discarded).
+  /// The cumulative fault_log() is not persisted: after a restore it
+  /// contains only post-restore events (fault_count() totals survive).
+  util::Status RestoreSnapshot(const EngineSnapshot& snapshot);
 
  private:
   TradingEngine(EngineConfig config, bandit::QualityEnvironment* environment,

@@ -1,0 +1,323 @@
+#include "persist/event_log.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "persist/atomic_io.h"
+#include "persist/codec.h"
+#include "persist/serialize.h"
+
+namespace cdt {
+namespace persist {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr std::size_t kMagicSize = 8;
+
+/// Upper bound on a single record payload (64 MiB) — rejects absurd
+/// lengths from corrupt input before any allocation or long skip.
+constexpr std::uint64_t kMaxPayloadSize = 64ull << 20;
+
+Status WriteError(const std::string& path) {
+  return Status::IoError("event log write to '" + path +
+                         "' failed: " + std::strerror(errno));
+}
+
+bool KnownRecordType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(RecordType::kConfig) &&
+         type <= static_cast<std::uint8_t>(RecordType::kFooter);
+}
+
+}  // namespace
+
+// --- EventLogWriter -----------------------------------------------------
+
+EventLogWriter::EventLogWriter(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+EventLogWriter::~EventLogWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<EventLogWriter>> EventLogWriter::Open(
+    const std::string& path, const core::MechanismConfig& config,
+    const core::PolicySpec& policy) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create event log '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::unique_ptr<EventLogWriter> writer(
+      new EventLogWriter(path, file));
+
+  std::string header(kLogMagic, kMagicSize);
+  PutVarint64(&header, kFormatVersion);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    return WriteError(path);
+  }
+
+  std::string payload;
+  EncodeConfigPayload(config, policy, &payload);
+  writer->config_crc_ = Crc32(payload);
+  CDT_RETURN_NOT_OK(writer->AppendRecord(RecordType::kConfig, payload));
+  return writer;
+}
+
+Status EventLogWriter::AppendRecord(RecordType type,
+                                    std::string_view payload) {
+  if (!status_.ok()) return status_;
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("event log already finished");
+  }
+  scratch_.clear();
+  PutByte(&scratch_, static_cast<std::uint8_t>(type));
+  PutVarint64(&scratch_, payload.size());
+  scratch_.append(payload.data(), payload.size());
+  // CRC covers type byte + payload (not the length, which framing guards).
+  std::uint32_t crc = Crc32(std::string_view(&scratch_[0], 1));
+  crc = Crc32(payload, crc);
+  PutFixed32(&scratch_, crc);
+  if (std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
+          scratch_.size() ||
+      std::fflush(file_) != 0) {
+    status_ = WriteError(path_);
+    return status_;
+  }
+  return Status::OK();
+}
+
+Status EventLogWriter::AppendRound(const market::RoundReport& report) {
+  if (!status_.ok()) return status_;
+  if (report.round != rounds_written_ + 1) {
+    return Status::InvalidArgument(
+        "event log rounds must be gap-free: expected round " +
+        std::to_string(rounds_written_ + 1) + ", got " +
+        std::to_string(report.round));
+  }
+  std::string payload;
+  EncodeRoundReport(report, &payload);
+  CDT_RETURN_NOT_OK(AppendRecord(RecordType::kRound, payload));
+  rolling_crc_ = Crc32(payload, rolling_crc_);
+  ++rounds_written_;
+  return Status::OK();
+}
+
+Status EventLogWriter::AppendSnapshotNote(std::int64_t round) {
+  std::string payload;
+  PutZigzag64(&payload, round);
+  return AppendRecord(RecordType::kSnapshotNote, payload);
+}
+
+Status EventLogWriter::Finish() {
+  if (!status_.ok()) return status_;
+  if (file_ == nullptr) return Status::OK();
+  std::string payload;
+  EncodeFooterPayload({rounds_written_, rolling_crc_}, &payload);
+  CDT_RETURN_NOT_OK(AppendRecord(RecordType::kFooter, payload));
+  Status status;
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    status = WriteError(path_);
+  }
+  if (std::fclose(file_) != 0 && status.ok()) {
+    status = WriteError(path_);
+  }
+  file_ = nullptr;
+  status_ = status.ok() ? Status::OK()
+                        : Status::IoError("event log finish failed: " +
+                                          status.message());
+  return status_;
+}
+
+// --- EventLogReader -----------------------------------------------------
+
+Result<std::unique_ptr<EventLogReader>> EventLogReader::Open(
+    const std::string& path, const Options& options) {
+  auto bytes = ReadFileBytes(path);
+  CDT_RETURN_NOT_OK(bytes.status());
+  std::string buffer = std::move(bytes).value();
+
+  if (buffer.size() < kMagicSize ||
+      std::memcmp(buffer.data(), kLogMagic, kMagicSize) != 0) {
+    return Status::ParseError("'" + path + "' is not a CDT event log");
+  }
+  ByteReader header(
+      std::string_view(buffer).substr(kMagicSize));
+  std::uint64_t version;
+  CDT_RETURN_NOT_OK(header.ReadVarint64(&version));
+  if (version != kFormatVersion) {
+    // Fail closed: this build only understands its own format version.
+    return Status::ParseError(
+        "event log '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads only version " +
+        std::to_string(kFormatVersion));
+  }
+  std::size_t pos = kMagicSize + header.position();
+  return std::unique_ptr<EventLogReader>(
+      new EventLogReader(std::move(buffer), pos, version, options));
+}
+
+Status EventLogReader::Next(LogRecord* record) {
+  if (done_) return Status::NotFound("event log exhausted");
+  if (pos_ >= buffer_.size()) {
+    done_ = true;
+    return Status::NotFound("event log exhausted");
+  }
+
+  ByteReader reader(std::string_view(buffer_).substr(pos_));
+  std::uint8_t type;
+  std::uint64_t length = 0;
+  std::string_view payload;
+  std::uint32_t stored_crc = 0;
+  Status status = reader.ReadByte(&type);
+  bool known_type = status.ok() && KnownRecordType(type);
+  if (status.ok() && !known_type) {
+    return Status::ParseError("unknown event-log record type byte " +
+                              std::to_string(int{type}));
+  }
+  if (status.ok()) status = reader.ReadVarint64(&length);
+  if (status.ok() && length > kMaxPayloadSize) {
+    return Status::ParseError("event-log record payload length " +
+                              std::to_string(length) + " exceeds limit");
+  }
+  if (status.ok()) {
+    status = reader.ReadBytes(static_cast<std::size_t>(length), &payload);
+  }
+  if (status.ok()) status = reader.ReadFixed32(&stored_crc);
+  if (!status.ok()) {
+    // Ran off the end of the buffer: a torn tail if tolerated, else a
+    // hard parse error. (A complete-but-corrupt record is caught by CRC.)
+    if (options_.allow_torn_tail) {
+      torn_tail_ = true;
+      done_ = true;
+      return Status::NotFound("event log exhausted (torn tail)");
+    }
+    return Status::ParseError("event log truncated mid-record: " +
+                              status.message());
+  }
+
+  std::uint32_t crc = Crc32(std::string_view(buffer_).substr(pos_, 1));
+  crc = Crc32(payload, crc);
+  if (crc != stored_crc) {
+    return Status::ParseError("event-log record CRC mismatch at offset " +
+                              std::to_string(pos_));
+  }
+  pos_ += reader.position();
+  record->type = static_cast<RecordType>(type);
+  record->payload = payload;
+  return Status::OK();
+}
+
+// --- typed payload helpers ---------------------------------------------
+
+void EncodeConfigPayload(const core::MechanismConfig& config,
+                         const core::PolicySpec& policy, std::string* out) {
+  EncodeMechanismConfig(config, out);
+  EncodePolicySpec(policy, out);
+}
+
+Status DecodeConfigPayload(std::string_view payload,
+                           core::MechanismConfig* config,
+                           core::PolicySpec* policy) {
+  ByteReader reader(payload);
+  CDT_RETURN_NOT_OK(DecodeMechanismConfig(&reader, config));
+  CDT_RETURN_NOT_OK(DecodePolicySpec(&reader, policy));
+  if (!reader.empty()) {
+    return Status::ParseError("trailing bytes after config payload");
+  }
+  return Status::OK();
+}
+
+void EncodeFooterPayload(const FooterInfo& footer, std::string* out) {
+  PutZigzag64(out, footer.round_count);
+  PutFixed32(out, footer.rolling_crc);
+}
+
+Status DecodeFooterPayload(std::string_view payload, FooterInfo* footer) {
+  ByteReader reader(payload);
+  CDT_RETURN_NOT_OK(reader.ReadZigzag64(&footer->round_count));
+  CDT_RETURN_NOT_OK(reader.ReadFixed32(&footer->rolling_crc));
+  if (!reader.empty()) {
+    return Status::ParseError("trailing bytes after footer payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeSnapshotNotePayload(std::string_view payload,
+                                 std::int64_t* round) {
+  ByteReader reader(payload);
+  CDT_RETURN_NOT_OK(reader.ReadZigzag64(round));
+  if (!reader.empty()) {
+    return Status::ParseError("trailing bytes after snapshot note");
+  }
+  return Status::OK();
+}
+
+// --- snapshot files -----------------------------------------------------
+
+Status WriteSnapshotFile(const std::string& path, std::uint32_t config_crc,
+                         const market::EngineSnapshot& snapshot) {
+  std::string payload;
+  PutFixed32(&payload, config_crc);
+  EncodeEngineSnapshot(snapshot, &payload);
+
+  std::string bytes(kSnapshotMagic, kMagicSize);
+  PutVarint64(&bytes, kFormatVersion);
+  PutVarint64(&bytes, payload.size());
+  bytes.append(payload);
+  PutFixed32(&bytes, Crc32(payload));
+  return AtomicWriteFile(path, bytes);
+}
+
+Result<SnapshotFile> ReadSnapshotFile(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  CDT_RETURN_NOT_OK(bytes.status());
+  const std::string& buffer = bytes.value();
+
+  if (buffer.size() < kMagicSize ||
+      std::memcmp(buffer.data(), kSnapshotMagic, kMagicSize) != 0) {
+    return Status::ParseError("'" + path + "' is not a CDT snapshot file");
+  }
+  ByteReader reader(std::string_view(buffer).substr(kMagicSize));
+  std::uint64_t version;
+  CDT_RETURN_NOT_OK(reader.ReadVarint64(&version));
+  if (version != kFormatVersion) {
+    return Status::ParseError(
+        "snapshot file '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads only version " +
+        std::to_string(kFormatVersion));
+  }
+  std::uint64_t length;
+  CDT_RETURN_NOT_OK(reader.ReadVarint64(&length));
+  if (length > kMaxPayloadSize || length > reader.remaining()) {
+    return Status::ParseError("snapshot payload length corrupt");
+  }
+  std::string_view payload;
+  CDT_RETURN_NOT_OK(reader.ReadBytes(static_cast<std::size_t>(length),
+                                     &payload));
+  std::uint32_t stored_crc;
+  CDT_RETURN_NOT_OK(reader.ReadFixed32(&stored_crc));
+  if (!reader.empty()) {
+    return Status::ParseError("trailing bytes after snapshot record");
+  }
+  if (Crc32(payload) != stored_crc) {
+    return Status::ParseError("snapshot file '" + path + "' CRC mismatch");
+  }
+
+  SnapshotFile result;
+  ByteReader body(payload);
+  CDT_RETURN_NOT_OK(body.ReadFixed32(&result.config_crc));
+  CDT_RETURN_NOT_OK(DecodeEngineSnapshot(&body, &result.snapshot));
+  if (!body.empty()) {
+    return Status::ParseError("trailing bytes after snapshot state");
+  }
+  return result;
+}
+
+}  // namespace persist
+}  // namespace cdt

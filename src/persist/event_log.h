@@ -1,0 +1,195 @@
+// The versioned, CRC-guarded binary event log behind record/replay.
+//
+// File layout:
+//
+//   [8-byte magic "CDTEVLOG"] [varint format version]
+//   record*                    — each: [type byte] [varint payload length]
+//                                      [payload] [fixed32 CRC-32 of
+//                                       type byte + payload]
+//
+// Record types: kConfig (exactly one, first — the MechanismConfig +
+// PolicySpec that rebuilt the run), kRound (one canonical RoundReport per
+// settled round, in order), kSnapshotNote (marks that a snapshot file was
+// durably written after the named round), kFooter (round count + a rolling
+// CRC chained over every round payload — present only in cleanly finished
+// logs).
+//
+// Readers fail closed on an unknown format version or record type and on
+// any CRC mismatch. A torn tail (truncated final record — the crash case)
+// is tolerated only when Options::allow_torn_tail is set, and is reported
+// via torn_tail(); verification paths read with allow_torn_tail off.
+
+#ifndef CDT_PERSIST_EVENT_LOG_H_
+#define CDT_PERSIST_EVENT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/cmab_hs.h"
+#include "core/config.h"
+#include "market/snapshot.h"
+#include "market/types.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace persist {
+
+/// Current event-log / snapshot-file format version. Bump on ANY layout
+/// change — readers reject other versions outright (the fail-closed gate).
+inline constexpr std::uint64_t kFormatVersion = 1;
+
+/// File magics (8 bytes each).
+inline constexpr char kLogMagic[9] = "CDTEVLOG";
+inline constexpr char kSnapshotMagic[9] = "CDTSNAPS";
+
+/// Record type tags.
+enum class RecordType : std::uint8_t {
+  kConfig = 0x01,
+  kRound = 0x02,
+  kSnapshotNote = 0x03,
+  kFooter = 0x04,
+};
+
+/// One framed record as returned by EventLogReader: the payload view
+/// borrows the reader's buffer and is valid for the reader's lifetime.
+struct LogRecord {
+  RecordType type = RecordType::kConfig;
+  std::string_view payload;
+};
+
+/// Streaming writer. Records are flushed to the OS per append; Finish()
+/// writes the footer and fsyncs, making the finished log durable. A log
+/// abandoned without Finish() (crash) is still readable up to its last
+/// complete record with allow_torn_tail.
+class EventLogWriter {
+ public:
+  /// Creates/truncates `path` and writes the header + config record.
+  static util::Result<std::unique_ptr<EventLogWriter>> Open(
+      const std::string& path, const core::MechanismConfig& config,
+      const core::PolicySpec& policy);
+
+  ~EventLogWriter();
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
+  /// Appends one round record; rounds must arrive in order, gap-free.
+  util::Status AppendRound(const market::RoundReport& report);
+
+  /// Notes that a snapshot covering rounds [1, round] was durably written.
+  util::Status AppendSnapshotNote(std::int64_t round);
+
+  /// Writes the footer, flushes and fsyncs, closes the file. Idempotent;
+  /// further appends fail. Errors are sticky — once any write fails the
+  /// writer refuses everything after, returning the first error.
+  util::Status Finish();
+
+  std::int64_t rounds_written() const { return rounds_written_; }
+  /// CRC-32 of the config record's payload — ties snapshot files to the
+  /// exact recorded configuration.
+  std::uint32_t config_crc() const { return config_crc_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  EventLogWriter(std::string path, std::FILE* file);
+
+  util::Status AppendRecord(RecordType type, std::string_view payload);
+
+  std::string path_;
+  std::FILE* file_;  // null once closed
+  util::Status status_;
+  std::string scratch_;
+  std::int64_t rounds_written_ = 0;
+  std::uint32_t config_crc_ = 0;
+  /// CRC chained over every round payload, committed in the footer.
+  std::uint32_t rolling_crc_ = 0;
+};
+
+/// Reads a whole log into memory and iterates its records.
+class EventLogReader {
+ public:
+  struct Options {
+    /// Tolerate a truncated final record (the crash-recovery case). CRC
+    /// mismatches on complete records always fail regardless.
+    bool allow_torn_tail = false;
+  };
+
+  /// Opens and validates magic + format version (unknown versions fail).
+  static util::Result<std::unique_ptr<EventLogReader>> Open(
+      const std::string& path, const Options& options);
+  static util::Result<std::unique_ptr<EventLogReader>> Open(
+      const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// Returns the next record, or NotFound when the log is exhausted (a
+  /// clean end). ParseError on any malformed or CRC-failed record.
+  util::Status Next(LogRecord* record);
+
+  /// True once Next() hit a truncated final record that allow_torn_tail
+  /// absorbed (only ever set after Next returned NotFound).
+  bool torn_tail() const { return torn_tail_; }
+  std::uint64_t version() const { return version_; }
+
+ private:
+  EventLogReader(std::string buffer, std::size_t pos, std::uint64_t version,
+                 Options options)
+      : buffer_(std::move(buffer)),
+        pos_(pos),
+        version_(version),
+        options_(options) {}
+
+  std::string buffer_;
+  std::size_t pos_;
+  std::uint64_t version_;
+  Options options_;
+  bool torn_tail_ = false;
+  bool done_ = false;
+};
+
+// --- typed payload helpers ---------------------------------------------
+
+/// Encodes / decodes the kConfig payload (MechanismConfig + PolicySpec).
+void EncodeConfigPayload(const core::MechanismConfig& config,
+                         const core::PolicySpec& policy, std::string* out);
+util::Status DecodeConfigPayload(std::string_view payload,
+                                 core::MechanismConfig* config,
+                                 core::PolicySpec* policy);
+
+/// Footer payload: round count + rolling CRC over all round payloads.
+struct FooterInfo {
+  std::int64_t round_count = 0;
+  std::uint32_t rolling_crc = 0;
+};
+void EncodeFooterPayload(const FooterInfo& footer, std::string* out);
+util::Status DecodeFooterPayload(std::string_view payload,
+                                 FooterInfo* footer);
+
+/// Snapshot-note payload: the round the snapshot covers through.
+util::Status DecodeSnapshotNotePayload(std::string_view payload,
+                                       std::int64_t* round);
+
+// --- snapshot files -----------------------------------------------------
+
+/// A parsed snapshot file: the engine state plus the config CRC of the
+/// event log it belongs to (restores refuse a mismatched pairing).
+struct SnapshotFile {
+  std::uint32_t config_crc = 0;
+  market::EngineSnapshot snapshot;
+};
+
+/// Atomically writes a snapshot file (temp + fsync + rename; see
+/// atomic_io.h) so a crash mid-write never corrupts the previous snapshot.
+util::Status WriteSnapshotFile(const std::string& path,
+                               std::uint32_t config_crc,
+                               const market::EngineSnapshot& snapshot);
+
+/// Reads and validates a snapshot file (magic, version, CRC).
+util::Result<SnapshotFile> ReadSnapshotFile(const std::string& path);
+
+}  // namespace persist
+}  // namespace cdt
+
+#endif  // CDT_PERSIST_EVENT_LOG_H_

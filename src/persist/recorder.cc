@@ -1,0 +1,52 @@
+#include "persist/recorder.h"
+
+#include <utility>
+
+#include "market/trading_engine.h"
+
+namespace cdt {
+namespace persist {
+
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<RunRecorder>> RunRecorder::Create(
+    Options options, const core::MechanismConfig& config,
+    const core::PolicySpec& policy) {
+  if (options.log_path.empty()) {
+    return Status::InvalidArgument("RunRecorder needs a log_path");
+  }
+  if (options.snapshot_every < 0) {
+    return Status::InvalidArgument("snapshot_every must be >= 0");
+  }
+  if (options.snapshot_every > 0 && options.snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "snapshot_every > 0 needs a snapshot_path");
+  }
+  auto log = EventLogWriter::Open(options.log_path, config, policy);
+  CDT_RETURN_NOT_OK(log.status());
+  return std::unique_ptr<RunRecorder>(
+      new RunRecorder(std::move(options), std::move(log).value()));
+}
+
+Status RunRecorder::OnRound(const market::TradingEngine& engine,
+                            const market::RoundReport& report) {
+  CDT_RETURN_NOT_OK(log_->AppendRound(report));
+  const bool checkpoint = options_.snapshot_every > 0 &&
+                          !options_.snapshot_path.empty() &&
+                          report.round % options_.snapshot_every == 0;
+  if (checkpoint) {
+    // Snapshot first, note second: the log never claims a snapshot that
+    // did not reach disk.
+    CDT_RETURN_NOT_OK(WriteSnapshotFile(options_.snapshot_path,
+                                        log_->config_crc(),
+                                        engine.CaptureSnapshot()));
+    CDT_RETURN_NOT_OK(log_->AppendSnapshotNote(report.round));
+  }
+  return Status::OK();
+}
+
+Status RunRecorder::Finish() { return log_->Finish(); }
+
+}  // namespace persist
+}  // namespace cdt

@@ -1,0 +1,67 @@
+// RunRecorder: a RoundObserver that streams every settled round into an
+// event log and periodically checkpoints the engine into an atomically
+// written snapshot file — the producer side of record/replay. Attach it to
+// a TradingEngine (via CmabHs::mutable_engine()->AddObserver) before the
+// first round; call Finish() after the campaign for a footer-sealed log.
+
+#ifndef CDT_PERSIST_RECORDER_H_
+#define CDT_PERSIST_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/cmab_hs.h"
+#include "core/config.h"
+#include "market/invariants.h"
+#include "persist/event_log.h"
+#include "util/status.h"
+
+namespace cdt {
+namespace persist {
+
+class RunRecorder : public market::RoundObserver {
+ public:
+  struct Options {
+    /// Event-log destination (created/truncated).
+    std::string log_path;
+    /// Snapshot destination; rewritten in place (atomically) at every
+    /// checkpoint. Empty disables snapshots even if snapshot_every > 0.
+    std::string snapshot_path;
+    /// Rounds between engine snapshots; 0 disables. The snapshot after
+    /// round r covers rounds [1, r]; restore = snapshot + tail-replay.
+    std::int64_t snapshot_every = 0;
+  };
+
+  /// Opens the log and writes its config record. The config/policy pair
+  /// must be the exact one the observed engine was built from — replay
+  /// rebuilds the run from these bytes.
+  static util::Result<std::unique_ptr<RunRecorder>> Create(
+      Options options, const core::MechanismConfig& config,
+      const core::PolicySpec& policy);
+
+  /// Appends the round record; at checkpoint rounds also captures and
+  /// durably writes a snapshot, then notes it in the log (the note is
+  /// only present when the snapshot file already hit disk).
+  util::Status OnRound(const market::TradingEngine& engine,
+                       const market::RoundReport& report) override;
+
+  /// Seals the log with its footer (fsync + close). Idempotent. A crash
+  /// before Finish leaves a torn but recoverable log.
+  util::Status Finish();
+
+  std::int64_t rounds_recorded() const { return log_->rounds_written(); }
+  std::uint32_t config_crc() const { return log_->config_crc(); }
+
+ private:
+  RunRecorder(Options options, std::unique_ptr<EventLogWriter> log)
+      : options_(std::move(options)), log_(std::move(log)) {}
+
+  Options options_;
+  std::unique_ptr<EventLogWriter> log_;
+};
+
+}  // namespace persist
+}  // namespace cdt
+
+#endif  // CDT_PERSIST_RECORDER_H_

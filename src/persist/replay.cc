@@ -1,0 +1,240 @@
+#include "persist/replay.h"
+
+#include <utility>
+
+#include "market/trading_engine.h"
+#include "persist/codec.h"
+#include "persist/serialize.h"
+
+namespace cdt {
+namespace persist {
+
+using util::Result;
+using util::Status;
+
+Result<RecordedRun> LoadRecordedRun(const std::string& path,
+                                    bool allow_torn_tail) {
+  EventLogReader::Options options;
+  options.allow_torn_tail = allow_torn_tail;
+  auto reader = EventLogReader::Open(path, options);
+  CDT_RETURN_NOT_OK(reader.status());
+  EventLogReader& log = *reader.value();
+
+  RecordedRun run;
+  bool have_config = false;
+  bool have_footer = false;
+  FooterInfo footer;
+  std::uint32_t rolling_crc = 0;
+
+  LogRecord record;
+  while (true) {
+    Status status = log.Next(&record);
+    if (status.code() == util::StatusCode::kNotFound) break;
+    CDT_RETURN_NOT_OK(status);
+    if (have_footer) {
+      return Status::ParseError("event log has records after its footer");
+    }
+    switch (record.type) {
+      case RecordType::kConfig: {
+        if (have_config) {
+          return Status::ParseError("event log has two config records");
+        }
+        CDT_RETURN_NOT_OK(
+            DecodeConfigPayload(record.payload, &run.config, &run.policy));
+        run.config_crc = Crc32(record.payload);
+        have_config = true;
+        break;
+      }
+      case RecordType::kRound: {
+        if (!have_config) {
+          return Status::ParseError(
+              "event log round record before config record");
+        }
+        market::RoundReport report;
+        ByteReader payload(record.payload);
+        CDT_RETURN_NOT_OK(DecodeRoundReport(&payload, &report));
+        if (!payload.empty()) {
+          return Status::ParseError("trailing bytes after round payload");
+        }
+        const auto expected =
+            static_cast<std::int64_t>(run.rounds.size()) + 1;
+        if (report.round != expected) {
+          return Status::ParseError(
+              "event log rounds out of order: expected round " +
+              std::to_string(expected) + ", got " +
+              std::to_string(report.round));
+        }
+        rolling_crc = Crc32(record.payload, rolling_crc);
+        run.rounds.push_back(std::move(report));
+        run.round_payloads.emplace_back(record.payload);
+        break;
+      }
+      case RecordType::kSnapshotNote: {
+        std::int64_t round;
+        CDT_RETURN_NOT_OK(DecodeSnapshotNotePayload(record.payload, &round));
+        if (round < 1 ||
+            round > static_cast<std::int64_t>(run.rounds.size())) {
+          return Status::ParseError(
+              "snapshot note for round " + std::to_string(round) +
+              " does not follow that round's record");
+        }
+        run.snapshot_rounds.push_back(round);
+        break;
+      }
+      case RecordType::kFooter: {
+        CDT_RETURN_NOT_OK(DecodeFooterPayload(record.payload, &footer));
+        have_footer = true;
+        break;
+      }
+    }
+  }
+
+  if (!have_config) {
+    return Status::ParseError("event log has no config record");
+  }
+  if (have_footer) {
+    if (footer.round_count !=
+        static_cast<std::int64_t>(run.rounds.size())) {
+      return Status::ParseError(
+          "footer claims " + std::to_string(footer.round_count) +
+          " rounds, log holds " + std::to_string(run.rounds.size()));
+    }
+    if (footer.rolling_crc != rolling_crc) {
+      return Status::ParseError("footer rolling CRC mismatch");
+    }
+  } else if (!allow_torn_tail) {
+    return Status::ParseError(
+        "event log has no footer (unfinished recording); pass "
+        "allow_torn_tail to load the recoverable prefix");
+  }
+  run.sealed = have_footer;
+  run.torn_tail = log.torn_tail();
+  return run;
+}
+
+std::string CanonicalRoundBytes(const market::RoundReport& report) {
+  std::string bytes;
+  EncodeRoundReport(report, &bytes);
+  return bytes;
+}
+
+namespace {
+
+/// Human-readable context for the first divergent round: which scalar
+/// fields moved, so a gate failure names the suspect subsystem.
+std::string DivergenceDetail(const market::RoundReport& recorded,
+                             const market::RoundReport& replayed) {
+  std::string detail;
+  auto note = [&detail](const char* field) {
+    if (!detail.empty()) detail += ", ";
+    detail += field;
+  };
+  if (recorded.selected != replayed.selected) note("selected");
+  if (recorded.game_qualities != replayed.game_qualities) {
+    note("game_qualities");
+  }
+  if (recorded.consumer_price != replayed.consumer_price) {
+    note("consumer_price");
+  }
+  if (recorded.collection_price != replayed.collection_price) {
+    note("collection_price");
+  }
+  if (recorded.tau != replayed.tau) note("tau");
+  if (recorded.consumer_profit != replayed.consumer_profit) {
+    note("consumer_profit");
+  }
+  if (recorded.platform_profit != replayed.platform_profit) {
+    note("platform_profit");
+  }
+  if (recorded.seller_profits != replayed.seller_profits) {
+    note("seller_profits");
+  }
+  if (recorded.observed_quality_revenue !=
+      replayed.observed_quality_revenue) {
+    note("observed_quality_revenue");
+  }
+  if (recorded.degraded != replayed.degraded ||
+      recorded.resettled != replayed.resettled ||
+      recorded.voided != replayed.voided ||
+      recorded.faults.size() != replayed.faults.size()) {
+    note("fault/recovery metadata");
+  }
+  if (detail.empty()) detail = "non-scalar field";
+  return detail;
+}
+
+}  // namespace
+
+Result<ReplayResult> VerifyReplay(const RecordedRun& recorded) {
+  auto run = core::CmabHs::Create(recorded.config, recorded.policy);
+  CDT_RETURN_NOT_OK(run.status());
+  core::CmabHs& live = *run.value();
+
+  ReplayResult result;
+  for (std::size_t i = 0; i < recorded.rounds.size(); ++i) {
+    auto report = live.RunRound();
+    CDT_RETURN_NOT_OK(report.status());
+    const std::string bytes = CanonicalRoundBytes(report.value());
+    if (bytes != recorded.round_payloads[i]) {
+      return Status::Internal(
+          "replay diverged at round " + std::to_string(i + 1) +
+          " (differing fields: " +
+          DivergenceDetail(recorded.rounds[i], report.value()) +
+          ") — the build no longer reproduces the recorded trace");
+    }
+    ++result.rounds_verified;
+  }
+  return result;
+}
+
+Result<ResumedRun> ResumeFromSnapshot(const RecordedRun& recorded,
+                                      const SnapshotFile& snapshot) {
+  if (snapshot.config_crc != recorded.config_crc) {
+    return Status::FailedPrecondition(
+        "snapshot belongs to a different recording (config CRC "
+        "mismatch)");
+  }
+  const std::int64_t snapshot_round = snapshot.snapshot.next_round - 1;
+  const auto recorded_rounds =
+      static_cast<std::int64_t>(recorded.rounds.size());
+  if (snapshot_round < 0 || snapshot_round > recorded_rounds) {
+    return Status::FailedPrecondition(
+        "snapshot covers round " + std::to_string(snapshot_round) +
+        " but the log holds only " + std::to_string(recorded_rounds) +
+        " rounds");
+  }
+
+  auto run = core::CmabHs::Create(recorded.config, recorded.policy);
+  CDT_RETURN_NOT_OK(run.status());
+  core::CmabHs& live = *run.value();
+  CDT_RETURN_NOT_OK(
+      live.mutable_engine().RestoreSnapshot(snapshot.snapshot));
+
+  // Tail-replay: re-execute the recorded rounds past the snapshot and
+  // hold them to the same byte-identical standard as a full replay.
+  for (std::int64_t round = snapshot_round + 1; round <= recorded_rounds;
+       ++round) {
+    auto report = live.RunRound();
+    CDT_RETURN_NOT_OK(report.status());
+    const std::string bytes = CanonicalRoundBytes(report.value());
+    if (bytes != recorded.round_payloads[static_cast<std::size_t>(
+            round - 1)]) {
+      return Status::Internal(
+          "tail-replay diverged at round " + std::to_string(round) +
+          " (differing fields: " +
+          DivergenceDetail(recorded.rounds[static_cast<std::size_t>(
+                               round - 1)],
+                           report.value()) +
+          ")");
+    }
+  }
+
+  ResumedRun resumed;
+  resumed.run = std::move(run).value();
+  resumed.snapshot_round = snapshot_round;
+  resumed.resumed_round = recorded_rounds;
+  return resumed;
+}
+
+}  // namespace persist
+}  // namespace cdt

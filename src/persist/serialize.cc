@@ -1,0 +1,431 @@
+#include "persist/serialize.h"
+
+#include <cstddef>
+
+#include "market/faults.h"
+#include "market/ledger.h"
+
+namespace cdt {
+namespace persist {
+
+using util::Status;
+
+// --- MechanismConfig ----------------------------------------------------
+
+void EncodeMechanismConfig(const core::MechanismConfig& config,
+                           std::string* out) {
+  // Scale.
+  PutZigzag64(out, config.num_sellers);
+  PutZigzag64(out, config.num_selected);
+  PutZigzag64(out, config.num_pois);
+  PutZigzag64(out, config.num_rounds);
+  // Quality environment.
+  PutDouble(out, config.observation_stddev);
+  PutDouble(out, config.quality_lo);
+  PutDouble(out, config.quality_hi);
+  // Economics.
+  PutDouble(out, config.seller_a_lo);
+  PutDouble(out, config.seller_a_hi);
+  PutDouble(out, config.seller_b_lo);
+  PutDouble(out, config.seller_b_hi);
+  PutDouble(out, config.theta);
+  PutDouble(out, config.lambda);
+  PutDouble(out, config.omega);
+  PutDouble(out, config.consumer_price_min);
+  PutDouble(out, config.consumer_price_max);
+  PutDouble(out, config.collection_price_min);
+  PutDouble(out, config.collection_price_max);
+  PutDouble(out, config.round_duration);
+  PutDouble(out, config.initial_tau);
+  // Mechanism knobs.
+  PutDouble(out, config.exploration);
+  PutBool(out, config.select_all_first_round);
+  PutDouble(out, config.quality_floor);
+  PutBool(out, config.track_transfers);
+  PutBool(out, config.check_invariants);
+  PutDouble(out, config.consumer_budget);
+  // Fault profile.
+  PutDouble(out, config.faults.default_rate);
+  PutDouble(out, config.faults.corrupt_rate);
+  PutDouble(out, config.faults.partial_rate);
+  PutDouble(out, config.faults.partial_fraction_lo);
+  PutDouble(out, config.faults.partial_fraction_hi);
+  PutDouble(out, config.faults.settlement_failure_rate);
+  PutFixed64(out, config.faults.seed);
+  // Recovery options.
+  PutZigzag64(out, config.recovery.max_settlement_retries);
+  PutDouble(out, config.recovery.backoff_initial);
+  PutDouble(out, config.recovery.backoff_multiplier);
+  PutDouble(out, config.recovery.backoff_cap);
+  PutZigzag64(out, config.recovery.quarantine_threshold);
+  PutZigzag64(out, config.recovery.quarantine_cooldown);
+  PutZigzag64(out, config.recovery.probation_successes);
+  // Master seed.
+  PutFixed64(out, config.seed);
+}
+
+namespace {
+
+Status ReadInt(ByteReader* in, int* value, const char* what) {
+  std::int64_t v;
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&v));
+  if (v < INT32_MIN || v > INT32_MAX) {
+    return Status::ParseError(std::string(what) + " overflows int32");
+  }
+  *value = static_cast<int>(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeMechanismConfig(ByteReader* in, core::MechanismConfig* config) {
+  CDT_RETURN_NOT_OK(ReadInt(in, &config->num_sellers, "num_sellers"));
+  CDT_RETURN_NOT_OK(ReadInt(in, &config->num_selected, "num_selected"));
+  CDT_RETURN_NOT_OK(ReadInt(in, &config->num_pois, "num_pois"));
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&config->num_rounds));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->observation_stddev));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->quality_lo));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->quality_hi));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->seller_a_lo));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->seller_a_hi));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->seller_b_lo));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->seller_b_hi));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->theta));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->lambda));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->omega));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->consumer_price_min));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->consumer_price_max));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->collection_price_min));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->collection_price_max));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->round_duration));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->initial_tau));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->exploration));
+  CDT_RETURN_NOT_OK(in->ReadBool(&config->select_all_first_round));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->quality_floor));
+  CDT_RETURN_NOT_OK(in->ReadBool(&config->track_transfers));
+  CDT_RETURN_NOT_OK(in->ReadBool(&config->check_invariants));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->consumer_budget));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->faults.default_rate));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->faults.corrupt_rate));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->faults.partial_rate));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->faults.partial_fraction_lo));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->faults.partial_fraction_hi));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->faults.settlement_failure_rate));
+  CDT_RETURN_NOT_OK(in->ReadFixed64(&config->faults.seed));
+  CDT_RETURN_NOT_OK(
+      ReadInt(in, &config->recovery.max_settlement_retries, "retries"));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->recovery.backoff_initial));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->recovery.backoff_multiplier));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&config->recovery.backoff_cap));
+  CDT_RETURN_NOT_OK(
+      ReadInt(in, &config->recovery.quarantine_threshold, "threshold"));
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&config->recovery.quarantine_cooldown));
+  CDT_RETURN_NOT_OK(
+      ReadInt(in, &config->recovery.probation_successes, "probation"));
+  CDT_RETURN_NOT_OK(in->ReadFixed64(&config->seed));
+  return Status::OK();
+}
+
+// --- PolicySpec ---------------------------------------------------------
+
+void EncodePolicySpec(const core::PolicySpec& spec, std::string* out) {
+  PutByte(out, static_cast<std::uint8_t>(spec.kind));
+  PutDouble(out, spec.epsilon);
+}
+
+Status DecodePolicySpec(ByteReader* in, core::PolicySpec* spec) {
+  std::uint8_t kind;
+  CDT_RETURN_NOT_OK(in->ReadByte(&kind));
+  if (kind > static_cast<std::uint8_t>(core::PolicyKind::kThompson)) {
+    return Status::ParseError("unknown policy kind byte");
+  }
+  spec->kind = static_cast<core::PolicyKind>(kind);
+  CDT_RETURN_NOT_OK(in->ReadDouble(&spec->epsilon));
+  return Status::OK();
+}
+
+// --- RoundReport --------------------------------------------------------
+
+namespace {
+
+void EncodeFaultEvent(const market::FaultEvent& event, std::string* out) {
+  PutZigzag64(out, event.round);
+  PutByte(out, static_cast<std::uint8_t>(event.kind));
+  PutZigzag64(out, event.seller);
+  PutDouble(out, event.severity);
+  PutBool(out, event.recovered);
+}
+
+Status DecodeFaultEvent(ByteReader* in, market::FaultEvent* event) {
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&event->round));
+  std::uint8_t kind;
+  CDT_RETURN_NOT_OK(in->ReadByte(&kind));
+  if (kind >= market::kNumFaultKinds) {
+    return Status::ParseError("unknown fault kind byte");
+  }
+  event->kind = static_cast<market::FaultKind>(kind);
+  CDT_RETURN_NOT_OK(ReadInt(in, &event->seller, "fault seller"));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&event->severity));
+  CDT_RETURN_NOT_OK(in->ReadBool(&event->recovered));
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeRoundReport(const market::RoundReport& report, std::string* out) {
+  PutZigzag64(out, report.round);
+  PutBool(out, report.initial_exploration);
+  PutIntVector(out, report.selected);
+  PutDoubleVector(out, report.game_qualities);
+  PutDouble(out, report.consumer_price);
+  PutDouble(out, report.collection_price);
+  PutDoubleVector(out, report.tau);
+  PutDouble(out, report.total_time);
+  PutDouble(out, report.consumer_profit);
+  PutDouble(out, report.platform_profit);
+  PutDoubleVector(out, report.seller_profits);
+  PutDouble(out, report.seller_profit_total);
+  PutDouble(out, report.expected_quality_revenue);
+  PutDouble(out, report.observed_quality_revenue);
+  PutBool(out, report.degraded);
+  PutBool(out, report.resettled);
+  PutBool(out, report.voided);
+  PutDoubleVector(out, report.contracted_tau);
+  PutVarint64(out, report.faults.size());
+  for (const market::FaultEvent& event : report.faults) {
+    EncodeFaultEvent(event, out);
+  }
+  PutZigzag64(out, report.settlement_attempts);
+  PutDouble(out, report.settlement_backoff);
+}
+
+Status DecodeRoundReport(ByteReader* in, market::RoundReport* report) {
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&report->round));
+  CDT_RETURN_NOT_OK(in->ReadBool(&report->initial_exploration));
+  CDT_RETURN_NOT_OK(in->ReadIntVector(&report->selected));
+  CDT_RETURN_NOT_OK(in->ReadDoubleVector(&report->game_qualities));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->consumer_price));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->collection_price));
+  CDT_RETURN_NOT_OK(in->ReadDoubleVector(&report->tau));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->total_time));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->consumer_profit));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->platform_profit));
+  CDT_RETURN_NOT_OK(in->ReadDoubleVector(&report->seller_profits));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->seller_profit_total));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->expected_quality_revenue));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->observed_quality_revenue));
+  CDT_RETURN_NOT_OK(in->ReadBool(&report->degraded));
+  CDT_RETURN_NOT_OK(in->ReadBool(&report->resettled));
+  CDT_RETURN_NOT_OK(in->ReadBool(&report->voided));
+  CDT_RETURN_NOT_OK(in->ReadDoubleVector(&report->contracted_tau));
+  std::uint64_t fault_count;
+  CDT_RETURN_NOT_OK(in->ReadVarint64(&fault_count));
+  // A serialized FaultEvent is at least 12 bytes.
+  if (fault_count > in->remaining() / 12) {
+    return Status::ParseError("fault event count exceeds payload");
+  }
+  report->faults.clear();
+  report->faults.reserve(static_cast<std::size_t>(fault_count));
+  for (std::uint64_t i = 0; i < fault_count; ++i) {
+    market::FaultEvent event;
+    CDT_RETURN_NOT_OK(DecodeFaultEvent(in, &event));
+    report->faults.push_back(event);
+  }
+  CDT_RETURN_NOT_OK(
+      ReadInt(in, &report->settlement_attempts, "settlement_attempts"));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&report->settlement_backoff));
+  return Status::OK();
+}
+
+// --- EngineSnapshot -----------------------------------------------------
+
+namespace {
+
+void EncodeArms(const std::vector<bandit::ArmState>& arms,
+                std::uint64_t total, std::string* out) {
+  PutVarint64(out, arms.size());
+  for (const bandit::ArmState& arm : arms) {
+    PutVarint64(out, arm.observations);
+    PutDouble(out, arm.mean);
+  }
+  PutVarint64(out, total);
+}
+
+Status DecodeArms(ByteReader* in, std::vector<bandit::ArmState>* arms,
+                  std::uint64_t* total) {
+  std::uint64_t count;
+  CDT_RETURN_NOT_OK(in->ReadVarint64(&count));
+  // Each serialized arm is at least 9 bytes (1-byte varint + fixed64).
+  if (count > in->remaining() / 9) {
+    return Status::ParseError("arm count exceeds payload");
+  }
+  arms->clear();
+  arms->reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bandit::ArmState arm;
+    CDT_RETURN_NOT_OK(in->ReadVarint64(&arm.observations));
+    CDT_RETURN_NOT_OK(in->ReadDouble(&arm.mean));
+    arms->push_back(arm);
+  }
+  return in->ReadVarint64(total);
+}
+
+void EncodeReliability(const market::SellerReliability& seller,
+                       std::string* out) {
+  PutZigzag64(out, seller.deliveries);
+  PutZigzag64(out, seller.partials);
+  PutZigzag64(out, seller.defaults);
+  PutZigzag64(out, seller.corruptions);
+  PutZigzag64(out, seller.quarantine_drops);
+  PutZigzag64(out, seller.times_opened);
+  PutZigzag64(out, seller.consecutive_faults);
+  PutZigzag64(out, seller.probation_progress);
+  PutByte(out, static_cast<std::uint8_t>(seller.state));
+  PutZigzag64(out, seller.opened_round);
+}
+
+Status DecodeReliability(ByteReader* in, market::SellerReliability* seller) {
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&seller->deliveries));
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&seller->partials));
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&seller->defaults));
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&seller->corruptions));
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&seller->quarantine_drops));
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&seller->times_opened));
+  CDT_RETURN_NOT_OK(
+      ReadInt(in, &seller->consecutive_faults, "consecutive_faults"));
+  CDT_RETURN_NOT_OK(
+      ReadInt(in, &seller->probation_progress, "probation_progress"));
+  std::uint8_t state;
+  CDT_RETURN_NOT_OK(in->ReadByte(&state));
+  if (state > static_cast<std::uint8_t>(market::BreakerState::kProbation)) {
+    return Status::ParseError("unknown breaker state byte");
+  }
+  seller->state = static_cast<market::BreakerState>(state);
+  return in->ReadZigzag64(&seller->opened_round);
+}
+
+}  // namespace
+
+void EncodeEngineSnapshot(const market::EngineSnapshot& snapshot,
+                          std::string* out) {
+  PutZigzag64(out, snapshot.next_round);
+  PutBool(out, snapshot.budget_exhausted);
+  PutDouble(out, snapshot.consumer_spend);
+  EncodeArms(snapshot.pricing_arms, snapshot.pricing_total_observations, out);
+  PutBool(out, snapshot.has_policy_arms);
+  if (snapshot.has_policy_arms) {
+    EncodeArms(snapshot.policy_arms, snapshot.policy_total_observations, out);
+  }
+  PutDoubleVector(out, snapshot.ledger_balances);
+  PutDouble(out, snapshot.ledger_consumer_outflow);
+  PutDouble(out, snapshot.ledger_seller_inflow);
+  PutVarint64(out, snapshot.ledger_transfers.size());
+  for (const market::Transfer& transfer : snapshot.ledger_transfers) {
+    PutZigzag64(out, transfer.round);
+    PutZigzag64(out, transfer.from);
+    PutZigzag64(out, transfer.to);
+    PutDouble(out, transfer.amount);
+    PutString(out, transfer.memo);
+  }
+  PutVarint64(out, snapshot.reliability.size());
+  for (const market::SellerReliability& seller : snapshot.reliability) {
+    EncodeReliability(seller, out);
+  }
+  PutZigzag64(out, snapshot.reliability_total_faults);
+  for (std::int64_t count : snapshot.fault_counts) {
+    PutZigzag64(out, count);
+  }
+  for (std::uint64_t word : snapshot.environment.rng_state) {
+    PutFixed64(out, word);
+  }
+  PutVarint64(out, snapshot.environment.has_spare.size());
+  for (std::uint8_t flag : snapshot.environment.has_spare) {
+    PutByte(out, flag);
+  }
+  PutDoubleVector(out, snapshot.environment.spare);
+}
+
+Status DecodeEngineSnapshot(ByteReader* in,
+                            market::EngineSnapshot* snapshot) {
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&snapshot->next_round));
+  CDT_RETURN_NOT_OK(in->ReadBool(&snapshot->budget_exhausted));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&snapshot->consumer_spend));
+  CDT_RETURN_NOT_OK(DecodeArms(in, &snapshot->pricing_arms,
+                               &snapshot->pricing_total_observations));
+  CDT_RETURN_NOT_OK(in->ReadBool(&snapshot->has_policy_arms));
+  if (snapshot->has_policy_arms) {
+    CDT_RETURN_NOT_OK(DecodeArms(in, &snapshot->policy_arms,
+                                 &snapshot->policy_total_observations));
+  } else {
+    snapshot->policy_arms.clear();
+    snapshot->policy_total_observations = 0;
+  }
+  CDT_RETURN_NOT_OK(in->ReadDoubleVector(&snapshot->ledger_balances));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&snapshot->ledger_consumer_outflow));
+  CDT_RETURN_NOT_OK(in->ReadDouble(&snapshot->ledger_seller_inflow));
+  std::uint64_t transfer_count;
+  CDT_RETURN_NOT_OK(in->ReadVarint64(&transfer_count));
+  // A serialized Transfer is at least 12 bytes.
+  if (transfer_count > in->remaining() / 12) {
+    return Status::ParseError("transfer count exceeds payload");
+  }
+  snapshot->ledger_transfers.clear();
+  snapshot->ledger_transfers.reserve(
+      static_cast<std::size_t>(transfer_count));
+  for (std::uint64_t i = 0; i < transfer_count; ++i) {
+    market::Transfer transfer;
+    CDT_RETURN_NOT_OK(in->ReadZigzag64(&transfer.round));
+    std::int64_t account;
+    CDT_RETURN_NOT_OK(in->ReadZigzag64(&account));
+    if (account < INT32_MIN || account > INT32_MAX) {
+      return Status::ParseError("transfer account overflows int32");
+    }
+    transfer.from = static_cast<std::int32_t>(account);
+    CDT_RETURN_NOT_OK(in->ReadZigzag64(&account));
+    if (account < INT32_MIN || account > INT32_MAX) {
+      return Status::ParseError("transfer account overflows int32");
+    }
+    transfer.to = static_cast<std::int32_t>(account);
+    CDT_RETURN_NOT_OK(in->ReadDouble(&transfer.amount));
+    CDT_RETURN_NOT_OK(in->ReadString(&transfer.memo));
+    snapshot->ledger_transfers.push_back(std::move(transfer));
+  }
+  std::uint64_t seller_count;
+  CDT_RETURN_NOT_OK(in->ReadVarint64(&seller_count));
+  // A serialized SellerReliability is at least 10 bytes.
+  if (seller_count > in->remaining() / 10) {
+    return Status::ParseError("reliability count exceeds payload");
+  }
+  snapshot->reliability.clear();
+  snapshot->reliability.reserve(static_cast<std::size_t>(seller_count));
+  for (std::uint64_t i = 0; i < seller_count; ++i) {
+    market::SellerReliability seller;
+    CDT_RETURN_NOT_OK(DecodeReliability(in, &seller));
+    snapshot->reliability.push_back(seller);
+  }
+  CDT_RETURN_NOT_OK(in->ReadZigzag64(&snapshot->reliability_total_faults));
+  for (std::int64_t& count : snapshot->fault_counts) {
+    CDT_RETURN_NOT_OK(in->ReadZigzag64(&count));
+  }
+  for (std::uint64_t& word : snapshot->environment.rng_state) {
+    CDT_RETURN_NOT_OK(in->ReadFixed64(&word));
+  }
+  std::uint64_t spare_count;
+  CDT_RETURN_NOT_OK(in->ReadVarint64(&spare_count));
+  if (spare_count > in->remaining()) {
+    return Status::ParseError("spare flag count exceeds payload");
+  }
+  snapshot->environment.has_spare.clear();
+  snapshot->environment.has_spare.reserve(
+      static_cast<std::size_t>(spare_count));
+  for (std::uint64_t i = 0; i < spare_count; ++i) {
+    std::uint8_t flag;
+    CDT_RETURN_NOT_OK(in->ReadByte(&flag));
+    if (flag > 1) return Status::ParseError("spare flag byte not 0/1");
+    snapshot->environment.has_spare.push_back(flag);
+  }
+  return in->ReadDoubleVector(&snapshot->environment.spare);
+}
+
+}  // namespace persist
+}  // namespace cdt

@@ -74,6 +74,32 @@ Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv) {
       config.value().GetString("metrics-out", flags.metrics_out);
   if (!metrics.ok()) return metrics.status();
   flags.metrics_out = metrics.value();
+  Result<std::string> record =
+      config.value().GetString("record-out", flags.record_out);
+  if (!record.ok()) return record.status();
+  flags.record_out = record.value();
+  Result<std::string> replay =
+      config.value().GetString("replay-in", flags.replay_in);
+  if (!replay.ok()) return replay.status();
+  flags.replay_in = replay.value();
+  if (!flags.record_out.empty() && !flags.replay_in.empty()) {
+    return Status::InvalidArgument(
+        "--record-out and --replay-in are mutually exclusive");
+  }
+  Result<std::string> snapshot =
+      config.value().GetString("snapshot-out", flags.snapshot_out);
+  if (!snapshot.ok()) return snapshot.status();
+  flags.snapshot_out = snapshot.value();
+  Result<long long> every = config.value().GetInt("snapshot-every", 0);
+  if (!every.ok()) return every.status();
+  if (every.value() < 0) {
+    return Status::InvalidArgument("--snapshot-every must be >= 0");
+  }
+  flags.snapshot_every = every.value();
+  if (flags.snapshot_every > 0 && flags.snapshot_out.empty()) {
+    return Status::InvalidArgument(
+        "--snapshot-every needs --snapshot-out=<file>");
+  }
   return flags;
 }
 

@@ -56,6 +56,13 @@ class Reporter {
 /// --metrics-out=<file> (Prometheus text snapshot; a ".jsonl" sibling
 /// carries the same snapshot as JSONL). Either telemetry flag arms the
 /// obs runtime via benchx::EnableTelemetryFromFlags.
+///
+/// Record/replay (see docs/PERSISTENCE.md): --record-out=<file> makes the
+/// harness record its canonical campaign into a binary event log instead
+/// of running the figure sweep; --snapshot-out=<file> with
+/// --snapshot-every=<rounds> adds periodic engine snapshots.
+/// --replay-in=<file> re-executes a recorded log and verifies every round
+/// byte-for-byte (benchx::HandleRecordReplay drives both modes).
 struct BenchFlags {
   std::string output_dir = "results";
   bool quick = false;
@@ -66,6 +73,10 @@ struct BenchFlags {
   double fault_rate = 0.0;
   std::string trace_out;
   std::string metrics_out;
+  std::string record_out;
+  std::string replay_in;
+  std::string snapshot_out;
+  std::int64_t snapshot_every = 0;
 };
 
 util::Result<BenchFlags> ParseBenchFlags(int argc, const char* const* argv);

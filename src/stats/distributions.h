@@ -23,6 +23,16 @@ class GaussianSampler {
   /// One N(mean, stddev^2) draw.
   double Sample(Xoshiro256& rng, double mean = 0.0, double stddev = 1.0);
 
+  /// Spare-cache accessors for snapshot/restore: the cached second
+  /// Box–Muller draw is part of the deterministic stream, so persisted
+  /// runs must save and restore it alongside the RNG state.
+  bool has_spare() const { return has_spare_; }
+  double spare() const { return spare_; }
+  void set_spare(bool has_spare, double spare) {
+    has_spare_ = has_spare;
+    spare_ = spare;
+  }
+
  private:
   bool has_spare_ = false;
   double spare_ = 0.0;
@@ -46,6 +56,10 @@ class TruncatedGaussianSampler {
   double stddev() const { return stddev_; }
   double lo() const { return lo_; }
   double hi() const { return hi_; }
+
+  /// The internal Gaussian's spare cache, exposed for snapshot/restore.
+  const GaussianSampler& gaussian() const { return gaussian_; }
+  GaussianSampler* mutable_gaussian() { return &gaussian_; }
 
  private:
   TruncatedGaussianSampler(double mean, double stddev, double lo, double hi)

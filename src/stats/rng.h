@@ -63,6 +63,11 @@ class Xoshiro256 {
 
   const std::array<std::uint64_t, 4>& state() const { return state_; }
 
+  /// Restores a previously captured state() — the snapshot/replay hook.
+  /// The all-zero state is a fixed point of xoshiro and is rejected by the
+  /// callers that deserialize persisted states.
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

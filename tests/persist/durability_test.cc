@@ -1,0 +1,191 @@
+// Durability suite: AtomicWriteFile's all-or-nothing contract under
+// injected write failures (the destination is never torn, temp files never
+// leak), snapshot-write failures propagating out of the recorder, and the
+// run-log writer's fsync-on-close path.
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cmab_hs.h"
+#include "core/config.h"
+#include "market/run_log.h"
+#include "persist/atomic_io.h"
+#include "persist/event_log.h"
+#include "persist/recorder.h"
+
+namespace cdt {
+namespace persist {
+namespace {
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stem_ = (std::filesystem::temp_directory_path() /
+             ("cdt_durability_" + std::to_string(::getpid())))
+                .string();
+  }
+
+  void TearDown() override {
+    SetAtomicWriteFailureHookForTest(nullptr);
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(
+             std::filesystem::temp_directory_path(), ec)) {
+      const std::string name = entry.path().string();
+      if (name.rfind(stem_, 0) == 0) std::filesystem::remove(name, ec);
+    }
+  }
+
+  std::string stem_;
+};
+
+TEST_F(DurabilityTest, AtomicWriteCreatesAndReplaces) {
+  const std::string path = stem_ + "_basic";
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), "first");
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer content").ok());
+  bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), "second, longer content");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(DurabilityTest, FailedWriteLeavesDestinationUntouched) {
+  const std::string path = stem_ + "_untouched";
+  ASSERT_TRUE(AtomicWriteFile(path, "durable original").ok());
+
+  std::string observed_temp;
+  SetAtomicWriteFailureHookForTest(
+      [&observed_temp](const std::string& temp_path) {
+        observed_temp = temp_path;
+        return util::Status::IoError("injected write failure");
+      });
+  util::Status status = AtomicWriteFile(path, "must never appear");
+  SetAtomicWriteFailureHookForTest(nullptr);
+
+  EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+  // The hook fired after the temp file's bytes were written...
+  EXPECT_FALSE(observed_temp.empty());
+  // ...yet the destination still holds the original, and the temp file
+  // was cleaned up.
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), "durable original");
+  EXPECT_FALSE(std::filesystem::exists(observed_temp));
+}
+
+TEST_F(DurabilityTest, FailedFirstWriteCreatesNothing) {
+  const std::string path = stem_ + "_nothing";
+  SetAtomicWriteFailureHookForTest([](const std::string&) {
+    return util::Status::IoError("injected write failure");
+  });
+  EXPECT_FALSE(AtomicWriteFile(path, "never lands").ok());
+  SetAtomicWriteFailureHookForTest(nullptr);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(DurabilityTest, ReadFileBytesMissingIsNotFound) {
+  auto bytes = ReadFileBytes(stem_ + "_does_not_exist");
+  EXPECT_EQ(bytes.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(DurabilityTest, SnapshotWriteFailurePreservesPreviousSnapshot) {
+  const std::string path = stem_ + ".cdtsnap";
+  market::EngineSnapshot snapshot;
+  snapshot.next_round = 11;
+  snapshot.pricing_arms = {{4, 0.5}};
+  snapshot.pricing_total_observations = 4;
+  snapshot.ledger_balances = {0.0, 0.0, 0.0};
+  snapshot.reliability.resize(1);
+  snapshot.environment.rng_state = {9, 8, 7, 6};
+  snapshot.environment.has_spare = {0};
+  snapshot.environment.spare = {0.0};
+  ASSERT_TRUE(WriteSnapshotFile(path, 77, snapshot).ok());
+
+  SetAtomicWriteFailureHookForTest([](const std::string&) {
+    return util::Status::IoError("disk full");
+  });
+  snapshot.next_round = 21;
+  EXPECT_FALSE(WriteSnapshotFile(path, 77, snapshot).ok());
+  SetAtomicWriteFailureHookForTest(nullptr);
+
+  // The earlier checkpoint must still be readable and intact.
+  auto recovered = ReadSnapshotFile(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().config_crc, 77u);
+  EXPECT_EQ(recovered.value().snapshot.next_round, 11);
+}
+
+TEST_F(DurabilityTest, RecorderPropagatesSnapshotWriteFailure) {
+  core::MechanismConfig config;
+  config.num_sellers = 12;
+  config.num_selected = 3;
+  config.num_pois = 4;
+  config.num_rounds = 12;
+  config.seed = 0xD15C;
+
+  auto run = core::CmabHs::Create(config);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  RunRecorder::Options options;
+  options.log_path = stem_ + ".cdtlog";
+  options.snapshot_path = stem_ + ".cdtsnap";
+  options.snapshot_every = 5;
+  auto recorder = RunRecorder::Create(options, config, {});
+  ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+  run.value()->mutable_engine().AddObserver(std::move(recorder).value());
+
+  SetAtomicWriteFailureHookForTest([](const std::string&) {
+    return util::Status::IoError("disk full");
+  });
+  // Rounds 1-4 record fine; the checkpoint at round 5 cannot write its
+  // snapshot and the failure must surface through the engine's observer
+  // chain as a failed round, not vanish.
+  util::Status status = util::Status::OK();
+  std::int64_t completed = 0;
+  for (std::int64_t round = 1; round <= 12; ++round) {
+    auto report = run.value()->RunRound();
+    if (!report.ok()) {
+      status = report.status();
+      break;
+    }
+    ++completed;
+  }
+  SetAtomicWriteFailureHookForTest(nullptr);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(completed, 4);
+  // The log never claims a snapshot that did not reach disk.
+  EXPECT_FALSE(std::filesystem::exists(options.snapshot_path));
+}
+
+TEST_F(DurabilityTest, RunLogCloseIsDurableAndPoisonsOnFailure) {
+  const std::string path = stem_ + "_runlog.csv";
+  auto writer = market::RunLogWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  market::RoundReport report;
+  report.round = 1;
+  report.selected = {0};
+  report.game_qualities = {0.5};
+  report.tau = {1.0};
+  ASSERT_TRUE(writer.value().Append(report).ok());
+  // Close flushes and fsyncs via reopen; the row must be on disk.
+  ASSERT_TRUE(writer.value().Close().ok());
+  auto rows = market::LoadRunLog(path);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows.value().size(), 1u);
+
+  // Removing the file out from under the writer makes the fsync reopen
+  // fail; Close must report it (poisoned status), not pretend durability.
+  auto writer2 = market::RunLogWriter::Open(path);
+  ASSERT_TRUE(writer2.ok());
+  ASSERT_TRUE(writer2.value().Append(report).ok());
+  std::filesystem::remove(path);
+  util::Status closed = writer2.value().Close();
+  EXPECT_EQ(closed.code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace cdt

@@ -1,0 +1,160 @@
+// The replay upgrade gate: a golden recorded trace checked into
+// tests/data/ must replay bit-for-bit on every build. Any change to the
+// economics, the bandit updates, the fault draws, the RNG, or the codec
+// that alters a single byte of a round fails this suite — which is the
+// point: such changes must consciously regenerate the golden trace
+// (CDT_REGEN_GOLDEN=1 ./golden_trace_test) and show up in review as a
+// tests/data/ diff. Also proves version skew fails closed: a log written
+// by a future format version must be rejected, never half-read.
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cmab_hs.h"
+#include "core/config.h"
+#include "persist/atomic_io.h"
+#include "persist/codec.h"
+#include "persist/event_log.h"
+#include "persist/recorder.h"
+#include "persist/replay.h"
+
+namespace cdt {
+namespace persist {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(CDT_TEST_DATA_DIR) + "/data/" + name;
+}
+
+/// The golden campaign: small enough to replay in well under a second,
+/// rich enough to exercise faults, re-settlement, partial delivery,
+/// quarantine and transfer history.
+core::MechanismConfig GoldenConfig() {
+  core::MechanismConfig config;
+  config.num_sellers = 12;
+  config.num_selected = 3;
+  config.num_pois = 4;
+  config.num_rounds = 200;
+  config.seed = 0x601D;
+  config.track_transfers = true;
+  config.faults.default_rate = 0.08;
+  config.faults.partial_rate = 0.06;
+  config.faults.settlement_failure_rate = 0.05;
+  return config;
+}
+
+class GoldenTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (std::getenv("CDT_REGEN_GOLDEN") == nullptr) return;
+    // Regeneration: record the golden campaign straight into the source
+    // tree, then write the digest file next to it.
+    const core::MechanismConfig config = GoldenConfig();
+    auto run = core::CmabHs::Create(config);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    RunRecorder::Options options;
+    options.log_path = GoldenPath("golden_trace.cdtlog");
+    auto recorder = RunRecorder::Create(options, config, {});
+    ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+    RunRecorder* rec = recorder.value().get();
+    run.value()->mutable_engine().AddObserver(std::move(recorder).value());
+    ASSERT_TRUE(run.value()->RunAll().ok());
+    ASSERT_TRUE(rec->Finish().ok());
+    auto bytes = ReadFileBytes(options.log_path);
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(AtomicWriteFile(GoldenPath("golden_trace.digest"),
+                                std::to_string(Crc32(bytes.value())) + "\n")
+                    .ok());
+  }
+
+  std::string ReadGolden(const std::string& name) {
+    auto bytes = ReadFileBytes(GoldenPath(name));
+    EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+    return bytes.ok() ? std::move(bytes).value() : std::string();
+  }
+};
+
+TEST_F(GoldenTraceTest, DigestMatchesCheckedInTrace) {
+  // First line of defence: the trace file itself is exactly the bytes the
+  // digest was computed over (catches accidental edits, EOL mangling,
+  // git filters).
+  const std::string trace = ReadGolden("golden_trace.cdtlog");
+  ASSERT_FALSE(trace.empty());
+  const std::string digest = ReadGolden("golden_trace.digest");
+  EXPECT_EQ(std::to_string(Crc32(trace)) + "\n", digest);
+}
+
+TEST_F(GoldenTraceTest, GoldenTraceLoadsSealed) {
+  auto recorded = LoadRecordedRun(GoldenPath("golden_trace.cdtlog"));
+  ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  EXPECT_TRUE(recorded.value().sealed);
+  EXPECT_FALSE(recorded.value().torn_tail);
+  EXPECT_EQ(recorded.value().rounds.size(), 200u);
+  EXPECT_EQ(recorded.value().config.num_sellers, 12);
+  EXPECT_EQ(recorded.value().config.seed, 0x601Du);
+}
+
+TEST_F(GoldenTraceTest, GoldenTraceReplaysBitForBit) {
+  // The gate itself: this build must reproduce the recorded campaign
+  // byte-identically, faults and all.
+  auto recorded = LoadRecordedRun(GoldenPath("golden_trace.cdtlog"));
+  ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  auto verified = VerifyReplay(recorded.value());
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_EQ(verified.value().rounds_verified, 200);
+}
+
+TEST_F(GoldenTraceTest, FutureFormatVersionFailsClosed) {
+  // A log stamped with a future format version must be rejected up front
+  // — layouts may have changed in ways the CRC cannot catch.
+  std::string trace = ReadGolden("golden_trace.cdtlog");
+  ASSERT_GT(trace.size(), 9u);
+  // Byte 8 (after the 8-byte magic) is the format-version varint; the
+  // current version 1 encodes as the single byte 0x01.
+  ASSERT_EQ(trace[8], '\x01');
+  trace[8] = '\x02';
+  const std::string skewed =
+      (std::filesystem::temp_directory_path() /
+       ("cdt_golden_skew_" + std::to_string(::getpid()) + ".cdtlog"))
+          .string();
+  {
+    std::ofstream out(skewed, std::ios::binary | std::ios::trunc);
+    out.write(trace.data(), static_cast<std::streamsize>(trace.size()));
+  }
+  auto strict = LoadRecordedRun(skewed);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(strict.status().message().find("version"), std::string::npos)
+      << strict.status().ToString();
+  // Torn-tail tolerance is crash recovery, not version forgiveness.
+  auto tolerant = LoadRecordedRun(skewed, /*allow_torn_tail=*/true);
+  EXPECT_FALSE(tolerant.ok());
+  std::filesystem::remove(skewed);
+}
+
+TEST_F(GoldenTraceTest, TamperedGoldenTraceIsRejected) {
+  // Flip one bit in the middle of the trace: the record CRC (or the
+  // footer's rolling CRC) must catch it.
+  std::string trace = ReadGolden("golden_trace.cdtlog");
+  trace[trace.size() / 2] = static_cast<char>(trace[trace.size() / 2] ^ 0x10);
+  const std::string tampered =
+      (std::filesystem::temp_directory_path() /
+       ("cdt_golden_tamper_" + std::to_string(::getpid()) + ".cdtlog"))
+          .string();
+  {
+    std::ofstream out(tampered, std::ios::binary | std::ios::trunc);
+    out.write(trace.data(), static_cast<std::streamsize>(trace.size()));
+  }
+  auto recorded = LoadRecordedRun(tampered);
+  EXPECT_FALSE(recorded.ok());
+  std::filesystem::remove(tampered);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace cdt
