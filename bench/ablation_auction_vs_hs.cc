@@ -36,6 +36,15 @@ double SocialSurplus(const game::GameConfig& config,
 
 int Run(const sim::BenchFlags& flags) {
   sim::Reporter reporter(flags.output_dir, std::cout);
+
+  // Record/replay rides on a canonical Table-II campaign shared by every
+  // bench binary (--record-out / --replay-in).
+  core::MechanismConfig canonical = benchx::PaperConfig(flags);
+  canonical.num_rounds = flags.quick ? 2000 : 50000;
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, canonical, {}, &rr_code)) {
+    return rr_code;
+  }
   sim::ExperimentSpec spec{
       "ablation_auction", "Auction vs HS",
       "three-stage Stackelberg vs truthful reverse auction, omega sweep",

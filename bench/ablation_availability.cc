@@ -53,6 +53,15 @@ double RunCollectedQuality(bandit::SelectionPolicy& policy,
 
 int Run(const sim::BenchFlags& flags) {
   sim::Reporter reporter(flags.output_dir, std::cout);
+
+  // Record/replay rides on a canonical Table-II campaign shared by every
+  // bench binary (--record-out / --replay-in).
+  core::MechanismConfig canonical = benchx::PaperConfig(flags);
+  canonical.num_rounds = flags.quick ? 2000 : 50000;
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, canonical, {}, &rr_code)) {
+    return rr_code;
+  }
   const int kSellers = 100, kSelect = 10;
   const std::int64_t rounds = flags.quick ? 2000 : 20000;
 

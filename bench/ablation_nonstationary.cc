@@ -80,6 +80,15 @@ std::vector<double> InitialQualities(int m, std::uint64_t seed) {
 
 int Run(const sim::BenchFlags& flags) {
   sim::Reporter reporter(flags.output_dir, std::cout);
+
+  // Record/replay rides on a canonical Table-II campaign shared by every
+  // bench binary (--record-out / --replay-in).
+  core::MechanismConfig canonical = benchx::PaperConfig(flags);
+  canonical.num_rounds = flags.quick ? 2000 : 50000;
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, canonical, {}, &rr_code)) {
+    return rr_code;
+  }
   const int kSellers = 50, kSelect = 5;
   const std::int64_t rounds = flags.quick ? 2000 : 20000;
 

@@ -26,6 +26,7 @@
 #include "persist/replay.h"
 #include "sim/experiment.h"
 #include "stats/rng.h"
+#include "util/signal.h"
 
 namespace cdt {
 namespace benchx {
@@ -117,10 +118,14 @@ inline int Finish(const sim::BenchFlags& flags, int code) {
 }
 
 /// --record-out: runs one campaign of `config`/`policy` with a
-/// persist::RunRecorder attached, sealing the event log at the end.
+/// persist::RunRecorder attached, sealing the event log at the end. The
+/// round loop polls the shutdown flag, so an interrupted recording (ctrl-C
+/// mid-campaign) still exits through Finish() with a footer-sealed log
+/// instead of a torn tail.
 inline int RecordCampaign(const sim::BenchFlags& flags,
                           const core::MechanismConfig& config,
                           const core::PolicySpec& policy) {
+  util::InstallShutdownHandlers();
   persist::RunRecorder::Options options;
   options.log_path = flags.record_out;
   options.snapshot_path = flags.snapshot_out;
@@ -131,13 +136,28 @@ inline int RecordCampaign(const sim::BenchFlags& flags,
   if (!recorder.ok()) return Fail(recorder.status());
   persist::RunRecorder* rec = recorder.value().get();
   run.value()->mutable_engine().AddObserver(std::move(recorder).value());
-  util::Status status = run.value()->RunAll();
-  if (!status.ok()) return Fail(status);
-  status = rec->Finish();
+  bool interrupted = false;
+  while (run.value()->engine().current_round() < config.num_rounds) {
+    if (util::ShutdownRequested()) {
+      interrupted = true;
+      break;
+    }
+    auto report = run.value()->RunRound();
+    if (!report.ok()) {
+      if (report.status().code() == util::StatusCode::kFailedPrecondition &&
+          run.value()->engine().budget_exhausted()) {
+        break;  // budget stop is a clean end, not an error
+      }
+      (void)rec->Finish();
+      return Fail(report.status());
+    }
+  }
+  util::Status status = rec->Finish();
   if (!status.ok()) return Fail(status);
   std::cerr << "[recorded " << rec->rounds_recorded() << " rounds to "
             << flags.record_out << " (config crc " << rec->config_crc()
-            << ")]\n";
+            << ")" << (interrupted ? " — interrupted, log sealed early" : "")
+            << "]\n";
   return 0;
 }
 

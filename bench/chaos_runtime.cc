@@ -1,0 +1,332 @@
+// chaos_runtime — deterministic chaos harness for the sharded marketplace
+// runtime (the CI smoke for supervision, WAL recovery and admission).
+//
+//   chaos_runtime [--scenario=chaos|overload] [--wal-dir=DIR]
+//                 [--marketplaces=N] [--rounds=N]
+//
+// scenario=chaos (default): runs the same scripted traffic twice — once
+// uninterrupted (reference) and once with a shard killed mid-traffic and
+// another stalled. The harness asserts the supervisor restarted the dead
+// shard, at least one marketplace recovered from its WAL, and every
+// marketplace's sealed event log is BYTE-IDENTICAL to the reference run's.
+//
+// scenario=overload: floods a single-shard service with a burst far past
+// its queue capacity under each shed policy and asserts the exact
+// admission ledger: the bounded queue never exceeded its cap, reject-newest
+// shed precisely the overflow, and coalesce-ticks settled every requested
+// round despite the pressure (deferred-and-merged, never lost).
+//
+// Exit 0 = all assertions held. Any other exit is a chaos failure.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persist/atomic_io.h"
+#include "persist/replay.h"
+#include "runtime/marketplace.h"
+#include "runtime/service.h"
+#include "util/config.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace cdt;
+
+int failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  ok: %s\n", what.c_str());
+  } else {
+    std::printf("  FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+std::shared_ptr<const runtime::MarketplaceSpec> SmallSpec(
+    std::uint64_t seed, std::int64_t rounds) {
+  auto spec = std::make_shared<runtime::MarketplaceSpec>();
+  spec->config.num_sellers = 10;
+  spec->config.num_selected = 3;
+  spec->config.num_pois = 4;
+  spec->config.num_rounds = rounds;
+  spec->config.seed = seed;
+  return spec;
+}
+
+runtime::Event MakeEvent(runtime::EventType type, const std::string& id) {
+  runtime::Event event;
+  event.type = type;
+  event.marketplace = id;
+  return event;
+}
+
+/// The scripted chaos traffic: interleaved demand bursts, seller churn on
+/// every marketplace, closes at the end. Fully deterministic.
+std::vector<runtime::Event> TrafficScript(int marketplaces,
+                                          std::int64_t rounds) {
+  std::vector<runtime::Event> script;
+  std::vector<std::string> ids;
+  for (int m = 0; m < marketplaces; ++m) {
+    ids.push_back("market-" + std::to_string(m));
+    runtime::Event create =
+        MakeEvent(runtime::EventType::kCreateMarketplace, ids.back());
+    create.spec = SmallSpec(100 + static_cast<std::uint64_t>(m), rounds);
+    script.push_back(create);
+  }
+  const std::int64_t burst = rounds / 3;
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int m = 0; m < marketplaces; ++m) {
+      runtime::Event demand =
+          MakeEvent(runtime::EventType::kConsumerDemand, ids[m]);
+      demand.rounds = phase == 2 ? rounds - 2 * burst : burst;
+      script.push_back(demand);
+      // Seller churn between bursts: leave in phase 0, return in phase 1.
+      if (phase < 2) {
+        runtime::Event flip = MakeEvent(
+            phase == 0 ? runtime::EventType::kSellerLeave
+                       : runtime::EventType::kSellerReturn,
+            ids[m]);
+        flip.seller = (m + phase) % 10;
+        script.push_back(flip);
+      }
+    }
+  }
+  for (const std::string& id : ids) {
+    script.push_back(MakeEvent(runtime::EventType::kCloseMarketplace, id));
+  }
+  return script;
+}
+
+runtime::MarketplaceService::Options ServiceOptions(
+    const std::string& wal_dir) {
+  runtime::MarketplaceService::Options options;
+  options.num_shards = 3;
+  options.queue_capacity = 512;
+  options.wal_dir = wal_dir;
+  options.snapshot_every = 16;
+  options.max_rounds_per_dispatch = 8;
+  options.autostart = false;
+  options.watchdog_period = std::chrono::milliseconds(0);
+  return options;
+}
+
+/// Submits the whole script, starts, polls the supervisor until every
+/// accepted event is processed, drains. Returns false on timeout.
+bool RunToCompletion(runtime::MarketplaceService* service,
+                     const std::vector<runtime::Event>& script) {
+  std::uint64_t accepted = 0;
+  for (const runtime::Event& event : script) {
+    if (service->Submit(event) ==
+        runtime::MarketplaceService::Admission::kAccepted) {
+      ++accepted;
+    }
+  }
+  service->Start();
+  bool done = false;
+  for (int i = 0; i < 60000; ++i) {
+    service->supervisor().PollOnce();
+    if (service->GetStats().events_processed >= accepted) {
+      done = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service->Drain();
+  return done;
+}
+
+int RunChaosScenario(const std::string& wal_stem, int marketplaces,
+                     std::int64_t rounds) {
+  std::printf("chaos scenario: %d marketplaces x %lld rounds\n",
+              marketplaces, static_cast<long long>(rounds));
+  const std::string ref_dir = wal_stem + "_ref";
+  const std::string chaos_dir = wal_stem + "_chaos";
+  std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(chaos_dir);
+  const auto script = TrafficScript(marketplaces, rounds);
+
+  // Reference: uninterrupted.
+  auto reference =
+      runtime::MarketplaceService::Create(ServiceOptions(ref_dir));
+  if (!reference.ok()) {
+    std::printf("FAIL: %s\n", reference.status().ToString().c_str());
+    return 1;
+  }
+  Check(RunToCompletion(reference.value().get(), script),
+        "reference run completed");
+  Check(reference.value()->GetStats().restarts == 0,
+        "reference run needed no restarts");
+
+  // Chaos: kill the shard owning market-0 mid-traffic, stall another.
+  auto chaos = runtime::MarketplaceService::Create(ServiceOptions(chaos_dir));
+  if (!chaos.ok()) {
+    std::printf("FAIL: %s\n", chaos.status().ToString().c_str());
+    return 1;
+  }
+  const int victim = chaos.value()->ShardFor("market-0");
+  chaos.value()->shard(victim).ArmKillAfter(
+      static_cast<std::uint64_t>(marketplaces + 1));
+  const int bystander = (victim + 1) % chaos.value()->num_shards();
+  chaos.value()->shard(bystander).ArmStallAfter(
+      2, std::chrono::milliseconds(80));
+  Check(RunToCompletion(chaos.value().get(), script),
+        "chaos run completed despite kill + stall");
+  const auto stats = chaos.value()->GetStats();
+  Check(stats.restarts >= 1, "supervisor restarted the killed shard");
+  std::uint64_t recoveries = 0;
+  for (const auto& shard : stats.shards) recoveries += shard.recoveries;
+  Check(recoveries >= 1, "at least one marketplace recovered from its WAL");
+
+  // The proof obligation: sealed logs byte-identical to the reference.
+  for (int m = 0; m < marketplaces; ++m) {
+    const std::string id = "market-" + std::to_string(m);
+    auto ref_run = persist::LoadRecordedRun(
+        runtime::MarketplaceLogPath(ref_dir, id));
+    auto chaos_run = persist::LoadRecordedRun(
+        runtime::MarketplaceLogPath(chaos_dir, id));
+    Check(ref_run.ok() && chaos_run.ok(), id + ": both logs sealed");
+    if (!ref_run.ok() || !chaos_run.ok()) continue;
+    auto ref_bytes = persist::ReadFileBytes(
+        runtime::MarketplaceLogPath(ref_dir, id));
+    auto chaos_bytes = persist::ReadFileBytes(
+        runtime::MarketplaceLogPath(chaos_dir, id));
+    Check(ref_bytes.ok() && chaos_bytes.ok() &&
+              ref_bytes.value() == chaos_bytes.value(),
+          id + ": recovered log byte-identical to reference");
+  }
+  std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(chaos_dir);
+  return failures == 0 ? 0 : 1;
+}
+
+int RunOverloadScenario(const std::string& wal_stem) {
+  std::printf("overload scenario: burst of 40 ticks into capacity 4\n");
+  using Admission = runtime::MarketplaceService::Admission;
+  using ShedPolicy = runtime::MarketplaceService::ShedPolicy;
+
+  // (a) reject-newest: exact shed ledger, cap never exceeded.
+  {
+    const std::string dir = wal_stem + "_reject";
+    std::filesystem::remove_all(dir);
+    auto options = ServiceOptions(dir);
+    options.num_shards = 1;
+    options.queue_capacity = 4;
+    options.shed_policy = ShedPolicy::kRejectNewest;
+    auto service = runtime::MarketplaceService::Create(options);
+    if (!service.ok()) return 1;
+    runtime::Event create =
+        MakeEvent(runtime::EventType::kCreateMarketplace, "alpha");
+    create.spec = SmallSpec(7, 100);
+    Check(service.value()->Submit(create) == Admission::kAccepted,
+          "reject: create admitted");
+    int accepted = 0, shed = 0;
+    for (int i = 0; i < 40; ++i) {
+      const Admission result = service.value()->Submit(
+          MakeEvent(runtime::EventType::kRoundTick, "alpha"));
+      (result == Admission::kAccepted ? accepted : shed)++;
+    }
+    Check(accepted == 3, "reject: exactly 3 ticks fit the queue");
+    Check(shed == 37, "reject: exactly 37 ticks shed");
+    auto stats = service.value()->GetStats();
+    Check(stats.shed.count("overload") != 0 &&
+              stats.shed.at("overload") == 37,
+          "reject: shed ledger says overload=37");
+    Check(stats.shards[0].queue_high_water <= 4,
+          "reject: queue never exceeded its cap");
+    service.value()->Start();
+    service.value()->Drain();
+    stats = service.value()->GetStats();
+    Check(stats.rounds_settled == 3,
+          "reject: only admitted ticks settled rounds");
+    std::filesystem::remove_all(dir);
+  }
+
+  // (b) coalesce-ticks: same burst, zero loss.
+  {
+    const std::string dir = wal_stem + "_coalesce";
+    std::filesystem::remove_all(dir);
+    auto options = ServiceOptions(dir);
+    options.num_shards = 1;
+    options.queue_capacity = 4;
+    options.shed_policy = ShedPolicy::kCoalesceTicks;
+    auto service = runtime::MarketplaceService::Create(options);
+    if (!service.ok()) return 1;
+    runtime::Event create =
+        MakeEvent(runtime::EventType::kCreateMarketplace, "alpha");
+    create.spec = SmallSpec(7, 100);
+    Check(service.value()->Submit(create) == Admission::kAccepted,
+          "coalesce: create admitted");
+    int coalesced = 0, shed = 0;
+    for (int i = 0; i < 40; ++i) {
+      const Admission result = service.value()->Submit(
+          MakeEvent(runtime::EventType::kRoundTick, "alpha"));
+      if (result == Admission::kCoalesced) ++coalesced;
+      if (result == Admission::kShed) ++shed;
+    }
+    Check(shed == 0, "coalesce: nothing shed under pressure");
+    Check(coalesced == 37, "coalesce: overflow ticks parked (37)");
+    service.value()->Start();
+    service.value()->Drain();
+    const auto stats = service.value()->GetStats();
+    Check(stats.rounds_settled == 40,
+          "coalesce: every requested round settled (deferred, not lost)");
+    Check(stats.shards[0].queue_high_water <= 4,
+          "coalesce: queue never exceeded its cap");
+    std::filesystem::remove_all(dir);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = util::ConfigMap::FromArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "chaos_runtime: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  auto scenario = parsed.value().GetString("scenario", "chaos");
+  auto wal_dir = parsed.value().GetString(
+      "wal-dir",
+      (std::filesystem::temp_directory_path() / "cdt_chaos_runtime")
+          .string());
+  auto marketplaces = parsed.value().GetInt("marketplaces", 3);
+  auto rounds = parsed.value().GetInt("rounds", 60);
+  for (const util::Status& status :
+       {scenario.status(), wal_dir.status(), marketplaces.status(),
+        rounds.status()}) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "chaos_runtime: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  int code;
+  if (scenario.value() == "chaos") {
+    code = RunChaosScenario(wal_dir.value(),
+                            static_cast<int>(marketplaces.value()),
+                            rounds.value());
+  } else if (scenario.value() == "overload") {
+    code = RunOverloadScenario(wal_dir.value());
+  } else {
+    std::fprintf(stderr,
+                 "chaos_runtime: unknown --scenario '%s' "
+                 "(want chaos|overload)\n",
+                 scenario.value().c_str());
+    return 2;
+  }
+  if (code == 0) {
+    std::printf("CHAOS PASS\n");
+  } else {
+    std::printf("CHAOS FAIL (%d)\n", failures);
+  }
+  return code;
+}

@@ -13,6 +13,16 @@ using namespace cdt;
 
 int Run(const sim::BenchFlags& flags) {
   sim::Reporter reporter(flags.output_dir, std::cout);
+
+  // This figure is a single-round game study, but record/replay rides on a
+  // canonical Table-II campaign so every bench binary shares the durable
+  // artifact surface (--record-out / --replay-in).
+  core::MechanismConfig canonical = benchx::PaperConfig(flags);
+  canonical.num_rounds = flags.quick ? 2000 : 50000;
+  int rr_code = 0;
+  if (benchx::HandleRecordReplay(flags, canonical, {}, &rr_code)) {
+    return rr_code;
+  }
   sim::ExperimentSpec spec{
       "fig17", "Fig. 17",
       "equilibrium profits vs the platform cost parameter theta",

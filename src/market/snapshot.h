@@ -52,6 +52,12 @@ struct EngineSnapshot {
 
   // --- observation stream ----------------------------------------------
   bandit::EnvironmentState environment;
+
+  // --- seller-departure overlay ----------------------------------------
+  /// TradingEngine::SetSellerActive bitmap (1 = active). Empty means every
+  /// seller is active — the serialized form then appends nothing, keeping
+  /// pre-overlay snapshots byte-compatible.
+  std::vector<std::uint8_t> seller_active;
 };
 
 }  // namespace market

@@ -248,24 +248,30 @@ Result<RoundReport> TradingEngine::RunRound() {
   RoundReport report;
   report.round = t;
 
-  // Quarantine gate: sellers whose circuit breaker is open sit out the
-  // round — unless dropping them would empty the coalition entirely, in
-  // which case the round proceeds unfiltered (degrade, never deadlock).
-  // With no injector and no external tracker every breaker stays closed,
-  // so the clean path is untouched.
-  if (injector_ != nullptr || config_.reliability != nullptr) {
+  // Quarantine gate: sellers whose circuit breaker is open — and sellers
+  // who departed via SetSellerActive — sit out the round, unless dropping
+  // them would empty the coalition entirely, in which case the round
+  // proceeds unfiltered (degrade, never deadlock). Breaker drops are
+  // logged as kQuarantine faults; departures are not faults and leave the
+  // round's fault record untouched. With no injector, no external tracker
+  // and no departures the clean path is untouched.
+  if (injector_ != nullptr || config_.reliability != nullptr ||
+      inactive_count_ > 0) {
     CDT_SPAN("engine.quarantine_gate");
     std::vector<int> admitted;
     std::vector<int> quarantined;
+    bool departed_drop = false;
     admitted.reserve(selected.size());
     for (int seller : selected) {
-      if (reliability_->Available(seller, t)) {
+      if (!seller_active(seller)) {
+        departed_drop = true;
+      } else if (reliability_->Available(seller, t)) {
         admitted.push_back(seller);
       } else {
         quarantined.push_back(seller);
       }
     }
-    if (!admitted.empty() && !quarantined.empty()) {
+    if (!admitted.empty() && (!quarantined.empty() || departed_drop)) {
       selected = std::move(admitted);
       for (int seller : quarantined) {
         reliability_->RecordQuarantineDrop(seller);
@@ -527,6 +533,30 @@ Result<RoundReport> TradingEngine::RunRound() {
   return report;
 }
 
+Status TradingEngine::SetSellerActive(int seller, bool active) {
+  const int num_sellers = environment_->num_sellers();
+  if (seller < 0 || seller >= num_sellers) {
+    return Status::OutOfRange("seller index " + std::to_string(seller) +
+                              " outside [0, " + std::to_string(num_sellers) +
+                              ")");
+  }
+  if (seller_active_.empty()) {
+    if (active) return Status::OK();  // everyone already active
+    seller_active_.assign(static_cast<std::size_t>(num_sellers), 1);
+  }
+  std::uint8_t& slot = seller_active_[static_cast<std::size_t>(seller)];
+  if ((slot != 0) == active) return Status::OK();  // no-op transition
+  if (!active && inactive_count_ + 1 >= num_sellers) {
+    return Status::FailedPrecondition(
+        "deactivating seller " + std::to_string(seller) +
+        " would leave no active sellers");
+  }
+  slot = active ? 1 : 0;
+  inactive_count_ += active ? -1 : 1;
+  if (inactive_count_ == 0) seller_active_.clear();
+  return Status::OK();
+}
+
 EngineSnapshot TradingEngine::CaptureSnapshot() const {
   EngineSnapshot snapshot;
   snapshot.next_round = next_round_;
@@ -567,6 +597,11 @@ EngineSnapshot TradingEngine::CaptureSnapshot() const {
   snapshot.fault_counts = fault_counts_;
 
   snapshot.environment = environment_->SaveState();
+
+  // Empty when everyone is active — the encoding then appends nothing, so
+  // snapshots of runs that never saw a departure keep their exact
+  // pre-overlay byte layout.
+  snapshot.seller_active = seller_active_;
   return snapshot;
 }
 
@@ -597,6 +632,12 @@ Status TradingEngine::RestoreSnapshot(const EngineSnapshot& snapshot) {
       return Status::OutOfRange("negative fault counter in snapshot");
     }
   }
+  if (!snapshot.seller_active.empty() &&
+      snapshot.seller_active.size() !=
+          static_cast<std::size_t>(environment_->num_sellers())) {
+    return Status::InvalidArgument(
+        "snapshot seller-activity bitmap does not match the seller count");
+  }
   // Sub-restores validate before mutating; once one has succeeded a later
   // failure leaves the engine partially restored, so callers must discard
   // the engine on any non-OK status.
@@ -618,6 +659,12 @@ Status TradingEngine::RestoreSnapshot(const EngineSnapshot& snapshot) {
   consumer_spend_ = snapshot.consumer_spend;
   fault_counts_ = snapshot.fault_counts;
   fault_log_.clear();
+  seller_active_ = snapshot.seller_active;
+  inactive_count_ = 0;
+  for (std::uint8_t flag : seller_active_) {
+    if (flag == 0) ++inactive_count_;
+  }
+  if (inactive_count_ == 0) seller_active_.clear();
 
   if (checker_ != nullptr) {
     CDT_RETURN_NOT_OK(

@@ -125,6 +125,25 @@ class TradingEngine {
   /// Per-seller reliability statistics and circuit-breaker state.
   const ReliabilityTracker& reliability() const { return *reliability_; }
 
+  /// Marks a seller as departed (active=false) or returned (active=true).
+  /// Inactive sellers are dropped from every coalition at the quarantine
+  /// gate — silently, they are not faults — until they return; the bandit
+  /// keeps their learned state. Deterministic: the same call sequence at
+  /// the same round cursors reproduces the same rounds, and the activity
+  /// bitmap rides in EngineSnapshot so restores resume exactly. If
+  /// deactivation would leave every seller inactive the call is refused
+  /// (the engine degrades, it never deadlocks).
+  util::Status SetSellerActive(int seller, bool active);
+
+  /// False while the seller has departed via SetSellerActive.
+  bool seller_active(int seller) const {
+    return seller_active_.empty() ||
+           seller_active_[static_cast<std::size_t>(seller)] != 0;
+  }
+
+  /// Number of currently departed sellers.
+  int inactive_sellers() const { return inactive_count_; }
+
   /// Every fault/recovery event of the run, in round order.
   const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
 
@@ -192,6 +211,12 @@ class TradingEngine {
   std::int64_t next_round_ = 1;
   bool budget_exhausted_ = false;
   double consumer_spend_ = 0.0;
+
+  /// Seller-departure overlay (SetSellerActive). Lazily sized on first
+  /// deactivation; empty means everyone is active (the common case adds
+  /// no per-round work).
+  std::vector<std::uint8_t> seller_active_;
+  int inactive_count_ = 0;
 
   /// Solve workspace (PrepareSolver): coalition staging buffers and the
   /// round-reused solver. The buffers swap back and forth with the solver's

@@ -69,6 +69,108 @@ Result<std::unique_ptr<EventLogWriter>> EventLogWriter::Open(
   return writer;
 }
 
+Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenForAppend(
+    const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  CDT_RETURN_NOT_OK(bytes.status());
+  const std::string& buffer = bytes.value();
+
+  if (buffer.size() < kMagicSize ||
+      std::memcmp(buffer.data(), kLogMagic, kMagicSize) != 0) {
+    return Status::ParseError("'" + path + "' is not a CDT event log");
+  }
+  ByteReader header(std::string_view(buffer).substr(kMagicSize));
+  std::uint64_t version;
+  CDT_RETURN_NOT_OK(header.ReadVarint64(&version));
+  if (version != kFormatVersion) {
+    return Status::ParseError(
+        "event log '" + path + "' has format version " +
+        std::to_string(version) + "; this build appends only version " +
+        std::to_string(kFormatVersion));
+  }
+
+  // Walk every record, remembering where the last complete valid one
+  // ends. A truncated final record (the crash tear) is dropped by
+  // truncating the file back to valid_end; corruption in a *complete*
+  // record fails closed instead — appending after it would bless it.
+  std::size_t valid_end = kMagicSize + header.position();
+  std::size_t pos = valid_end;
+  bool saw_config = false;
+  std::int64_t rounds = 0;
+  std::uint32_t config_crc = 0;
+  std::uint32_t rolling_crc = 0;
+  while (pos < buffer.size()) {
+    ByteReader reader(std::string_view(buffer).substr(pos));
+    std::uint8_t type;
+    std::uint64_t length = 0;
+    std::string_view payload;
+    std::uint32_t stored_crc = 0;
+    Status status = reader.ReadByte(&type);
+    if (status.ok() && !KnownRecordType(type)) {
+      return Status::ParseError("unknown event-log record type byte " +
+                                std::to_string(int{type}));
+    }
+    if (status.ok()) status = reader.ReadVarint64(&length);
+    if (status.ok() && length > kMaxPayloadSize) {
+      return Status::ParseError("event-log record payload length " +
+                                std::to_string(length) + " exceeds limit");
+    }
+    if (status.ok()) {
+      status = reader.ReadBytes(static_cast<std::size_t>(length), &payload);
+    }
+    if (status.ok()) status = reader.ReadFixed32(&stored_crc);
+    if (!status.ok()) break;  // torn tail — truncate back to valid_end
+    std::uint32_t crc = Crc32(std::string_view(buffer).substr(pos, 1));
+    crc = Crc32(payload, crc);
+    if (crc != stored_crc) {
+      return Status::ParseError(
+          "event-log record CRC mismatch at offset " + std::to_string(pos) +
+          "; refusing to append after corruption");
+    }
+    switch (static_cast<RecordType>(type)) {
+      case RecordType::kConfig:
+        if (saw_config) {
+          return Status::ParseError("duplicate config record in '" + path +
+                                    "'");
+        }
+        saw_config = true;
+        config_crc = Crc32(payload);
+        break;
+      case RecordType::kRound:
+        rolling_crc = Crc32(payload, rolling_crc);
+        ++rounds;
+        break;
+      case RecordType::kSnapshotNote:
+        break;
+      case RecordType::kFooter:
+        return Status::FailedPrecondition(
+            "event log '" + path + "' is sealed (footer present); "
+            "cannot append to a finished log");
+    }
+    pos += reader.position();
+    valid_end = pos;
+  }
+  if (!saw_config) {
+    return Status::ParseError("event log '" + path +
+                              "' has no complete config record");
+  }
+
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    return Status::IoError("cannot reopen event log '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::unique_ptr<EventLogWriter> writer(new EventLogWriter(path, file));
+  if (::ftruncate(fileno(file), static_cast<off_t>(valid_end)) != 0 ||
+      std::fseek(file, static_cast<long>(valid_end), SEEK_SET) != 0) {
+    return WriteError(path);
+  }
+  writer->rounds_written_ = rounds;
+  writer->config_crc_ = config_crc;
+  writer->rolling_crc_ = rolling_crc;
+  return writer;
+}
+
 Status EventLogWriter::AppendRecord(RecordType type,
                                     std::string_view payload) {
   if (!status_.ok()) return status_;

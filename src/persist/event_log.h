@@ -71,6 +71,15 @@ class EventLogWriter {
       const std::string& path, const core::MechanismConfig& config,
       const core::PolicySpec& policy);
 
+  /// Reopens an existing unfinished log to continue appending — the
+  /// crash-recovery path. Validates every complete record, truncates a
+  /// torn final record, and restores the writer's round count, config CRC
+  /// and rolling CRC so appended rounds continue gap-free and the eventual
+  /// footer covers the whole log. Refuses sealed logs (footer present) and
+  /// fails closed on CRC mismatch or version skew in the surviving prefix.
+  static util::Result<std::unique_ptr<EventLogWriter>> OpenForAppend(
+      const std::string& path);
+
   ~EventLogWriter();
   EventLogWriter(const EventLogWriter&) = delete;
   EventLogWriter& operator=(const EventLogWriter&) = delete;

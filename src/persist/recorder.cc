@@ -29,6 +29,23 @@ Result<std::unique_ptr<RunRecorder>> RunRecorder::Create(
       new RunRecorder(std::move(options), std::move(log).value()));
 }
 
+Result<std::unique_ptr<RunRecorder>> RunRecorder::Attach(Options options) {
+  if (options.log_path.empty()) {
+    return Status::InvalidArgument("RunRecorder needs a log_path");
+  }
+  if (options.snapshot_every < 0) {
+    return Status::InvalidArgument("snapshot_every must be >= 0");
+  }
+  if (options.snapshot_every > 0 && options.snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "snapshot_every > 0 needs a snapshot_path");
+  }
+  auto log = EventLogWriter::OpenForAppend(options.log_path);
+  CDT_RETURN_NOT_OK(log.status());
+  return std::unique_ptr<RunRecorder>(
+      new RunRecorder(std::move(options), std::move(log).value()));
+}
+
 Status RunRecorder::OnRound(const market::TradingEngine& engine,
                             const market::RoundReport& report) {
   CDT_RETURN_NOT_OK(log_->AppendRound(report));
@@ -44,6 +61,18 @@ Status RunRecorder::OnRound(const market::TradingEngine& engine,
     CDT_RETURN_NOT_OK(log_->AppendSnapshotNote(report.round));
   }
   return Status::OK();
+}
+
+Status RunRecorder::CheckpointNow(const market::TradingEngine& engine) {
+  if (options_.snapshot_path.empty()) return Status::OK();
+  const std::int64_t round = engine.current_round();
+  // Snapshot notes must follow the round they cover; before round 1 there
+  // is nothing to checkpoint.
+  if (round < 1 || round != log_->rounds_written()) return Status::OK();
+  CDT_RETURN_NOT_OK(WriteSnapshotFile(options_.snapshot_path,
+                                      log_->config_crc(),
+                                      engine.CaptureSnapshot()));
+  return log_->AppendSnapshotNote(round);
 }
 
 Status RunRecorder::Finish() { return log_->Finish(); }

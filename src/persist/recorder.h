@@ -40,11 +40,23 @@ class RunRecorder : public market::RoundObserver {
       Options options, const core::MechanismConfig& config,
       const core::PolicySpec& policy);
 
+  /// Reattaches to an existing unfinished log (crash recovery): reopens
+  /// `options.log_path` in append mode, dropping a torn final record, and
+  /// continues recording from the round after the last complete one. The
+  /// observed engine must already be positioned there (snapshot restore +
+  /// tail replay) — AppendRound enforces the gap-free round sequence.
+  static util::Result<std::unique_ptr<RunRecorder>> Attach(Options options);
+
   /// Appends the round record; at checkpoint rounds also captures and
   /// durably writes a snapshot, then notes it in the log (the note is
   /// only present when the snapshot file already hit disk).
   util::Status OnRound(const market::TradingEngine& engine,
                        const market::RoundReport& report) override;
+
+  /// Forces a checkpoint outside the snapshot_every cadence (e.g. a
+  /// graceful drain's final snapshot). No-op when snapshots are disabled
+  /// or no round has settled yet.
+  util::Status CheckpointNow(const market::TradingEngine& engine);
 
   /// Seals the log with its footer (fsync + close). Idempotent. A crash
   /// before Finish leaves a torn but recoverable log.

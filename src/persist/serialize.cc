@@ -343,6 +343,16 @@ void EncodeEngineSnapshot(const market::EngineSnapshot& snapshot,
     PutByte(out, flag);
   }
   PutDoubleVector(out, snapshot.environment.spare);
+  // Optional tail: the seller-departure bitmap (runtime seller-leave
+  // events). Omitted entirely when every seller is active, so snapshots
+  // from runs that never saw a departure keep the original byte layout
+  // and pre-overlay snapshots decode unchanged.
+  if (!snapshot.seller_active.empty()) {
+    PutVarint64(out, snapshot.seller_active.size());
+    for (std::uint8_t flag : snapshot.seller_active) {
+      PutByte(out, flag);
+    }
+  }
 }
 
 Status DecodeEngineSnapshot(ByteReader* in,
@@ -424,7 +434,25 @@ Status DecodeEngineSnapshot(ByteReader* in,
     if (flag > 1) return Status::ParseError("spare flag byte not 0/1");
     snapshot->environment.has_spare.push_back(flag);
   }
-  return in->ReadDoubleVector(&snapshot->environment.spare);
+  CDT_RETURN_NOT_OK(in->ReadDoubleVector(&snapshot->environment.spare));
+  // Optional tail (see EncodeEngineSnapshot): absent in pre-overlay
+  // snapshots and in snapshots with every seller active.
+  snapshot->seller_active.clear();
+  if (!in->empty()) {
+    std::uint64_t active_count;
+    CDT_RETURN_NOT_OK(in->ReadVarint64(&active_count));
+    if (active_count > in->remaining()) {
+      return Status::ParseError("seller-activity count exceeds payload");
+    }
+    snapshot->seller_active.reserve(static_cast<std::size_t>(active_count));
+    for (std::uint64_t i = 0; i < active_count; ++i) {
+      std::uint8_t flag;
+      CDT_RETURN_NOT_OK(in->ReadByte(&flag));
+      if (flag > 1) return Status::ParseError("activity flag byte not 0/1");
+      snapshot->seller_active.push_back(flag);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace persist

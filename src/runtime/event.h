@@ -1,0 +1,77 @@
+// Event vocabulary of the marketplace runtime: everything a client can ask
+// a hosted marketplace to do arrives as one of these, routed to the owning
+// shard's bounded queue and applied in FIFO order by the shard worker.
+//
+// Determinism contract: a marketplace's economics are a pure function of
+// its (config, policy) pair and the subsequence of events addressed to it.
+// Shards preserve per-marketplace FIFO order, round execution is the
+// engine's deterministic round loop, and seller leave/return events are
+// journaled with the round cursor they took effect at — so a crashed shard
+// can be rebuilt from its write-ahead state to the exact same bytes an
+// uninterrupted run produces.
+
+#ifndef CDT_RUNTIME_EVENT_H_
+#define CDT_RUNTIME_EVENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/cmab_hs.h"
+#include "core/config.h"
+
+namespace cdt {
+namespace runtime {
+
+enum class EventType : std::uint8_t {
+  /// Admit a new marketplace (spec carries its config + policy).
+  kCreateMarketplace = 1,
+  /// Run one trading round ("the platform's clock ticked").
+  kRoundTick = 2,
+  /// Consumer demand for `rounds` further rounds of data collection.
+  kConsumerDemand = 3,
+  /// A seller departed; it sits out every coalition until it returns.
+  kSellerLeave = 4,
+  /// A departed seller re-registered.
+  kSellerReturn = 5,
+  /// Seal the marketplace's WAL and retire it.
+  kCloseMarketplace = 6,
+};
+
+/// Config + policy of a marketplace to admit.
+struct MarketplaceSpec {
+  core::MechanismConfig config;
+  core::PolicySpec policy;
+};
+
+/// One unit of work for a shard worker. Cheap to copy except for `spec`,
+/// which is shared (creates are rare).
+struct Event {
+  EventType type = EventType::kRoundTick;
+  /// Target marketplace id; routing key and WAL file stem.
+  std::string marketplace;
+  /// kSellerLeave / kSellerReturn: the seller index.
+  int seller = -1;
+  /// kConsumerDemand: rounds demanded; kRoundTick treats it as 1.
+  std::int64_t rounds = 1;
+  /// kCreateMarketplace only.
+  std::shared_ptr<const MarketplaceSpec> spec;
+};
+
+/// "create", "tick", "demand", "leave", "return", "close".
+inline const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kCreateMarketplace: return "create";
+    case EventType::kRoundTick: return "tick";
+    case EventType::kConsumerDemand: return "demand";
+    case EventType::kSellerLeave: return "leave";
+    case EventType::kSellerReturn: return "return";
+    case EventType::kCloseMarketplace: return "close";
+  }
+  return "unknown";
+}
+
+}  // namespace runtime
+}  // namespace cdt
+
+#endif  // CDT_RUNTIME_EVENT_H_

@@ -1,0 +1,293 @@
+#include "runtime/marketplace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "market/trading_engine.h"
+#include "persist/event_log.h"
+#include "persist/replay.h"
+
+namespace cdt {
+namespace runtime {
+
+using util::Result;
+using util::Status;
+using util::StatusCode;
+
+std::string MarketplaceLogPath(const std::string& wal_dir,
+                               const std::string& id) {
+  return wal_dir + "/" + id + ".cdtlog";
+}
+
+std::string MarketplaceSnapshotPath(const std::string& wal_dir,
+                                    const std::string& id) {
+  return wal_dir + "/" + id + ".cdtsnap";
+}
+
+std::string MarketplaceJournalPath(const std::string& wal_dir,
+                                   const std::string& id) {
+  return wal_dir + "/" + id + ".events";
+}
+
+const char* HostedMarketplace::StateName(State state) {
+  switch (state) {
+    case State::kActive: return "active";
+    case State::kQuarantined: return "quarantined";
+    case State::kBudgetStopped: return "budget_stopped";
+    case State::kDone: return "done";
+    case State::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Create(
+    const std::string& id, const MarketplaceSpec& spec,
+    const Options& options) {
+  if (options.wal_dir.empty()) {
+    return Status::InvalidArgument("HostedMarketplace needs a wal_dir");
+  }
+  auto run = core::CmabHs::Create(spec.config, spec.policy);
+  CDT_RETURN_NOT_OK(run.status());
+
+  // A fresh incarnation of the id owns its WAL stem outright: stale
+  // snapshot/journal files from a previous life would otherwise pair with
+  // the new log and corrupt a later recovery.
+  std::remove(MarketplaceSnapshotPath(options.wal_dir, id).c_str());
+  std::remove(MarketplaceJournalPath(options.wal_dir, id).c_str());
+
+  persist::RunRecorder::Options rec_options;
+  rec_options.log_path = MarketplaceLogPath(options.wal_dir, id);
+  rec_options.snapshot_every = options.snapshot_every;
+  if (options.snapshot_every > 0) {
+    rec_options.snapshot_path = MarketplaceSnapshotPath(options.wal_dir, id);
+  }
+  auto recorder = persist::RunRecorder::Create(
+      std::move(rec_options), spec.config, spec.policy);
+  CDT_RETURN_NOT_OK(recorder.status());
+
+  auto journal =
+      JournalWriter::Open(MarketplaceJournalPath(options.wal_dir, id));
+  CDT_RETURN_NOT_OK(journal.status());
+
+  std::unique_ptr<HostedMarketplace> marketplace(
+      new HostedMarketplace(id, std::move(run).value()));
+  marketplace->recorder_ = recorder.value().get();
+  marketplace->run_->mutable_engine().AddObserver(
+      std::move(recorder).value());
+  marketplace->journal_ = std::move(journal).value();
+  return marketplace;
+}
+
+Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Recover(
+    const std::string& id, const Options& options) {
+  const std::string log_path = MarketplaceLogPath(options.wal_dir, id);
+  const std::string snap_path = MarketplaceSnapshotPath(options.wal_dir, id);
+  const std::string journal_path =
+      MarketplaceJournalPath(options.wal_dir, id);
+
+  auto loaded = persist::LoadRecordedRun(log_path, /*allow_torn_tail=*/true);
+  CDT_RETURN_NOT_OK(loaded.status());
+  const persist::RecordedRun& recorded = loaded.value();
+  const auto recorded_rounds =
+      static_cast<std::int64_t>(recorded.rounds.size());
+
+  auto journal_read = ReadJournal(journal_path);
+  CDT_RETURN_NOT_OK(journal_read.status());
+  const std::vector<JournalEntry>& flips = journal_read.value().entries;
+
+  // Prefer snapshot + tail-replay; any snapshot problem (missing file,
+  // config mismatch, restore-unsafe policy) degrades to a full replay —
+  // slower, never wrong.
+  std::unique_ptr<core::CmabHs> run;
+  std::int64_t resume_round = 0;
+  auto snap = persist::ReadSnapshotFile(snap_path);
+  if (snap.ok() && snap.value().config_crc == recorded.config_crc) {
+    const std::int64_t snap_round = snap.value().snapshot.next_round - 1;
+    if (snap_round >= 0 && snap_round <= recorded_rounds) {
+      auto candidate = core::CmabHs::Create(recorded.config, recorded.policy);
+      CDT_RETURN_NOT_OK(candidate.status());
+      if (candidate.value()
+              ->mutable_engine()
+              .RestoreSnapshot(snap.value().snapshot)
+              .ok()) {
+        run = std::move(candidate).value();
+        resume_round = snap_round;
+      }
+    }
+  }
+  if (run == nullptr) {
+    auto candidate = core::CmabHs::Create(recorded.config, recorded.policy);
+    CDT_RETURN_NOT_OK(candidate.status());
+    run = std::move(candidate).value();
+  }
+
+  // Interleaved, byte-verified tail replay: journaled activity flips
+  // re-apply exactly when the cursor reaches their effect round, so every
+  // re-executed coalition sees the activity state the original saw.
+  // Flips already inside the snapshot's bitmap (effect_round <= the
+  // snapshot's round) are skipped; re-application ignores per-flip status
+  // like the live path does (deterministic refusals refuse again here).
+  std::size_t next_flip = 0;
+  while (next_flip < flips.size() &&
+         flips[next_flip].effect_round <= resume_round) {
+    ++next_flip;
+  }
+  for (std::int64_t round = resume_round + 1; round <= recorded_rounds;
+       ++round) {
+    while (next_flip < flips.size() &&
+           flips[next_flip].effect_round == round) {
+      const JournalEntry& flip = flips[next_flip];
+      (void)run->mutable_engine().SetSellerActive(
+          flip.seller, flip.type == EventType::kSellerReturn);
+      ++next_flip;
+    }
+    auto report = run->RunRound();
+    CDT_RETURN_NOT_OK(report.status());
+    if (persist::CanonicalRoundBytes(report.value()) !=
+        recorded.round_payloads[static_cast<std::size_t>(round - 1)]) {
+      return Status::Internal(
+          "marketplace '" + id + "' recovery diverged at round " +
+          std::to_string(round) +
+          " — WAL does not reproduce under this build");
+    }
+  }
+  // Flips applied after the last settled round but before the crash.
+  while (next_flip < flips.size()) {
+    const JournalEntry& flip = flips[next_flip];
+    (void)run->mutable_engine().SetSellerActive(
+        flip.seller, flip.type == EventType::kSellerReturn);
+    ++next_flip;
+  }
+
+  std::unique_ptr<HostedMarketplace> marketplace(
+      new HostedMarketplace(id, std::move(run)));
+  if (recorded.sealed) {
+    // Cleanly finished before the crash: nothing to append, read-only.
+    marketplace->state_ = State::kClosed;
+    return marketplace;
+  }
+
+  persist::RunRecorder::Options rec_options;
+  rec_options.log_path = log_path;
+  rec_options.snapshot_every = options.snapshot_every;
+  if (options.snapshot_every > 0) rec_options.snapshot_path = snap_path;
+  auto recorder = persist::RunRecorder::Attach(std::move(rec_options));
+  CDT_RETURN_NOT_OK(recorder.status());
+  marketplace->recorder_ = recorder.value().get();
+  marketplace->run_->mutable_engine().AddObserver(
+      std::move(recorder).value());
+
+  auto journal = JournalWriter::Open(journal_path);
+  CDT_RETURN_NOT_OK(journal.status());
+  marketplace->journal_ = std::move(journal).value();
+
+  if (marketplace->rounds_settled() >= marketplace->total_rounds()) {
+    marketplace->state_ = State::kDone;
+  }
+  return marketplace;
+}
+
+Status HostedMarketplace::RunRounds(std::int64_t budget,
+                                    std::int64_t* settled) {
+  *settled = 0;
+  while (*settled < budget) {
+    if (rounds_settled() >= total_rounds()) {
+      state_ = State::kDone;
+      return Status::OK();
+    }
+    auto report = run_->RunRound();
+    if (!report.ok()) {
+      if (report.status().code() == StatusCode::kFailedPrecondition &&
+          run_->engine().budget_exhausted()) {
+        state_ = State::kBudgetStopped;
+        return Status::OK();
+      }
+      return report.status();
+    }
+    ++*settled;
+  }
+  if (rounds_settled() >= total_rounds()) state_ = State::kDone;
+  return Status::OK();
+}
+
+Status HostedMarketplace::ApplyEvent(const Event& event,
+                                     std::int64_t max_rounds,
+                                     std::int64_t* rounds_remaining) {
+  *rounds_remaining = 0;
+  switch (event.type) {
+    case EventType::kCreateMarketplace:
+      return Status::OK();  // creation happened when this object was built
+    case EventType::kCloseMarketplace:
+      return FinishWal();
+    case EventType::kSellerLeave:
+    case EventType::kSellerReturn: {
+      if (state_ != State::kActive) return Status::OK();  // shed
+      // WAL discipline: journal first, then mutate. Re-application during
+      // recovery reaches the same engine state, so a deterministic
+      // refusal here refuses identically there.
+      JournalEntry entry;
+      entry.type = event.type;
+      entry.effect_round = rounds_settled() + 1;
+      entry.seller = event.seller;
+      if (journal_ != nullptr) {
+        Status status = journal_->Append(entry);
+        if (!status.ok()) {
+          Quarantine();
+          return status;
+        }
+      }
+      Status status = run_->mutable_engine().SetSellerActive(
+          event.seller, event.type == EventType::kSellerReturn);
+      if (!status.ok() &&
+          status.code() != StatusCode::kFailedPrecondition &&
+          status.code() != StatusCode::kInvalidArgument &&
+          status.code() != StatusCode::kOutOfRange) {
+        Quarantine();
+        return status;
+      }
+      return Status::OK();
+    }
+    case EventType::kRoundTick:
+    case EventType::kConsumerDemand: {
+      if (state_ != State::kActive) return Status::OK();  // shed
+      const std::int64_t want =
+          event.type == EventType::kRoundTick
+              ? 1
+              : std::max<std::int64_t>(0, event.rounds);
+      const std::int64_t chunk =
+          max_rounds > 0 ? std::min(want, max_rounds) : want;
+      std::int64_t settled = 0;
+      Status status = RunRounds(chunk, &settled);
+      if (!status.ok()) {
+        Quarantine();
+        return status;
+      }
+      if (state_ == State::kActive) *rounds_remaining = want - settled;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown runtime event type");
+}
+
+Status HostedMarketplace::FinishWal() {
+  if (state_ == State::kClosed) return Status::OK();
+  Status status;
+  if (recorder_ != nullptr) {
+    // Final checkpoint (when snapshots are configured and at least one
+    // round settled), then seal the log with its footer.
+    Status checkpoint =
+        recorder_->CheckpointNow(run_->engine());
+    Status finish = recorder_->Finish();
+    status = !checkpoint.ok() ? checkpoint : finish;
+  }
+  if (journal_ != nullptr) {
+    Status closed = journal_->Close();
+    if (status.ok()) status = closed;
+  }
+  state_ = State::kClosed;
+  return status;
+}
+
+}  // namespace runtime
+}  // namespace cdt

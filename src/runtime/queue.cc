@@ -1,0 +1,80 @@
+#include "runtime/queue.h"
+
+#include <utility>
+
+namespace cdt {
+namespace runtime {
+
+EventQueue::EventQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+EventQueue::PushResult EventQueue::TryPush(Event event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (events_.size() >= capacity_) return PushResult::kFull;
+    events_.push_back(std::move(event));
+    if (events_.size() > high_water_) high_water_ = events_.size();
+  }
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
+EventQueue::PushResult EventQueue::PushWithTimeout(
+    Event event, std::chrono::milliseconds timeout) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || events_.size() < capacity_;
+        })) {
+      return PushResult::kFull;
+    }
+    if (closed_) return PushResult::kClosed;
+    events_.push_back(std::move(event));
+    if (events_.size() > high_water_) high_water_ = events_.size();
+  }
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
+EventQueue::PopResult EventQueue::Pop(Event* out,
+                                      std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!not_empty_.wait_for(lock, timeout,
+                           [this] { return closed_ || !events_.empty(); })) {
+    return PopResult::kTimeout;
+  }
+  if (events_.empty()) return PopResult::kDone;  // closed and drained
+  *out = std::move(events_.front());
+  events_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return PopResult::kEvent;
+}
+
+void EventQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool EventQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t EventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t EventQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace runtime
+}  // namespace cdt

@@ -1,0 +1,73 @@
+// Bounded MPSC event queue: many producer threads (the service's admission
+// path), one consumer (the shard worker). The bound is the overload-control
+// primitive — TryPush never blocks and never grows the queue past its
+// capacity, so shedding decisions happen at admission time and memory per
+// shard is fixed. The high-water mark is tracked so tests (and the chaos
+// harness) can assert the cap was never violated.
+
+#ifndef CDT_RUNTIME_QUEUE_H_
+#define CDT_RUNTIME_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "runtime/event.h"
+
+namespace cdt {
+namespace runtime {
+
+class EventQueue {
+ public:
+  enum class PushResult {
+    kAccepted,  // enqueued
+    kFull,      // at capacity — caller sheds or coalesces per policy
+    kClosed,    // queue closed (drain in progress) — caller sheds
+  };
+
+  enum class PopResult {
+    kEvent,    // *out holds the next event
+    kTimeout,  // nothing arrived within the wait — beat the heartbeat
+    kDone,     // closed and drained — worker exits
+  };
+
+  explicit EventQueue(std::size_t capacity);
+
+  /// Non-blocking bounded push (any thread).
+  PushResult TryPush(Event event);
+
+  /// Blocking push with a deadline (the kBlock backpressure policy):
+  /// waits for space up to `timeout`, then reports kFull.
+  PushResult PushWithTimeout(Event event, std::chrono::milliseconds timeout);
+
+  /// Consumer side: waits up to `timeout` for an event. kDone only after
+  /// Close() AND the queue emptied — a drain processes every accepted
+  /// event before the worker exits.
+  PopResult Pop(Event* out, std::chrono::milliseconds timeout);
+
+  /// No further pushes accepted; consumers drain what was admitted.
+  void Close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Deepest the queue ever got — asserted <= capacity by the overload
+  /// tests and the chaos harness.
+  std::size_t high_water() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Event> events_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace runtime
+}  // namespace cdt
+
+#endif  // CDT_RUNTIME_QUEUE_H_

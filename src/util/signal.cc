@@ -1,0 +1,40 @@
+#include "util/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace cdt {
+namespace util {
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+
+extern "C" void HandleShutdownSignal(int signum) {
+  // Only async-signal-safe work here: set the flag and re-arm the default
+  // disposition so a second signal terminates immediately.
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+void ResetShutdownFlag() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace util
+}  // namespace cdt

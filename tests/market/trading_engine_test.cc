@@ -227,6 +227,87 @@ TEST(TradingEngineTest, ExpectedRevenueUsesEffectiveQualities) {
   EXPECT_GT(report.value().observed_quality_revenue, 0.0);
 }
 
+TEST(TradingEngineTest, SetSellerActiveValidatesAndTracksDepartures) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+
+  // Everyone starts active; re-activating is a no-op.
+  EXPECT_TRUE(engine.value()->seller_active(0));
+  EXPECT_TRUE(engine.value()->SetSellerActive(0, true).ok());
+  EXPECT_TRUE(engine.value()->seller_active(0));
+
+  EXPECT_EQ(engine.value()->SetSellerActive(-1, false).code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.value()->SetSellerActive(kSellers, false).code(),
+            util::StatusCode::kOutOfRange);
+
+  EXPECT_TRUE(engine.value()->SetSellerActive(4, false).ok());
+  EXPECT_FALSE(engine.value()->seller_active(4));
+  EXPECT_TRUE(engine.value()->SetSellerActive(4, false).ok());  // no-op
+  EXPECT_FALSE(engine.value()->seller_active(4));
+  EXPECT_TRUE(engine.value()->SetSellerActive(4, true).ok());
+  EXPECT_TRUE(engine.value()->seller_active(4));
+}
+
+TEST(TradingEngineTest, DeactivatingLastSellerIsRefused) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < kSellers - 1; ++i) {
+    ASSERT_TRUE(engine.value()->SetSellerActive(i, false).ok());
+  }
+  // The marketplace may degrade but never deadlock: the final active
+  // seller cannot depart.
+  EXPECT_EQ(engine.value()->SetSellerActive(kSellers - 1, false).code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(engine.value()->seller_active(kSellers - 1));
+}
+
+TEST(TradingEngineTest, DepartedSellersSitOutRounds) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->RunRound().ok());  // round 1 selects all
+  // With K=3 and only two departures the departed-filter can never empty
+  // the coalition, so it always applies (no degrade fallback).
+  ASSERT_TRUE(engine.value()->SetSellerActive(2, false).ok());
+  ASSERT_TRUE(engine.value()->SetSellerActive(7, false).ok());
+  for (int round = 0; round < 8; ++round) {
+    auto report = engine.value()->RunRound();
+    ASSERT_TRUE(report.ok());
+    for (int seller : report.value().selected) {
+      EXPECT_TRUE(seller != 2 && seller != 7)
+          << "departed seller " << seller << " settled a round";
+    }
+  }
+}
+
+TEST(TradingEngineTest, SnapshotRoundTripsSellerActivityBitmap) {
+  auto env = MakeEnvironment();
+  auto engine = TradingEngine::Create(MakeConfig(), &env, MakeCucb());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->RunRound().ok());
+  ASSERT_TRUE(engine.value()->SetSellerActive(3, false).ok());
+  ASSERT_TRUE(engine.value()->SetSellerActive(9, false).ok());
+  const EngineSnapshot snapshot = engine.value()->CaptureSnapshot();
+
+  auto env2 = MakeEnvironment();
+  auto restored = TradingEngine::Create(MakeConfig(), &env2, MakeCucb());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(restored.value()->RestoreSnapshot(snapshot).ok());
+  EXPECT_FALSE(restored.value()->seller_active(3));
+  EXPECT_FALSE(restored.value()->seller_active(9));
+  EXPECT_TRUE(restored.value()->seller_active(0));
+
+  // A return after restore clears the departure, and once everyone is
+  // back the bitmap resets to the compact "all active" form.
+  ASSERT_TRUE(restored.value()->SetSellerActive(3, true).ok());
+  ASSERT_TRUE(restored.value()->SetSellerActive(9, true).ok());
+  const EngineSnapshot all_back = restored.value()->CaptureSnapshot();
+  EXPECT_TRUE(all_back.seller_active.empty());
+}
+
 }  // namespace
 }  // namespace market
 }  // namespace cdt

@@ -18,6 +18,7 @@
 #include "market/run_log.h"
 #include "persist/event_log.h"
 #include "persist/replay.h"
+#include "util/signal.h"
 
 namespace {
 
@@ -84,6 +85,10 @@ int ExportCsv(const std::string& log_path, const std::string& csv_path) {
   auto writer = market::RunLogWriter::Open(csv_path);
   if (!writer.ok()) return Fail(writer.status());
   for (const market::RoundReport& report : recorded.value().rounds) {
+    if (util::ShutdownRequested()) {
+      std::fprintf(stderr, "cdt_replay: interrupted, closing CSV early\n");
+      break;
+    }
     util::Status status = writer.value().Append(report);
     if (!status.ok()) return Fail(status);
   }
@@ -106,17 +111,28 @@ int Resume(const std::string& log_path, const std::string& snapshot_path) {
   std::printf("restored snapshot (round %" PRId64
               "), tail-replayed through round %" PRId64 "\n",
               resumed.value().snapshot_round, resumed.value().resumed_round);
-  // Finish the rest of the campaign live.
+  // Finish the rest of the campaign live, exiting cleanly on SIGINT or
+  // SIGTERM (the rounds already settled stay reported).
   std::int64_t live_rounds = 0;
-  util::Status status = resumed.value().run->RunAll(
-      [&live_rounds](const market::RoundReport&) { ++live_rounds; });
-  if (!status.ok() && !resumed.value().run->engine().budget_exhausted()) {
-    return Fail(status);
+  bool interrupted = false;
+  while (resumed.value().run->engine().current_round() <
+         recorded.value().config.num_rounds) {
+    if (util::ShutdownRequested()) {
+      interrupted = true;
+      break;
+    }
+    auto report = resumed.value().run->RunRound();
+    if (!report.ok()) {
+      if (resumed.value().run->engine().budget_exhausted()) break;
+      return Fail(report.status());
+    }
+    ++live_rounds;
   }
   std::printf("ran %" PRId64 " further rounds live (campaign at round %"
-              PRId64 " of %" PRId64 ")\n",
+              PRId64 " of %" PRId64 ")%s\n",
               live_rounds, resumed.value().run->engine().current_round(),
-              recorded.value().config.num_rounds);
+              recorded.value().config.num_rounds,
+              interrupted ? " — interrupted" : "");
   return 0;
 }
 
@@ -124,6 +140,7 @@ int Resume(const std::string& log_path, const std::string& snapshot_path) {
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
+  cdt::util::InstallShutdownHandlers();
   const std::string command = argv[1];
   if (command == "inspect") return Inspect(argv[2]);
   if (command == "verify") return Verify(argv[2]);
