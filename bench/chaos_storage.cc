@@ -1,0 +1,552 @@
+// chaos_storage — deterministic storage-fault chaos harness (the CI
+// smoke for the durability circuit breaker, WAL scrub/repair and
+// snapshot-compaction).
+//
+//   chaos_storage [--scenario=all|enospc|fsyncstorm|bitrot|compaction]
+//                 [--wal-dir=DIR]
+//
+// Every scenario runs the same scripted marketplace twice — once
+// fault-free (reference) and once with a seeded IoHooks fault window —
+// and asserts the proof obligation of the durability design: a
+// marketplace under storage faults either ends BYTE-IDENTICAL to the
+// reference after recovery, or is EXPLICITLY quarantined with a counted
+// reason. Never silently wrong.
+//
+//   enospc:     an ENOSPC window (with a torn half-frame) mid-traffic.
+//               The breaker degrades, trading continues byte-true, a
+//               backoff probe re-arms through a rebased log, and the
+//               sealed WAL recovers exactly. A permanent variant must
+//               end in an explicit quarantine instead.
+//   fsyncstorm: fsync EIO across checkpoint writes. Same degrade /
+//               re-arm / byte-true obligations via the fsync path.
+//   bitrot:     read-side bit rot is detected by CRC (corruption, not
+//               garbage data); on-disk rot is quarantined by the scrub
+//               with counted reasons and recovery then fails loudly;
+//               torn tails are repaired idempotently; a snapshot-less
+//               log full-replays byte-identically.
+//   compaction: snapshot-then-truncate bounds log growth while the
+//               retained segment stays a sealed, loadable log and
+//               recovery stays exact.
+//
+// Scenario WAL directories are left on disk so CI can run cdt_fsck over
+// them afterwards — every surviving artifact must check clean. Exit 0 =
+// all assertions held; any other exit is a chaos failure.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/event_log.h"
+#include "persist/io_hooks.h"
+#include "persist/replay.h"
+#include "persist/scrub.h"
+#include "persist/serialize.h"
+#include "runtime/durability.h"
+#include "runtime/marketplace.h"
+#include "util/config.h"
+#include "util/status.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace cdt;
+using persist::IoFault;
+using persist::IoHooks;
+using persist::IoOp;
+using runtime::HostedMarketplace;
+
+int failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  ok: %s\n", what.c_str());
+  } else {
+    std::printf("  FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+runtime::MarketplaceSpec SmallSpec(std::uint64_t seed,
+                                   std::int64_t rounds) {
+  runtime::MarketplaceSpec spec;
+  spec.config.num_sellers = 8;
+  spec.config.num_selected = 2;
+  spec.config.num_pois = 3;
+  spec.config.num_rounds = rounds;
+  spec.config.seed = seed;
+  return spec;
+}
+
+/// Applies a demand event settling `rounds` rounds in one dispatch.
+bool ApplyDemand(HostedMarketplace& marketplace, std::int64_t rounds) {
+  runtime::Event demand;
+  demand.type = runtime::EventType::kConsumerDemand;
+  demand.marketplace = marketplace.id();
+  demand.rounds = rounds;
+  std::int64_t remaining = 0;
+  util::Status status =
+      marketplace.ApplyEvent(demand, /*max_rounds=*/0, &remaining);
+  if (!status.ok()) {
+    std::printf("  FAIL: demand on '%s': %s\n", marketplace.id().c_str(),
+                status.ToString().c_str());
+    ++failures;
+    return false;
+  }
+  return true;
+}
+
+std::string EngineBytes(const HostedMarketplace& marketplace) {
+  std::string bytes;
+  persist::EncodeEngineSnapshot(
+      marketplace.run().engine().CaptureSnapshot(), &bytes);
+  return bytes;
+}
+
+/// Every round payload the faulted log DOES carry must be byte-identical
+/// to the reference log's payload for the same absolute round — rounds
+/// lost to the degraded window are explicitly absent, never rewritten.
+void CheckPayloadsMatchReference(const persist::RecordedRun& reference,
+                                 const persist::RecordedRun& faulted,
+                                 const std::string& what) {
+  bool all_match = true;
+  for (std::size_t i = 0; i < faulted.round_payloads.size(); ++i) {
+    const std::int64_t absolute =
+        faulted.base_round + static_cast<std::int64_t>(i) + 1;
+    const std::size_t ref_index = static_cast<std::size_t>(
+        absolute - reference.base_round - 1);
+    if (ref_index >= reference.round_payloads.size() ||
+        faulted.round_payloads[i] != reference.round_payloads[ref_index]) {
+      all_match = false;
+      break;
+    }
+  }
+  Check(all_match, what);
+}
+
+// ---------------------------------------------------------------------------
+// enospc: a bounded out-of-space window, then a permanent one.
+
+int RunEnospcScenario(const std::string& dir) {
+  std::printf("enospc scenario: 2-op ENOSPC window + permanent fault\n");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  IoHooks::Instance().Reset();
+
+  HostedMarketplace::Options options;
+  options.wal_dir = dir;
+  options.snapshot_every = 4;
+  options.durability.degrade_after_failures = 3;
+  options.durability.rearm_initial_rounds = 4;
+  options.durability.rearm_max_rounds = 64;
+
+  auto reference =
+      HostedMarketplace::Create("ref", SmallSpec(0xE505, 60), options);
+  if (!reference.ok()) {
+    std::printf("FAIL: %s\n", reference.status().ToString().c_str());
+    return 1;
+  }
+  ApplyDemand(*reference.value(), 60);
+  const std::string want = EngineBytes(*reference.value());
+  Check(reference.value()->FinishWal().ok(), "reference WAL sealed");
+
+  // The fault window: the first op tears a half-frame then fails, the
+  // writer's error goes sticky for two more rounds (no ops consumed),
+  // the breaker opens at 3 consecutive failures, the window's second op
+  // fails the first re-arm probe, and the doubled backoff clears it.
+  IoHooks::Instance().EnableCounting();
+  auto faulted =
+      HostedMarketplace::Create("flt", SmallSpec(0xE505, 60), options);
+  if (!faulted.ok()) {
+    std::printf("FAIL: %s\n", faulted.status().ToString().c_str());
+    return 1;
+  }
+  HostedMarketplace& marketplace = *faulted.value();
+  ApplyDemand(marketplace, 10);
+  IoFault fault;
+  fault.op = IoOp::kWrite;
+  fault.from_index = IoHooks::Instance().ops_seen(IoOp::kWrite);
+  fault.count = 2;
+  fault.error = 28;  // ENOSPC
+  fault.short_write = true;
+  IoHooks::Instance().Arm(fault);
+  ApplyDemand(marketplace, 50);
+
+  const runtime::DurabilityGuard::Stats stats =
+      marketplace.guard()->stats();
+  Check(stats.health == runtime::DurabilityGuard::Health::kDurable,
+        "breaker re-armed to durable before the run ended");
+  Check(stats.degrades == 1, "exactly one degrade");
+  Check(stats.rearms == 1, "exactly one re-arm");
+  Check(stats.wal_failures >= 4, "every absorbed failure was counted");
+  Check(marketplace.state() == HostedMarketplace::State::kDone,
+        "trading ran to completion despite the fault window");
+  Check(EngineBytes(marketplace) == want,
+        "live engine byte-identical to the fault-free reference");
+  Check(marketplace.FinishWal().ok(), "faulted WAL sealed");
+
+  IoHooks::Instance().ClearFaults();
+  auto recovered = HostedMarketplace::Recover("flt", options);
+  Check(recovered.ok() &&
+            recovered.value()->state() == HostedMarketplace::State::kClosed,
+        "rebased WAL recovers to closed");
+  if (recovered.ok()) {
+    Check(EngineBytes(*recovered.value()) == want,
+          "recovered engine byte-identical to reference");
+  }
+  auto ref_run =
+      persist::LoadRecordedRun(runtime::MarketplaceLogPath(dir, "ref"));
+  auto flt_run =
+      persist::LoadRecordedRun(runtime::MarketplaceLogPath(dir, "flt"));
+  Check(ref_run.ok() && flt_run.ok(), "both sealed logs load");
+  if (ref_run.ok() && flt_run.ok()) {
+    Check(flt_run.value().base_round > 10 && flt_run.value().sealed,
+          "faulted log is rebased past the degraded window and sealed");
+    CheckPayloadsMatchReference(
+        ref_run.value(), flt_run.value(),
+        "surviving round payloads byte-identical to reference");
+  }
+
+  // Permanent fault: the disk never comes back, re-arm attempts exhaust,
+  // and the marketplace is quarantined explicitly — with a counter.
+  const std::uint64_t quarantines_before =
+      runtime::GlobalDurabilityTotals().quarantines;
+  HostedMarketplace::Options exhausted = options;
+  exhausted.durability.degrade_after_failures = 2;
+  exhausted.durability.rearm_initial_rounds = 2;
+  exhausted.durability.max_rearm_attempts = 2;
+  auto permanent =
+      HostedMarketplace::Create("prm", SmallSpec(0xE506, 40), exhausted);
+  if (!permanent.ok()) {
+    std::printf("FAIL: %s\n", permanent.status().ToString().c_str());
+    return 1;
+  }
+  ApplyDemand(*permanent.value(), 5);
+  IoFault forever;
+  forever.op = IoOp::kWrite;
+  forever.from_index = IoHooks::Instance().ops_seen(IoOp::kWrite);
+  forever.count = 0;  // permanent
+  IoHooks::Instance().Arm(forever);
+  ApplyDemand(*permanent.value(), 30);
+  Check(permanent.value()->guard()->health() ==
+            runtime::DurabilityGuard::Health::kFailed,
+        "permanent fault exhausts re-arm attempts");
+  Check(permanent.value()->state() == HostedMarketplace::State::kQuarantined,
+        "host quarantined the failed marketplace explicitly");
+  Check(permanent.value()->rounds_settled() == 35,
+        "trading still settled every dispatched round");
+  Check(runtime::GlobalDurabilityTotals().quarantines ==
+            quarantines_before + 1,
+        "quarantine visible in the global durability totals");
+  IoHooks::Instance().Reset();
+  // The quarantined marketplace's unsealed log stays on disk — cdt_fsck
+  // must classify it clean (an unsealed log is a legitimate crash state).
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// fsyncstorm: fsync EIO across checkpoint writes.
+
+int RunFsyncStormScenario(const std::string& dir) {
+  std::printf("fsyncstorm scenario: fsync EIO window over checkpoints\n");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  IoHooks::Instance().Reset();
+
+  HostedMarketplace::Options options;
+  options.wal_dir = dir;
+  options.snapshot_every = 8;
+  options.durability.degrade_after_failures = 1;
+  options.durability.rearm_initial_rounds = 4;
+  options.durability.rearm_max_rounds = 64;
+
+  auto reference =
+      HostedMarketplace::Create("fsr", SmallSpec(0xF51C, 64), options);
+  if (!reference.ok()) {
+    std::printf("FAIL: %s\n", reference.status().ToString().c_str());
+    return 1;
+  }
+  ApplyDemand(*reference.value(), 64);
+  const std::string want = EngineBytes(*reference.value());
+  Check(reference.value()->FinishWal().ok(), "reference WAL sealed");
+
+  IoHooks::Instance().EnableCounting();
+  auto faulted =
+      HostedMarketplace::Create("fst", SmallSpec(0xF51C, 64), options);
+  if (!faulted.ok()) {
+    std::printf("FAIL: %s\n", faulted.status().ToString().c_str());
+    return 1;
+  }
+  HostedMarketplace& marketplace = *faulted.value();
+  ApplyDemand(marketplace, 4);
+  IoFault fault;
+  fault.op = IoOp::kFsync;
+  fault.from_index = IoHooks::Instance().ops_seen(IoOp::kFsync);
+  fault.count = 2;
+  fault.error = 5;  // EIO
+  IoHooks::Instance().Arm(fault);
+  ApplyDemand(marketplace, 60);
+
+  const runtime::DurabilityGuard::Stats stats =
+      marketplace.guard()->stats();
+  Check(stats.degrades == 1, "fsync failure opened the breaker once");
+  Check(stats.rearms >= 1, "a backoff probe re-armed durability");
+  Check(stats.health == runtime::DurabilityGuard::Health::kDurable,
+        "breaker durable again before the run ended");
+  Check(EngineBytes(marketplace) == want,
+        "live engine byte-identical to the fault-free reference");
+  Check(marketplace.FinishWal().ok(), "faulted WAL sealed");
+
+  IoHooks::Instance().ClearFaults();
+  auto recovered = HostedMarketplace::Recover("fst", options);
+  Check(recovered.ok() &&
+            recovered.value()->state() == HostedMarketplace::State::kClosed &&
+            EngineBytes(*recovered.value()) == want,
+        "recovered engine byte-identical to reference");
+  IoHooks::Instance().Reset();
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// bitrot: CRC catches read-side rot; the scrub quarantines on-disk rot.
+
+int RunBitrotScenario(const std::string& dir) {
+  std::printf("bitrot scenario: read-side + on-disk rot, torn tails, "
+              "full replay\n");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  IoHooks::Instance().Reset();
+
+  HostedMarketplace::Options options;
+  options.wal_dir = dir;
+  options.snapshot_every = 4;
+  auto victim =
+      HostedMarketplace::Create("vic", SmallSpec(0xB17, 24), options);
+  if (!victim.ok()) {
+    std::printf("FAIL: %s\n", victim.status().ToString().c_str());
+    return 1;
+  }
+  ApplyDemand(*victim.value(), 24);
+  Check(victim.value()->FinishWal().ok(), "victim WAL sealed");
+  const std::string log_path = runtime::MarketplaceLogPath(dir, "vic");
+
+  // (a) Read-side bit rot: one flipped bit in the returned bytes must be
+  // a loud CRC corruption, never silently wrong data.
+  IoHooks::Instance().EnableCounting();
+  IoFault rot;
+  rot.op = IoOp::kRead;
+  rot.from_index = IoHooks::Instance().ops_seen(IoOp::kRead);
+  rot.count = 1;
+  rot.error = 0;  // flip a bit instead of failing
+  rot.bitrot_bit = 2048;
+  IoHooks::Instance().Arm(rot);
+  auto rotten = persist::LoadRecordedRun(log_path);
+  Check(!rotten.ok() &&
+            rotten.status().code() == util::StatusCode::kCorruption,
+        "read-side bit rot detected as CRC corruption");
+  IoHooks::Instance().ClearFaults();
+  auto intact = persist::LoadRecordedRun(log_path);
+  Check(intact.ok() && intact.value().sealed &&
+            intact.value().rounds.size() == 24,
+        "on-disk bytes were intact: clean read loads 24 sealed rounds");
+
+  // (b) Torn tail: chop bytes off the sealed log. The scrub truncates
+  // back to the last complete record — and a second scrub is a no-op.
+  const std::string torn_path = dir + "/torn.cdtlog";
+  fs::copy_file(log_path, torn_path);
+  fs::resize_file(torn_path, fs::file_size(torn_path) - 5);
+  auto first = persist::ScrubWalDirectory(dir, {});
+  Check(first.ok() && first.value().repaired == 1 &&
+            first.value().quarantined == 0,
+        "scrub repaired the torn tail (nothing quarantined)");
+  auto repaired =
+      persist::LoadRecordedRun(torn_path, /*allow_torn_tail=*/true);
+  Check(repaired.ok() && !repaired.value().sealed,
+        "repaired log loads as a legitimate unsealed (crash-state) log");
+  auto second = persist::ScrubWalDirectory(dir, {});
+  Check(second.ok() && second.value().repaired == 0 &&
+            second.value().quarantined == 0,
+        "scrub repair is idempotent: second pass all clean");
+  fs::remove(torn_path);
+
+  // (c) On-disk rot: flip one bit mid-log and one byte in the snapshot.
+  // The scrub must quarantine both with counted reasons, and recovery
+  // must then fail loudly instead of replaying poison.
+  {
+    std::fstream file(log_path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(0, std::ios::end);
+    const std::streampos middle = file.tellg() / 2;
+    file.seekg(middle);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(middle);
+    file.write(&byte, 1);
+  }
+  const std::string snap_path =
+      runtime::MarketplaceSnapshotPath(dir, "vic");
+  {
+    std::fstream file(snap_path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(0, std::ios::end);
+    const std::streampos last = file.tellg() - std::streampos(1);
+    file.seekg(last);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(last);
+    file.write(&byte, 1);
+  }
+  auto scrubbed = persist::ScrubWalDirectory(dir, {});
+  Check(scrubbed.ok() && scrubbed.value().quarantined == 2,
+        "scrub quarantined the rotten log and snapshot");
+  bool reasons_counted =
+      scrubbed.ok() && !scrubbed.value().quarantine_reasons.empty();
+  if (reasons_counted) {
+    for (const auto& entry : scrubbed.value().quarantine_reasons) {
+      std::printf("  quarantined{reason=%s}=%d\n", entry.first.c_str(),
+                  entry.second);
+    }
+  }
+  Check(reasons_counted, "every quarantine carries a counted reason");
+  Check(fs::exists(log_path + ".quarantined") && !fs::exists(log_path),
+        "rotten artifacts renamed aside, originals gone");
+  auto after_rot = HostedMarketplace::Recover("vic", options);
+  Check(!after_rot.ok(),
+        "recovery after quarantine fails loudly (no silent replay)");
+
+  // (d) Snapshot-less log: recovery has no checkpoint to lean on, so it
+  // full-replays every round — and must still be byte-identical.
+  HostedMarketplace::Options replay_only = options;
+  replay_only.snapshot_every = 0;
+  auto raw =
+      HostedMarketplace::Create("raw", SmallSpec(0xB18, 20), replay_only);
+  if (!raw.ok()) {
+    std::printf("FAIL: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  ApplyDemand(*raw.value(), 20);
+  const std::string want = EngineBytes(*raw.value());
+  Check(raw.value()->FinishWal().ok(), "snapshot-less WAL sealed");
+  auto replayed = HostedMarketplace::Recover("raw", replay_only);
+  Check(replayed.ok() && EngineBytes(*replayed.value()) == want,
+        "full replay recovers the exact engine bytes");
+  IoHooks::Instance().Reset();
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// compaction: snapshot-then-truncate bounds growth, recovery stays exact.
+
+int RunCompactionScenario(const std::string& dir) {
+  std::printf("compaction scenario: bounded log growth, exact recovery\n");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  IoHooks::Instance().Reset();
+  const std::uint64_t compactions_before =
+      runtime::GlobalDurabilityTotals().compactions;
+
+  HostedMarketplace::Options plain;
+  plain.wal_dir = dir;
+  plain.snapshot_every = 4;
+  auto reference =
+      HostedMarketplace::Create("big", SmallSpec(0xC0A7, 48), plain);
+  if (!reference.ok()) {
+    std::printf("FAIL: %s\n", reference.status().ToString().c_str());
+    return 1;
+  }
+  ApplyDemand(*reference.value(), 48);
+  const std::string want = EngineBytes(*reference.value());
+  Check(reference.value()->FinishWal().ok(), "reference WAL sealed");
+
+  HostedMarketplace::Options compacting = plain;
+  compacting.durability.compact_after_rounds = 8;
+  compacting.durability.retain_compacted = true;
+  auto compact =
+      HostedMarketplace::Create("cmp", SmallSpec(0xC0A7, 48), compacting);
+  if (!compact.ok()) {
+    std::printf("FAIL: %s\n", compact.status().ToString().c_str());
+    return 1;
+  }
+  ApplyDemand(*compact.value(), 48);
+  Check(EngineBytes(*compact.value()) == want,
+        "compaction never touched trading: live engines byte-identical");
+  Check(compact.value()->FinishWal().ok(), "compacted WAL sealed");
+
+  const std::string big_log = runtime::MarketplaceLogPath(dir, "big");
+  const std::string cmp_log = runtime::MarketplaceLogPath(dir, "cmp");
+  Check(fs::file_size(cmp_log) < fs::file_size(big_log),
+        "compacted log is smaller than the uncompacted reference");
+  auto retained = persist::LoadRecordedRun(cmp_log + ".old");
+  Check(retained.ok() && retained.value().sealed,
+        "retained predecessor segment is a sealed, loadable log");
+  auto run = persist::LoadRecordedRun(cmp_log);
+  Check(run.ok() && run.value().base_round > 0,
+        "live log is rebased (rounds before the base live in the snapshot)");
+  auto recovered = HostedMarketplace::Recover("cmp", compacting);
+  Check(recovered.ok() &&
+            recovered.value()->state() == HostedMarketplace::State::kClosed &&
+            EngineBytes(*recovered.value()) == want,
+        "recovered engine byte-identical to the uncompacted reference");
+  Check(runtime::GlobalDurabilityTotals().compactions >=
+            compactions_before + 4,
+        "compactions visible in the global durability totals");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = util::ConfigMap::FromArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "chaos_storage: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  auto scenario = parsed.value().GetString("scenario", "all");
+  auto wal_dir = parsed.value().GetString(
+      "wal-dir",
+      (std::filesystem::temp_directory_path() / "cdt_chaos_storage")
+          .string());
+  for (const util::Status& status :
+       {scenario.status(), wal_dir.status()}) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "chaos_storage: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  const std::string stem = wal_dir.value();
+  int code = 0;
+  const std::string which = scenario.value();
+  if (which == "all" || which == "enospc") {
+    code |= RunEnospcScenario(stem + "_enospc");
+  }
+  if (which == "all" || which == "fsyncstorm") {
+    code |= RunFsyncStormScenario(stem + "_fsyncstorm");
+  }
+  if (which == "all" || which == "bitrot") {
+    code |= RunBitrotScenario(stem + "_bitrot");
+  }
+  if (which == "all" || which == "compaction") {
+    code |= RunCompactionScenario(stem + "_compaction");
+  }
+  if (which != "all" && which != "enospc" && which != "fsyncstorm" &&
+      which != "bitrot" && which != "compaction") {
+    std::fprintf(stderr,
+                 "chaos_storage: unknown --scenario '%s' (want "
+                 "all|enospc|fsyncstorm|bitrot|compaction)\n",
+                 which.c_str());
+    return 2;
+  }
+  if (code == 0) {
+    std::printf("CHAOS PASS\n");
+  } else {
+    std::printf("CHAOS FAIL (%d)\n", failures);
+  }
+  return code;
+}

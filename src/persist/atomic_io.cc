@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "persist/io_hooks.h"
+
 namespace cdt {
 namespace persist {
 
@@ -59,9 +61,30 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
   int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return IoError("open", temp_path);
 
-  Status status = WriteAll(fd, bytes, temp_path);
-  if (status.ok() && ::fsync(fd) != 0) {
-    status = IoError("fsync", temp_path);
+  Status status;
+  bool injected = false;
+  const IoDecision write_fault = IoHooks::Instance().Check(IoOp::kWrite);
+  if (write_fault.error != 0) {
+    // Simulated ENOSPC / EIO mid-write; a short write leaves a torn
+    // prefix behind, like a real device running out of space.
+    if (write_fault.short_write && !bytes.empty()) {
+      (void)WriteAll(fd, bytes.substr(0, bytes.size() / 2), temp_path);
+    }
+    errno = write_fault.error;
+    status = IoError("write", temp_path);
+    injected = true;
+  } else {
+    status = WriteAll(fd, bytes, temp_path);
+  }
+  if (status.ok()) {
+    const IoDecision fsync_fault = IoHooks::Instance().Check(IoOp::kFsync);
+    if (fsync_fault.error != 0) {
+      errno = fsync_fault.error;
+      status = IoError("fsync", temp_path);
+      injected = true;
+    } else if (::fsync(fd) != 0) {
+      status = IoError("fsync", temp_path);
+    }
   }
   if (::close(fd) != 0 && status.ok()) {
     status = IoError("close", temp_path);
@@ -69,8 +92,18 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
   if (status.ok() && *FailureHook()) {
     status = (*FailureHook())(temp_path);
   }
+  if (status.ok()) {
+    const IoDecision rename_fault = IoHooks::Instance().Check(IoOp::kRename);
+    if (rename_fault.error != 0) {
+      errno = rename_fault.error;
+      status = IoError("rename", path);
+      injected = true;
+    }
+  }
   if (!status.ok()) {
-    ::unlink(temp_path.c_str());
+    // Injected faults model a crash before cleanup runs: leave the temp
+    // file behind so the orphan-sweep path has something real to sweep.
+    if (!injected) ::unlink(temp_path.c_str());
     return status;
   }
 
@@ -90,6 +123,11 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
 }
 
 Result<std::string> ReadFileBytes(const std::string& path) {
+  const IoDecision read_fault = IoHooks::Instance().Check(IoOp::kRead);
+  if (read_fault.error != 0) {
+    errno = read_fault.error;
+    return IoError("read", path);
+  }
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     if (errno == ENOENT) {
@@ -108,6 +146,7 @@ Result<std::string> ReadFileBytes(const std::string& path) {
     return IoError("read", path);
   }
   std::fclose(file);
+  ApplyBitRot(read_fault, &bytes);
   return bytes;
 }
 

@@ -8,6 +8,7 @@
 
 #include "persist/atomic_io.h"
 #include "persist/codec.h"
+#include "persist/io_hooks.h"
 #include "persist/serialize.h"
 
 namespace cdt {
@@ -31,7 +32,7 @@ Status WriteError(const std::string& path) {
 
 bool KnownRecordType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(RecordType::kConfig) &&
-         type <= static_cast<std::uint8_t>(RecordType::kFooter);
+         type <= static_cast<std::uint8_t>(RecordType::kRebase);
 }
 
 }  // namespace
@@ -83,7 +84,7 @@ Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenForAppend(
   std::uint64_t version;
   CDT_RETURN_NOT_OK(header.ReadVarint64(&version));
   if (version != kFormatVersion) {
-    return Status::ParseError(
+    return Status::VersionMismatch(
         "event log '" + path + "' has format version " +
         std::to_string(version) + "; this build appends only version " +
         std::to_string(kFormatVersion));
@@ -96,6 +97,8 @@ Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenForAppend(
   std::size_t valid_end = kMagicSize + header.position();
   std::size_t pos = valid_end;
   bool saw_config = false;
+  bool saw_rebase = false;
+  std::int64_t base_round = 0;
   std::int64_t rounds = 0;
   std::uint32_t config_crc = 0;
   std::uint32_t rolling_crc = 0;
@@ -107,12 +110,12 @@ Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenForAppend(
     std::uint32_t stored_crc = 0;
     Status status = reader.ReadByte(&type);
     if (status.ok() && !KnownRecordType(type)) {
-      return Status::ParseError("unknown event-log record type byte " +
+      return Status::Corruption("unknown event-log record type byte " +
                                 std::to_string(int{type}));
     }
     if (status.ok()) status = reader.ReadVarint64(&length);
     if (status.ok() && length > kMaxPayloadSize) {
-      return Status::ParseError("event-log record payload length " +
+      return Status::Corruption("event-log record payload length " +
                                 std::to_string(length) + " exceeds limit");
     }
     if (status.ok()) {
@@ -123,7 +126,7 @@ Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenForAppend(
     std::uint32_t crc = Crc32(std::string_view(buffer).substr(pos, 1));
     crc = Crc32(payload, crc);
     if (crc != stored_crc) {
-      return Status::ParseError(
+      return Status::Corruption(
           "event-log record CRC mismatch at offset " + std::to_string(pos) +
           "; refusing to append after corruption");
     }
@@ -142,6 +145,16 @@ Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenForAppend(
         break;
       case RecordType::kSnapshotNote:
         break;
+      case RecordType::kRebase: {
+        if (!saw_config || saw_rebase || rounds != 0) {
+          return Status::ParseError(
+              "rebase record out of position in '" + path + "'");
+        }
+        CDT_RETURN_NOT_OK(DecodeRebasePayload(payload, &base_round));
+        saw_rebase = true;
+        rounds = base_round;
+        break;
+      }
       case RecordType::kFooter:
         return Status::FailedPrecondition(
             "event log '" + path + "' is sealed (footer present); "
@@ -171,6 +184,75 @@ Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenForAppend(
   return writer;
 }
 
+Result<std::unique_ptr<EventLogWriter>> EventLogWriter::OpenRebased(
+    const std::string& path, const core::MechanismConfig& config,
+    const core::PolicySpec& policy, std::int64_t base_round) {
+  if (base_round < 0) {
+    return Status::InvalidArgument("rebase round must be >= 0, got " +
+                                   std::to_string(base_round));
+  }
+  // Build the new log in a temp file and atomically swap it over `path`:
+  // a crash mid-rebase leaves the previous log (and the fresh snapshot
+  // written before this call) intact, so recovery still has a consistent
+  // pair. The FILE* stays valid across the rename, so the returned
+  // writer appends to the already-renamed file.
+  const std::string temp_path = path + ".tmp";
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create event log '" + temp_path +
+                           "': " + std::strerror(errno));
+  }
+  std::unique_ptr<EventLogWriter> writer(new EventLogWriter(path, file));
+
+  Status status;
+  std::string header(kLogMagic, kMagicSize);
+  PutVarint64(&header, kFormatVersion);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    status = WriteError(temp_path);
+  }
+  if (status.ok()) {
+    std::string payload;
+    EncodeConfigPayload(config, policy, &payload);
+    writer->config_crc_ = Crc32(payload);
+    status = writer->AppendRecord(RecordType::kConfig, payload);
+  }
+  if (status.ok() && base_round > 0) {
+    std::string payload;
+    PutZigzag64(&payload, base_round);
+    status = writer->AppendRecord(RecordType::kRebase, payload);
+  }
+  bool injected = false;
+  if (status.ok()) {
+    const IoDecision fsync_fault = IoHooks::Instance().Check(IoOp::kFsync);
+    if (fsync_fault.error != 0) {
+      errno = fsync_fault.error;
+      status = WriteError(temp_path);
+      injected = true;
+    } else if (std::fflush(file) != 0 || ::fsync(fileno(file)) != 0) {
+      status = WriteError(temp_path);
+    }
+  }
+  if (status.ok()) {
+    const IoDecision rename_fault = IoHooks::Instance().Check(IoOp::kRename);
+    if (rename_fault.error != 0) {
+      errno = rename_fault.error;
+      status = WriteError(path);
+      injected = true;
+    } else if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+      status = WriteError(path);
+    }
+  }
+  if (!status.ok()) {
+    writer.reset();  // closes the FILE*
+    // Injected faults model a crash before cleanup — leave the temp for
+    // the orphan sweep; real failures clean up immediately.
+    if (!injected) ::unlink(temp_path.c_str());
+    return status;
+  }
+  writer->rounds_written_ = base_round;
+  return writer;
+}
+
 Status EventLogWriter::AppendRecord(RecordType type,
                                     std::string_view payload) {
   if (!status_.ok()) return status_;
@@ -185,6 +267,18 @@ Status EventLogWriter::AppendRecord(RecordType type,
   std::uint32_t crc = Crc32(std::string_view(&scratch_[0], 1));
   crc = Crc32(payload, crc);
   PutFixed32(&scratch_, crc);
+  const IoDecision write_fault = IoHooks::Instance().Check(IoOp::kWrite);
+  if (write_fault.error != 0) {
+    // Simulated device failure: a short write leaves a torn frame (the
+    // tail-repair case); either way the writer goes sticky-failed.
+    if (write_fault.short_write && scratch_.size() > 1) {
+      (void)std::fwrite(scratch_.data(), 1, scratch_.size() / 2, file_);
+      (void)std::fflush(file_);
+    }
+    errno = write_fault.error;
+    status_ = WriteError(path_);
+    return status_;
+  }
   if (std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
           scratch_.size() ||
       std::fflush(file_) != 0) {
@@ -223,7 +317,11 @@ Status EventLogWriter::Finish() {
   EncodeFooterPayload({rounds_written_, rolling_crc_}, &payload);
   CDT_RETURN_NOT_OK(AppendRecord(RecordType::kFooter, payload));
   Status status;
-  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+  const IoDecision fsync_fault = IoHooks::Instance().Check(IoOp::kFsync);
+  if (fsync_fault.error != 0) {
+    errno = fsync_fault.error;
+    status = WriteError(path_);
+  } else if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
     status = WriteError(path_);
   }
   if (std::fclose(file_) != 0 && status.ok()) {
@@ -254,7 +352,9 @@ Result<std::unique_ptr<EventLogReader>> EventLogReader::Open(
   CDT_RETURN_NOT_OK(header.ReadVarint64(&version));
   if (version != kFormatVersion) {
     // Fail closed: this build only understands its own format version.
-    return Status::ParseError(
+    // Distinct from kCorruption so operators can tell a build mismatch
+    // from bit rot.
+    return Status::VersionMismatch(
         "event log '" + path + "' has format version " +
         std::to_string(version) + "; this build reads only version " +
         std::to_string(kFormatVersion));
@@ -279,12 +379,12 @@ Status EventLogReader::Next(LogRecord* record) {
   Status status = reader.ReadByte(&type);
   bool known_type = status.ok() && KnownRecordType(type);
   if (status.ok() && !known_type) {
-    return Status::ParseError("unknown event-log record type byte " +
+    return Status::Corruption("unknown event-log record type byte " +
                               std::to_string(int{type}));
   }
   if (status.ok()) status = reader.ReadVarint64(&length);
   if (status.ok() && length > kMaxPayloadSize) {
-    return Status::ParseError("event-log record payload length " +
+    return Status::Corruption("event-log record payload length " +
                               std::to_string(length) + " exceeds limit");
   }
   if (status.ok()) {
@@ -306,7 +406,7 @@ Status EventLogReader::Next(LogRecord* record) {
   std::uint32_t crc = Crc32(std::string_view(buffer_).substr(pos_, 1));
   crc = Crc32(payload, crc);
   if (crc != stored_crc) {
-    return Status::ParseError("event-log record CRC mismatch at offset " +
+    return Status::Corruption("event-log record CRC mismatch at offset " +
                               std::to_string(pos_));
   }
   pos_ += reader.position();
@@ -360,6 +460,20 @@ Status DecodeSnapshotNotePayload(std::string_view payload,
   return Status::OK();
 }
 
+Status DecodeRebasePayload(std::string_view payload,
+                           std::int64_t* base_round) {
+  ByteReader reader(payload);
+  CDT_RETURN_NOT_OK(reader.ReadZigzag64(base_round));
+  if (!reader.empty()) {
+    return Status::ParseError("trailing bytes after rebase record");
+  }
+  if (*base_round < 0) {
+    return Status::ParseError("negative rebase round " +
+                              std::to_string(*base_round));
+  }
+  return Status::OK();
+}
+
 // --- snapshot files -----------------------------------------------------
 
 Status WriteSnapshotFile(const std::string& path, std::uint32_t config_crc,
@@ -389,7 +503,7 @@ Result<SnapshotFile> ReadSnapshotFile(const std::string& path) {
   std::uint64_t version;
   CDT_RETURN_NOT_OK(reader.ReadVarint64(&version));
   if (version != kFormatVersion) {
-    return Status::ParseError(
+    return Status::VersionMismatch(
         "snapshot file '" + path + "' has format version " +
         std::to_string(version) + "; this build reads only version " +
         std::to_string(kFormatVersion));
@@ -408,7 +522,7 @@ Result<SnapshotFile> ReadSnapshotFile(const std::string& path) {
     return Status::ParseError("trailing bytes after snapshot record");
   }
   if (Crc32(payload) != stored_crc) {
-    return Status::ParseError("snapshot file '" + path + "' CRC mismatch");
+    return Status::Corruption("snapshot file '" + path + "' CRC mismatch");
   }
 
   SnapshotFile result;

@@ -12,12 +12,17 @@
 // settled round, in order), kSnapshotNote (marks that a snapshot file was
 // durably written after the named round), kFooter (round count + a rolling
 // CRC chained over every round payload — present only in cleanly finished
-// logs).
+// logs), kRebase (immediately after kConfig: this log starts at
+// base_round instead of 0 — rounds [1, base_round] live only in the
+// paired snapshot; written by snapshot-compaction and degraded-mode
+// re-arm).
 //
-// Readers fail closed on an unknown format version or record type and on
-// any CRC mismatch. A torn tail (truncated final record — the crash case)
-// is tolerated only when Options::allow_torn_tail is set, and is reported
-// via torn_tail(); verification paths read with allow_torn_tail off.
+// Readers fail closed on an unknown format version (kVersionMismatch),
+// on CRC mismatch or an unknown record type in a complete record
+// (kCorruption — bit rot), and on structural damage (kParseError). A torn
+// tail (truncated final record — the crash case) is tolerated only when
+// Options::allow_torn_tail is set, and is reported via torn_tail();
+// verification paths read with allow_torn_tail off.
 
 #ifndef CDT_PERSIST_EVENT_LOG_H_
 #define CDT_PERSIST_EVENT_LOG_H_
@@ -51,6 +56,7 @@ enum class RecordType : std::uint8_t {
   kRound = 0x02,
   kSnapshotNote = 0x03,
   kFooter = 0x04,
+  kRebase = 0x05,
 };
 
 /// One framed record as returned by EventLogReader: the payload view
@@ -79,6 +85,17 @@ class EventLogWriter {
   /// fails closed on CRC mismatch or version skew in the surviving prefix.
   static util::Result<std::unique_ptr<EventLogWriter>> OpenForAppend(
       const std::string& path);
+
+  /// Starts a log whose first round will be `base_round + 1` — the
+  /// compaction / degraded-mode re-arm path. Rounds [1, base_round] must
+  /// be covered by a snapshot written BEFORE this call. The new log is
+  /// built in a temp file and atomically renamed over `path`, so a crash
+  /// mid-rebase leaves the previous log intact; the returned writer keeps
+  /// appending to the renamed file. With `base_round == 0` this is
+  /// Open() with an atomic swap.
+  static util::Result<std::unique_ptr<EventLogWriter>> OpenRebased(
+      const std::string& path, const core::MechanismConfig& config,
+      const core::PolicySpec& policy, std::int64_t base_round);
 
   ~EventLogWriter();
   EventLogWriter(const EventLogWriter&) = delete;
@@ -179,6 +196,11 @@ util::Status DecodeFooterPayload(std::string_view payload,
 /// Snapshot-note payload: the round the snapshot covers through.
 util::Status DecodeSnapshotNotePayload(std::string_view payload,
                                        std::int64_t* round);
+
+/// Rebase payload: the round this log's numbering starts after (the
+/// first kRound record in a rebased log carries round base_round + 1).
+util::Status DecodeRebasePayload(std::string_view payload,
+                                 std::int64_t* base_round);
 
 // --- snapshot files -----------------------------------------------------
 

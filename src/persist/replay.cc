@@ -57,6 +57,7 @@ Result<RecordedRun> LoadRecordedRun(const std::string& path,
           return Status::ParseError("trailing bytes after round payload");
         }
         const auto expected =
+            run.base_round +
             static_cast<std::int64_t>(run.rounds.size()) + 1;
         if (report.round != expected) {
           return Status::ParseError(
@@ -73,12 +74,23 @@ Result<RecordedRun> LoadRecordedRun(const std::string& path,
         std::int64_t round;
         CDT_RETURN_NOT_OK(DecodeSnapshotNotePayload(record.payload, &round));
         if (round < 1 ||
-            round > static_cast<std::int64_t>(run.rounds.size())) {
+            round > run.base_round +
+                        static_cast<std::int64_t>(run.rounds.size())) {
           return Status::ParseError(
               "snapshot note for round " + std::to_string(round) +
               " does not follow that round's record");
         }
         run.snapshot_rounds.push_back(round);
+        break;
+      }
+      case RecordType::kRebase: {
+        if (!have_config || !run.rounds.empty() || run.base_round != 0) {
+          return Status::ParseError(
+              "rebase record out of position (must immediately follow "
+              "the config record)");
+        }
+        CDT_RETURN_NOT_OK(
+            DecodeRebasePayload(record.payload, &run.base_round));
         break;
       }
       case RecordType::kFooter: {
@@ -93,11 +105,12 @@ Result<RecordedRun> LoadRecordedRun(const std::string& path,
     return Status::ParseError("event log has no config record");
   }
   if (have_footer) {
-    if (footer.round_count !=
-        static_cast<std::int64_t>(run.rounds.size())) {
+    const std::int64_t total =
+        run.base_round + static_cast<std::int64_t>(run.rounds.size());
+    if (footer.round_count != total) {
       return Status::ParseError(
           "footer claims " + std::to_string(footer.round_count) +
-          " rounds, log holds " + std::to_string(run.rounds.size()));
+          " rounds, log holds " + std::to_string(total));
     }
     if (footer.rolling_crc != rolling_crc) {
       return Status::ParseError("footer rolling CRC mismatch");
@@ -166,6 +179,13 @@ std::string DivergenceDetail(const market::RoundReport& recorded,
 }  // namespace
 
 Result<ReplayResult> VerifyReplay(const RecordedRun& recorded) {
+  if (recorded.base_round != 0) {
+    return Status::FailedPrecondition(
+        "rebased log starts at round " +
+        std::to_string(recorded.base_round + 1) +
+        "; rounds before that were compacted into its snapshot — resume "
+        "from the snapshot instead of a full replay");
+  }
   auto run = core::CmabHs::Create(recorded.config, recorded.policy);
   CDT_RETURN_NOT_OK(run.status());
   core::CmabHs& live = *run.value();
@@ -195,13 +215,20 @@ Result<ResumedRun> ResumeFromSnapshot(const RecordedRun& recorded,
         "mismatch)");
   }
   const std::int64_t snapshot_round = snapshot.snapshot.next_round - 1;
-  const auto recorded_rounds =
-      static_cast<std::int64_t>(recorded.rounds.size());
+  const std::int64_t recorded_rounds =
+      recorded.base_round + static_cast<std::int64_t>(recorded.rounds.size());
   if (snapshot_round < 0 || snapshot_round > recorded_rounds) {
     return Status::FailedPrecondition(
         "snapshot covers round " + std::to_string(snapshot_round) +
         " but the log holds only " + std::to_string(recorded_rounds) +
         " rounds");
+  }
+  if (snapshot_round < recorded.base_round) {
+    return Status::FailedPrecondition(
+        "snapshot covers round " + std::to_string(snapshot_round) +
+        " but the log was rebased at round " +
+        std::to_string(recorded.base_round) +
+        "; rounds in between were compacted away");
   }
 
   auto run = core::CmabHs::Create(recorded.config, recorded.policy);
@@ -217,15 +244,13 @@ Result<ResumedRun> ResumeFromSnapshot(const RecordedRun& recorded,
     auto report = live.RunRound();
     CDT_RETURN_NOT_OK(report.status());
     const std::string bytes = CanonicalRoundBytes(report.value());
-    if (bytes != recorded.round_payloads[static_cast<std::size_t>(
-            round - 1)]) {
+    const auto index =
+        static_cast<std::size_t>(round - recorded.base_round - 1);
+    if (bytes != recorded.round_payloads[index]) {
       return Status::Internal(
           "tail-replay diverged at round " + std::to_string(round) +
           " (differing fields: " +
-          DivergenceDetail(recorded.rounds[static_cast<std::size_t>(
-                               round - 1)],
-                           report.value()) +
-          ")");
+          DivergenceDetail(recorded.rounds[index], report.value()) + ")");
     }
   }
 

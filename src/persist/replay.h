@@ -32,7 +32,11 @@ struct RecordedRun {
   core::PolicySpec policy;
   /// CRC-32 of the config payload; pairs the log with snapshot files.
   std::uint32_t config_crc = 0;
-  /// Decoded round reports, in order (round i at index i-1).
+  /// Rounds [1, base_round] were compacted away (they live only in the
+  /// paired snapshot); the first record in `rounds` is round
+  /// base_round + 1. Zero for ordinary (non-rebased) logs.
+  std::int64_t base_round = 0;
+  /// Decoded round reports, in order (round base_round + i at index i-1).
   std::vector<market::RoundReport> rounds;
   /// The raw canonical payload bytes of each round (replay compares
   /// against these, not the re-encoded decode — no codec round trip in
@@ -66,6 +70,8 @@ struct ReplayResult {
 /// recorded round and byte-compares. Returns the first divergence (round
 /// number and differing field context in the message) as an Internal
 /// error; OK means the build reproduces the recording bit-for-bit.
+/// Rebased logs (base_round > 0) cannot be replayed from round 1 —
+/// resume from their snapshot instead (FailedPrecondition).
 util::Result<ReplayResult> VerifyReplay(const RecordedRun& recorded);
 
 /// A run resumed from snapshot + tail-replay: `run` is live and

@@ -8,6 +8,7 @@
 
 #include "persist/atomic_io.h"
 #include "persist/codec.h"
+#include "persist/io_hooks.h"
 
 namespace cdt {
 namespace runtime {
@@ -52,7 +53,7 @@ Status ScanJournal(const std::string& path, const std::string& buffer,
   std::uint64_t version;
   CDT_RETURN_NOT_OK(header.ReadVarint64(&version));
   if (version != kJournalVersion) {
-    return Status::ParseError(
+    return Status::VersionMismatch(
         "journal '" + path + "' has format version " +
         std::to_string(version) + "; this build reads only version " +
         std::to_string(kJournalVersion));
@@ -67,7 +68,7 @@ Status ScanJournal(const std::string& path, const std::string& buffer,
     std::uint32_t stored_crc = 0;
     Status status = reader.ReadByte(&type);
     if (status.ok() && !ValidEntryType(type)) {
-      return Status::ParseError("journal '" + path +
+      return Status::Corruption("journal '" + path +
                                 "' has invalid entry type byte " +
                                 std::to_string(int{type}));
     }
@@ -84,7 +85,7 @@ Status ScanJournal(const std::string& path, const std::string& buffer,
     std::uint32_t crc =
         Crc32(std::string_view(buffer).substr(pos, crc_covered));
     if (crc != stored_crc) {
-      return Status::ParseError("journal '" + path +
+      return Status::Corruption("journal '" + path +
                                 "' entry CRC mismatch at offset " +
                                 std::to_string(pos));
     }
@@ -163,6 +164,17 @@ Status JournalWriter::Append(const JournalEntry& entry) {
   }
   std::string frame;
   EncodeEntry(entry, &frame);
+  const persist::IoDecision write_fault =
+      persist::IoHooks::Instance().Check(persist::IoOp::kWrite);
+  if (write_fault.error != 0) {
+    if (write_fault.short_write && frame.size() > 1) {
+      (void)std::fwrite(frame.data(), 1, frame.size() / 2, file_);
+      (void)std::fflush(file_);
+    }
+    errno = write_fault.error;
+    status_ = WriteError(path_);
+    return status_;
+  }
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
       std::fflush(file_) != 0) {
     status_ = WriteError(path_);
@@ -175,7 +187,12 @@ Status JournalWriter::Close() {
   if (!status_.ok()) return status_;
   if (file_ == nullptr) return Status::OK();
   Status status;
-  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+  const persist::IoDecision fsync_fault =
+      persist::IoHooks::Instance().Check(persist::IoOp::kFsync);
+  if (fsync_fault.error != 0) {
+    errno = fsync_fault.error;
+    status = WriteError(path_);
+  } else if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
     status = WriteError(path_);
   }
   if (std::fclose(file_) != 0 && status.ok()) {

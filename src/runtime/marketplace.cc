@@ -56,26 +56,23 @@ Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Create(
   std::remove(MarketplaceSnapshotPath(options.wal_dir, id).c_str());
   std::remove(MarketplaceJournalPath(options.wal_dir, id).c_str());
 
-  persist::RunRecorder::Options rec_options;
-  rec_options.log_path = MarketplaceLogPath(options.wal_dir, id);
-  rec_options.snapshot_every = options.snapshot_every;
-  if (options.snapshot_every > 0) {
-    rec_options.snapshot_path = MarketplaceSnapshotPath(options.wal_dir, id);
+  DurabilityGuard::Options guard_options;
+  guard_options.log_path = MarketplaceLogPath(options.wal_dir, id);
+  guard_options.journal_path = MarketplaceJournalPath(options.wal_dir, id);
+  guard_options.snapshot_every = options.snapshot_every;
+  if (options.snapshot_every > 0 ||
+      options.durability.compact_after_rounds > 0) {
+    guard_options.snapshot_path = MarketplaceSnapshotPath(options.wal_dir, id);
   }
-  auto recorder = persist::RunRecorder::Create(
-      std::move(rec_options), spec.config, spec.policy);
-  CDT_RETURN_NOT_OK(recorder.status());
-
-  auto journal =
-      JournalWriter::Open(MarketplaceJournalPath(options.wal_dir, id));
-  CDT_RETURN_NOT_OK(journal.status());
+  guard_options.tuning = options.durability;
+  auto guard = DurabilityGuard::Create(std::move(guard_options), spec.config,
+                                       spec.policy);
+  CDT_RETURN_NOT_OK(guard.status());
 
   std::unique_ptr<HostedMarketplace> marketplace(
       new HostedMarketplace(id, std::move(run).value()));
-  marketplace->recorder_ = recorder.value().get();
-  marketplace->run_->mutable_engine().AddObserver(
-      std::move(recorder).value());
-  marketplace->journal_ = std::move(journal).value();
+  marketplace->guard_ = guard.value().get();
+  marketplace->run_->mutable_engine().AddObserver(std::move(guard).value());
   return marketplace;
 }
 
@@ -89,8 +86,9 @@ Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Recover(
   auto loaded = persist::LoadRecordedRun(log_path, /*allow_torn_tail=*/true);
   CDT_RETURN_NOT_OK(loaded.status());
   const persist::RecordedRun& recorded = loaded.value();
-  const auto recorded_rounds =
-      static_cast<std::int64_t>(recorded.rounds.size());
+  const std::int64_t base_round = recorded.base_round;
+  const std::int64_t last_round =
+      base_round + static_cast<std::int64_t>(recorded.rounds.size());
 
   auto journal_read = ReadJournal(journal_path);
   CDT_RETURN_NOT_OK(journal_read.status());
@@ -98,13 +96,14 @@ Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Recover(
 
   // Prefer snapshot + tail-replay; any snapshot problem (missing file,
   // config mismatch, restore-unsafe policy) degrades to a full replay —
-  // slower, never wrong.
+  // slower, never wrong. A rebased (compacted) log holds no rounds before
+  // its base, so there the snapshot is mandatory.
   std::unique_ptr<core::CmabHs> run;
   std::int64_t resume_round = 0;
   auto snap = persist::ReadSnapshotFile(snap_path);
   if (snap.ok() && snap.value().config_crc == recorded.config_crc) {
     const std::int64_t snap_round = snap.value().snapshot.next_round - 1;
-    if (snap_round >= 0 && snap_round <= recorded_rounds) {
+    if (snap_round >= base_round && snap_round <= last_round) {
       auto candidate = core::CmabHs::Create(recorded.config, recorded.policy);
       CDT_RETURN_NOT_OK(candidate.status());
       if (candidate.value()
@@ -117,6 +116,13 @@ Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Recover(
     }
   }
   if (run == nullptr) {
+    if (base_round > 0) {
+      return Status::Corruption(
+          "marketplace '" + id + "' has a log rebased at round " +
+          std::to_string(base_round) +
+          " but no usable snapshot — rounds before the base are "
+          "unrecoverable");
+    }
     auto candidate = core::CmabHs::Create(recorded.config, recorded.policy);
     CDT_RETURN_NOT_OK(candidate.status());
     run = std::move(candidate).value();
@@ -133,8 +139,7 @@ Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Recover(
          flips[next_flip].effect_round <= resume_round) {
     ++next_flip;
   }
-  for (std::int64_t round = resume_round + 1; round <= recorded_rounds;
-       ++round) {
+  for (std::int64_t round = resume_round + 1; round <= last_round; ++round) {
     while (next_flip < flips.size() &&
            flips[next_flip].effect_round == round) {
       const JournalEntry& flip = flips[next_flip];
@@ -145,7 +150,8 @@ Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Recover(
     auto report = run->RunRound();
     CDT_RETURN_NOT_OK(report.status());
     if (persist::CanonicalRoundBytes(report.value()) !=
-        recorded.round_payloads[static_cast<std::size_t>(round - 1)]) {
+        recorded
+            .round_payloads[static_cast<std::size_t>(round - base_round - 1)]) {
       return Status::Internal(
           "marketplace '" + id + "' recovery diverged at round " +
           std::to_string(round) +
@@ -168,19 +174,28 @@ Result<std::unique_ptr<HostedMarketplace>> HostedMarketplace::Recover(
     return marketplace;
   }
 
-  persist::RunRecorder::Options rec_options;
-  rec_options.log_path = log_path;
-  rec_options.snapshot_every = options.snapshot_every;
-  if (options.snapshot_every > 0) rec_options.snapshot_path = snap_path;
-  auto recorder = persist::RunRecorder::Attach(std::move(rec_options));
-  CDT_RETURN_NOT_OK(recorder.status());
-  marketplace->recorder_ = recorder.value().get();
-  marketplace->run_->mutable_engine().AddObserver(
-      std::move(recorder).value());
+  DurabilityGuard::Options guard_options;
+  guard_options.log_path = log_path;
+  guard_options.journal_path = journal_path;
+  guard_options.snapshot_every = options.snapshot_every;
+  if (options.snapshot_every > 0 ||
+      options.durability.compact_after_rounds > 0) {
+    guard_options.snapshot_path = snap_path;
+  }
+  guard_options.tuning = options.durability;
+  auto guard = DurabilityGuard::Attach(std::move(guard_options),
+                                       recorded.config, recorded.policy);
+  CDT_RETURN_NOT_OK(guard.status());
+  marketplace->guard_ = guard.value().get();
+  marketplace->run_->mutable_engine().AddObserver(std::move(guard).value());
 
-  auto journal = JournalWriter::Open(journal_path);
-  CDT_RETURN_NOT_OK(journal.status());
-  marketplace->journal_ = std::move(journal).value();
+  if (resume_round == 0 && options.snapshot_every > 0 && last_round > 0) {
+    // Full replay because the snapshot was missing or unusable: restore the
+    // snapshot now so the next crash does not pay the full replay again.
+    // Storage failures here feed the breaker, never fail the recovery.
+    CDT_RETURN_NOT_OK(
+        marketplace->guard_->CheckpointNow(marketplace->run_->engine()));
+  }
 
   if (marketplace->rounds_settled() >= marketplace->total_rounds()) {
     marketplace->state_ = State::kDone;
@@ -225,18 +240,14 @@ Status HostedMarketplace::ApplyEvent(const Event& event,
       if (state_ != State::kActive) return Status::OK();  // shed
       // WAL discipline: journal first, then mutate. Re-application during
       // recovery reaches the same engine state, so a deterministic
-      // refusal here refuses identically there.
+      // refusal here refuses identically there. A journal failure no
+      // longer quarantines — the guard absorbs it by degrading (the flip
+      // then rides in the re-arm snapshot's activity bitmap).
       JournalEntry entry;
       entry.type = event.type;
       entry.effect_round = rounds_settled() + 1;
       entry.seller = event.seller;
-      if (journal_ != nullptr) {
-        Status status = journal_->Append(entry);
-        if (!status.ok()) {
-          Quarantine();
-          return status;
-        }
-      }
+      if (guard_ != nullptr) guard_->Journal(entry);
       Status status = run_->mutable_engine().SetSellerActive(
           event.seller, event.type == EventType::kSellerReturn);
       if (!status.ok() &&
@@ -246,6 +257,7 @@ Status HostedMarketplace::ApplyEvent(const Event& event,
         Quarantine();
         return status;
       }
+      QuarantineIfGuardFailed();
       return Status::OK();
     }
     case EventType::kRoundTick:
@@ -263,6 +275,7 @@ Status HostedMarketplace::ApplyEvent(const Event& event,
         Quarantine();
         return status;
       }
+      QuarantineIfGuardFailed();
       if (state_ == State::kActive) *rounds_remaining = want - settled;
       return Status::OK();
     }
@@ -270,20 +283,21 @@ Status HostedMarketplace::ApplyEvent(const Event& event,
   return Status::InvalidArgument("unknown runtime event type");
 }
 
+void HostedMarketplace::QuarantineIfGuardFailed() {
+  if (guard_ == nullptr || state_ != State::kActive) return;
+  if (guard_->health() != DurabilityGuard::Health::kFailed) return;
+  CountDurabilityQuarantine();
+  Quarantine();
+}
+
 Status HostedMarketplace::FinishWal() {
   if (state_ == State::kClosed) return Status::OK();
   Status status;
-  if (recorder_ != nullptr) {
-    // Final checkpoint (when snapshots are configured and at least one
-    // round settled), then seal the log with its footer.
-    Status checkpoint =
-        recorder_->CheckpointNow(run_->engine());
-    Status finish = recorder_->Finish();
-    status = !checkpoint.ok() ? checkpoint : finish;
-  }
-  if (journal_ != nullptr) {
-    Status closed = journal_->Close();
-    if (status.ok()) status = closed;
+  if (guard_ != nullptr) {
+    // Final checkpoint + footer seal + journal sync; a degraded guard
+    // makes one last rebase attempt so a cleared fault still drains to a
+    // sealed, recoverable WAL.
+    status = guard_->Finish(run_->engine());
   }
   state_ = State::kClosed;
   return status;

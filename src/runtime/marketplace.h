@@ -13,7 +13,13 @@
 // journaled activity flips at the exact round cursors they originally took
 // effect, then reattaches the log and journal in append mode — the resumed
 // marketplace continues producing the same round bytes an uninterrupted
-// run would have.
+// run would have. A compacted (rebased) log replays only its tail past the
+// base round and therefore requires its snapshot.
+//
+// Storage faults do not crash the marketplace: the WAL writers live behind
+// a DurabilityGuard circuit breaker (durable → degraded → failed). Only a
+// guard whose re-arm budget is exhausted quarantines the marketplace, and
+// that transition is explicitly counted.
 
 #ifndef CDT_RUNTIME_MARKETPLACE_H_
 #define CDT_RUNTIME_MARKETPLACE_H_
@@ -23,7 +29,7 @@
 #include <string>
 
 #include "core/cmab_hs.h"
-#include "persist/recorder.h"
+#include "runtime/durability.h"
 #include "runtime/event.h"
 #include "runtime/journal.h"
 #include "util/status.h"
@@ -55,6 +61,8 @@ class HostedMarketplace {
     /// Rounds between engine checkpoints; 0 disables snapshots (recovery
     /// then replays from round 1).
     std::int64_t snapshot_every = 0;
+    /// Durability breaker / compaction knobs (see DurabilityGuard).
+    DurabilityGuard::Tuning durability;
   };
 
   /// Admits a fresh marketplace: builds the run from `spec`, opens its WAL
@@ -98,6 +106,9 @@ class HostedMarketplace {
 
   void Quarantine() { if (state_ == State::kActive) state_ = State::kQuarantined; }
 
+  /// The durability breaker (null once kClosed via a sealed recovery).
+  const DurabilityGuard* guard() const { return guard_; }
+
   /// "active", "quarantined", "budget_stopped", "done", "closed".
   static const char* StateName(State state);
 
@@ -109,10 +120,13 @@ class HostedMarketplace {
   /// completion. Returns rounds actually settled via `*settled`.
   util::Status RunRounds(std::int64_t budget, std::int64_t* settled);
 
+  /// Quarantines (with the durability-specific counter) when the guard's
+  /// breaker exhausted its re-arm budget.
+  void QuarantineIfGuardFailed();
+
   std::string id_;
   std::unique_ptr<core::CmabHs> run_;
-  persist::RunRecorder* recorder_ = nullptr;  // owned by the engine
-  std::unique_ptr<JournalWriter> journal_;
+  DurabilityGuard* guard_ = nullptr;  // owned by the engine (observer)
   State state_ = State::kActive;
 };
 

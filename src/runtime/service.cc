@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/telemetry.h"
+#include "persist/scrub.h"
 
 namespace cdt {
 namespace runtime {
@@ -33,6 +34,25 @@ obs::Counter* ShedMetric(const std::string& reason) {
       "Events shed by admission or workers, by reason", {{"reason", reason}});
 }
 
+/// cdt_persist carries no obs dependency, so the runtime exports the
+/// scrub results on the persistence layer's behalf.
+void CountScrub(const persist::ScrubReport& report) {
+  auto files = [](const char* result) {
+    return obs::registry().GetCounter(
+        "cdt_persist_scrub_files_total",
+        "WAL artifacts scrubbed at service startup, by result",
+        {{"result", result}});
+  };
+  files("clean")->Add(static_cast<double>(report.clean));
+  files("repaired")->Add(static_cast<double>(report.repaired));
+  files("quarantined")->Add(static_cast<double>(report.quarantined));
+  files("version_skew")->Add(static_cast<double>(report.version_skew));
+  obs::registry()
+      .GetCounter("cdt_persist_scrub_orphans_removed_total",
+                  "Orphaned atomic-write temp files removed by the scrubber")
+      ->Add(static_cast<double>(report.orphan_temps_removed));
+}
+
 }  // namespace
 
 MarketplaceService::MarketplaceService(Options options)
@@ -52,12 +72,32 @@ Result<std::unique_ptr<MarketplaceService>> MarketplaceService::Create(
   std::unique_ptr<MarketplaceService> service(
       new MarketplaceService(std::move(options)));
   const Options& opts = service->options_;
+
+  if (opts.scrub_on_start) {
+    // Self-heal the WAL directory before any writer opens it: sweep
+    // orphaned .tmp files, truncate torn log tails, quarantine anything
+    // irreparable so recovery fails loudly (NotFound) instead of
+    // replaying poison. Single-threaded here — no writer races.
+    auto scrubbed = persist::ScrubWalDirectory(opts.wal_dir, {});
+    CDT_RETURN_NOT_OK(scrubbed.status());
+    const persist::ScrubReport& report = scrubbed.value();
+    service->scrub_repaired_ = static_cast<std::uint64_t>(report.repaired);
+    service->scrub_quarantined_ =
+        static_cast<std::uint64_t>(report.quarantined);
+    service->scrub_version_skew_ =
+        static_cast<std::uint64_t>(report.version_skew);
+    service->scrub_orphans_removed_ =
+        static_cast<std::uint64_t>(report.orphan_temps_removed);
+    CountScrub(report);
+  }
+
   for (int i = 0; i < opts.num_shards; ++i) {
     ShardWorker::Options shard_options;
     shard_options.index = i;
     shard_options.queue_capacity = opts.queue_capacity;
     shard_options.marketplace.wal_dir = opts.wal_dir;
     shard_options.marketplace.snapshot_every = opts.snapshot_every;
+    shard_options.marketplace.durability = opts.durability;
     shard_options.max_rounds_per_dispatch = opts.max_rounds_per_dispatch;
     shard_options.recovery_breaker = opts.recovery_breaker;
     shard_options.coalescer =
@@ -261,6 +301,11 @@ MarketplaceService::Stats MarketplaceService::GetStats() const {
     stats.restarts = supervisor_->total_restarts();
     stats.stalls = supervisor_->total_stalls();
   }
+  stats.scrub_repaired = scrub_repaired_;
+  stats.scrub_quarantined = scrub_quarantined_;
+  stats.scrub_version_skew = scrub_version_skew_;
+  stats.scrub_orphans_removed = scrub_orphans_removed_;
+  stats.durability = GlobalDurabilityTotals();
   return stats;
 }
 

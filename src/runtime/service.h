@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "market/faults.h"
+#include "runtime/durability.h"
 #include "runtime/event.h"
 #include "runtime/shard.h"
 #include "runtime/supervisor.h"
@@ -53,6 +54,12 @@ class MarketplaceService {
     std::string wal_dir;
     /// Rounds between per-marketplace checkpoints; 0 disables.
     std::int64_t snapshot_every = 0;
+    /// Per-marketplace durability breaker / compaction knobs.
+    DurabilityGuard::Tuning durability;
+    /// Scrub the WAL directory before opening it: removes orphan .tmp
+    /// files, truncates torn log tails, quarantines irreparable
+    /// artifacts. Counted in cdt_persist_scrub_* metrics.
+    bool scrub_on_start = true;
     std::int64_t max_rounds_per_dispatch = 64;
     ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
     /// kBlock: how long Submit may wait for queue space.
@@ -107,6 +114,13 @@ class MarketplaceService {
     std::uint64_t restarts = 0;
     std::uint64_t stalls = 0;
     std::vector<ShardStats> shards;
+    /// Startup-scrub results for this service's WAL directory.
+    std::uint64_t scrub_repaired = 0;
+    std::uint64_t scrub_quarantined = 0;
+    std::uint64_t scrub_version_skew = 0;
+    std::uint64_t scrub_orphans_removed = 0;
+    /// Process-wide durability breaker totals (all services combined).
+    DurabilityTotals durability;
   };
   Stats GetStats() const;
 
@@ -139,6 +153,12 @@ class MarketplaceService {
 
   mutable std::mutex shed_mu_;
   std::map<std::string, std::uint64_t> shed_by_reason_;
+
+  /// Startup-scrub tallies (set once in Create, before workers exist).
+  std::uint64_t scrub_repaired_ = 0;
+  std::uint64_t scrub_quarantined_ = 0;
+  std::uint64_t scrub_version_skew_ = 0;
+  std::uint64_t scrub_orphans_removed_ = 0;
 };
 
 }  // namespace runtime

@@ -23,6 +23,10 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kVersionMismatch:
+      return "VersionMismatch";
   }
   return "Unknown";
 }

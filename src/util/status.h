@@ -26,6 +26,8 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInternal,
+  kCorruption,
+  kVersionMismatch,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -67,6 +69,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -370,7 +370,13 @@ TEST_F(EventLogFuzzTest, EveryBitFlipIsRejectedOrDetectedCleanly) {
       // corrupted file is a failure.
       ADD_FAILURE() << "bit flip at byte " << i << " was not detected";
     } else {
-      EXPECT_EQ(run.status().code(), util::StatusCode::kParseError)
+      // The taxonomy is part of the contract: framing damage is a parse
+      // error, CRC-detected damage in complete records is corruption, and
+      // a flipped version byte is version skew — never anything else.
+      const util::StatusCode code = run.status().code();
+      EXPECT_TRUE(code == util::StatusCode::kParseError ||
+                  code == util::StatusCode::kCorruption ||
+                  code == util::StatusCode::kVersionMismatch)
           << "byte " << i << ": " << run.status().ToString();
     }
   }
@@ -462,8 +468,42 @@ TEST_F(EventLogFuzzTest, SnapshotFileCorruptionRejected) {
     std::ofstream out(snap_path, std::ios::binary | std::ios::trunc);
     out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
     out.close();
-    EXPECT_FALSE(ReadSnapshotFile(snap_path).ok())
+    auto flipped = ReadSnapshotFile(snap_path);
+    ASSERT_FALSE(flipped.ok())
         << "snapshot bit flip at byte " << i << " accepted";
+    // Same error taxonomy as the event log: framing = parse error,
+    // CRC-caught payload damage = corruption, version byte = skew.
+    const util::StatusCode code = flipped.status().code();
+    EXPECT_TRUE(code == util::StatusCode::kParseError ||
+                code == util::StatusCode::kCorruption ||
+                code == util::StatusCode::kVersionMismatch)
+        << "byte " << i << ": " << flipped.status().ToString();
+  }
+
+  // Every strict prefix must fail too — snapshots are atomic, so a short
+  // file is damage, never a torn tail to repair.
+  for (std::size_t cut = 0; cut < pristine.size(); ++cut) {
+    std::ofstream out(snap_path, std::ios::binary | std::ios::trunc);
+    out.write(pristine.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(ReadSnapshotFile(snap_path).ok())
+        << "snapshot truncated to " << cut << " bytes accepted";
+  }
+
+  // Random garbage (with and without a valid magic) never crashes.
+  stats::Xoshiro256 rng(0xBEEF);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage(1 + rng.Next() % 256, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Next() & 0xFF);
+    if (trial % 2 == 0 && garbage.size() > 9) {
+      std::memcpy(&garbage[0], kSnapshotMagic, 8);
+      garbage[8] = 1;  // format version varint
+    }
+    std::ofstream out(snap_path, std::ios::binary | std::ios::trunc);
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+    out.close();
+    EXPECT_FALSE(ReadSnapshotFile(snap_path).ok())
+        << "garbage snapshot trial " << trial << " accepted";
   }
   std::filesystem::remove(snap_path);
 }

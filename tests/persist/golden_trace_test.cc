@@ -128,7 +128,7 @@ TEST_F(GoldenTraceTest, FutureFormatVersionFailsClosed) {
   }
   auto strict = LoadRecordedRun(skewed);
   EXPECT_FALSE(strict.ok());
-  EXPECT_EQ(strict.status().code(), util::StatusCode::kParseError);
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kVersionMismatch);
   EXPECT_NE(strict.status().message().find("version"), std::string::npos)
       << strict.status().ToString();
   // Torn-tail tolerance is crash recovery, not version forgiveness.

@@ -1,0 +1,261 @@
+// The durability circuit breaker under deterministic disk faults:
+// storage failures degrade instead of crashing, trading continues
+// byte-identically to a fault-free run, re-arm probes restore full
+// durability through a rebased log, a permanent fault ends in an
+// explicit quarantine, and snapshot-compaction bounds log growth while
+// preserving exact recovery.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "market/trading_engine.h"
+#include "persist/event_log.h"
+#include "persist/io_hooks.h"
+#include "persist/replay.h"
+#include "persist/serialize.h"
+#include "runtime/durability.h"
+#include "runtime/marketplace.h"
+
+namespace cdt {
+namespace runtime {
+namespace {
+
+namespace fs = std::filesystem;
+using persist::IoFault;
+using persist::IoHooks;
+using persist::IoOp;
+
+MarketplaceSpec SmallSpec(std::int64_t rounds) {
+  MarketplaceSpec spec;
+  spec.config.num_sellers = 8;
+  spec.config.num_selected = 2;
+  spec.config.num_pois = 3;
+  spec.config.num_rounds = rounds;
+  spec.config.seed = 0xD17A;
+  return spec;
+}
+
+Event Demand(const std::string& id, std::int64_t rounds) {
+  Event event;
+  event.type = EventType::kConsumerDemand;
+  event.marketplace = id;
+  event.rounds = rounds;
+  return event;
+}
+
+std::string EngineBytes(const HostedMarketplace& marketplace) {
+  std::string bytes;
+  persist::EncodeEngineSnapshot(
+      marketplace.run().engine().CaptureSnapshot(), &bytes);
+  return bytes;
+}
+
+class DurabilityGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IoHooks::Instance().Reset();
+    dir_ = (fs::temp_directory_path() /
+            ("cdt_durability_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    IoHooks::Instance().Reset();
+    fs::remove_all(dir_);
+  }
+
+  std::int64_t ApplyDemand(HostedMarketplace& marketplace,
+                           std::int64_t rounds) {
+    std::int64_t remaining = 0;
+    Status status =
+        marketplace.ApplyEvent(Demand(marketplace.id(), rounds),
+                               /*max_rounds=*/0, &remaining);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return remaining;
+  }
+
+  using Status = util::Status;
+  std::string dir_;
+};
+
+TEST_F(DurabilityGuardTest, EnospcWindowDegradesRearmsAndStaysByteTrue) {
+  // Reference: the same spec with no faults.
+  HostedMarketplace::Options options;
+  options.wal_dir = dir_;
+  options.snapshot_every = 4;
+  options.durability.degrade_after_failures = 3;
+  options.durability.rearm_initial_rounds = 4;
+  options.durability.rearm_max_rounds = 64;
+  auto reference =
+      HostedMarketplace::Create("ref", SmallSpec(60), options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ApplyDemand(*reference.value(), 60);
+  const std::string want = EngineBytes(*reference.value());
+  ASSERT_TRUE(reference.value()->FinishWal().ok());
+
+  // Faulted: a 2-op ENOSPC window on writes. The first failed append
+  // makes the log writer's error sticky, so the next two rounds fail
+  // without consuming window ops and the breaker opens after 3
+  // consecutive failed rounds; the window's second op then fails the
+  // first re-arm probe and the doubled backoff clears it.
+  IoHooks::Instance().EnableCounting();
+  auto faulted = HostedMarketplace::Create("flt", SmallSpec(60), options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  HostedMarketplace& marketplace = *faulted.value();
+  ApplyDemand(marketplace, 10);
+  IoFault fault;
+  fault.op = IoOp::kWrite;
+  fault.from_index = IoHooks::Instance().ops_seen(IoOp::kWrite);
+  fault.count = 2;
+  IoHooks::Instance().Arm(fault);
+  ApplyDemand(marketplace, 50);
+
+  ASSERT_NE(marketplace.guard(), nullptr);
+  const DurabilityGuard::Stats stats = marketplace.guard()->stats();
+  EXPECT_EQ(stats.health, DurabilityGuard::Health::kDurable);
+  EXPECT_EQ(stats.degrades, 1u);
+  EXPECT_EQ(stats.rearms, 1u);
+  EXPECT_GE(stats.wal_failures, 4u);
+  EXPECT_EQ(marketplace.state(), HostedMarketplace::State::kDone);
+
+  // Faults never leaked into trading: the engines match byte for byte.
+  EXPECT_EQ(EngineBytes(marketplace), want);
+  ASSERT_TRUE(marketplace.FinishWal().ok());
+
+  // The rebased, sealed WAL recovers the exact same engine.
+  IoHooks::Instance().ClearFaults();
+  auto recovered = HostedMarketplace::Recover("flt", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->state(), HostedMarketplace::State::kClosed);
+  EXPECT_EQ(EngineBytes(*recovered.value()), want);
+
+  // The rebased log starts past the degraded window: the lost rounds are
+  // explicitly absent, not silently wrong.
+  auto run = persist::LoadRecordedRun(
+      MarketplaceLogPath(dir_, "flt"));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run.value().base_round, 10);
+  EXPECT_TRUE(run.value().sealed);
+}
+
+TEST_F(DurabilityGuardTest, JournalFailureDegradesImmediately) {
+  // An unjournaled seller flip would silently poison recovery, so one
+  // failed journal append must open the breaker at once — no threshold.
+  HostedMarketplace::Options options;
+  options.wal_dir = dir_;
+  options.snapshot_every = 4;
+  auto created = HostedMarketplace::Create("jrn", SmallSpec(40), options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  HostedMarketplace& marketplace = *created.value();
+  IoHooks::Instance().EnableCounting();
+  ApplyDemand(marketplace, 8);
+
+  IoFault fault;
+  fault.op = IoOp::kWrite;
+  fault.from_index = IoHooks::Instance().ops_seen(IoOp::kWrite);
+  fault.count = 1;
+  IoHooks::Instance().Arm(fault);
+  Event flip;
+  flip.type = EventType::kSellerLeave;
+  flip.marketplace = "jrn";
+  flip.seller = 3;
+  std::int64_t remaining = 0;
+  ASSERT_TRUE(marketplace.ApplyEvent(flip, 0, &remaining).ok());
+
+  ASSERT_NE(marketplace.guard(), nullptr);
+  EXPECT_EQ(marketplace.guard()->health(),
+            DurabilityGuard::Health::kDegraded);
+  EXPECT_EQ(marketplace.state(), HostedMarketplace::State::kActive);
+
+  // The flip took effect despite the failed journal append, and the
+  // re-arm snapshot carries it: recovery reproduces the live engine.
+  ApplyDemand(marketplace, 32);
+  EXPECT_EQ(marketplace.guard()->health(),
+            DurabilityGuard::Health::kDurable);
+  const std::string want = EngineBytes(marketplace);
+  ASSERT_TRUE(marketplace.FinishWal().ok());
+  auto recovered = HostedMarketplace::Recover("jrn", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(EngineBytes(*recovered.value()), want);
+}
+
+TEST_F(DurabilityGuardTest, PermanentFaultExhaustsRearmsAndQuarantines) {
+  HostedMarketplace::Options options;
+  options.wal_dir = dir_;
+  options.snapshot_every = 4;
+  options.durability.degrade_after_failures = 2;
+  options.durability.rearm_initial_rounds = 2;
+  options.durability.max_rearm_attempts = 2;
+  auto created = HostedMarketplace::Create("prm", SmallSpec(40), options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  HostedMarketplace& marketplace = *created.value();
+  const std::uint64_t quarantines_before =
+      GlobalDurabilityTotals().quarantines;
+
+  IoHooks::Instance().EnableCounting();
+  ApplyDemand(marketplace, 5);
+  IoFault fault;
+  fault.op = IoOp::kWrite;
+  fault.from_index = IoHooks::Instance().ops_seen(IoOp::kWrite);
+  fault.count = 0;  // permanent: the disk never comes back
+  IoHooks::Instance().Arm(fault);
+  ApplyDemand(marketplace, 30);
+
+  // Trading continued to the end of the dispatch, then the exhausted
+  // breaker quarantined the marketplace — explicitly, with a counter.
+  ASSERT_NE(marketplace.guard(), nullptr);
+  EXPECT_EQ(marketplace.guard()->health(),
+            DurabilityGuard::Health::kFailed);
+  EXPECT_EQ(marketplace.state(), HostedMarketplace::State::kQuarantined);
+  EXPECT_EQ(marketplace.rounds_settled(), 35);
+  EXPECT_EQ(GlobalDurabilityTotals().quarantines, quarantines_before + 1);
+  EXPECT_FALSE(marketplace.guard()->stats().last_error.ok());
+}
+
+TEST_F(DurabilityGuardTest, CompactionBoundsLogGrowthAndRecoversExactly) {
+  HostedMarketplace::Options plain;
+  plain.wal_dir = dir_;
+  plain.snapshot_every = 4;
+  auto reference =
+      HostedMarketplace::Create("big", SmallSpec(48), plain);
+  ASSERT_TRUE(reference.ok());
+  ApplyDemand(*reference.value(), 48);
+  const std::string want = EngineBytes(*reference.value());
+  ASSERT_TRUE(reference.value()->FinishWal().ok());
+
+  HostedMarketplace::Options compacting = plain;
+  compacting.durability.compact_after_rounds = 8;
+  compacting.durability.retain_compacted = true;
+  auto compact =
+      HostedMarketplace::Create("cmp", SmallSpec(48), compacting);
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+  ApplyDemand(*compact.value(), 48);
+  EXPECT_EQ(EngineBytes(*compact.value()), want);
+  ASSERT_TRUE(compact.value()->FinishWal().ok());
+
+  const std::string big_log = MarketplaceLogPath(dir_, "big");
+  const std::string cmp_log = MarketplaceLogPath(dir_, "cmp");
+  EXPECT_LT(fs::file_size(cmp_log), fs::file_size(big_log));
+  // The retained predecessor segment is itself a sealed, loadable log.
+  auto retained = persist::LoadRecordedRun(cmp_log + ".old");
+  ASSERT_TRUE(retained.ok()) << retained.status().ToString();
+  EXPECT_TRUE(retained.value().sealed);
+
+  auto run = persist::LoadRecordedRun(cmp_log);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run.value().base_round, 0);
+  auto recovered = HostedMarketplace::Recover("cmp", compacting);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->state(), HostedMarketplace::State::kClosed);
+  EXPECT_EQ(EngineBytes(*recovered.value()), want);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace cdt

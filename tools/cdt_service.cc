@@ -8,6 +8,12 @@
 //               [--shed-policy=reject|coalesce|block]
 //               [--max-rounds-per-dispatch=N] [--seed=N]
 //               [--metrics-out=FILE] [--chaos-kill-shard=IDX]
+//               [--compact-after-rounds=N] [--scrub-on-start=BOOL]
+//
+// Startup scrubs the WAL directory (orphan temps swept, torn tails
+// repaired, irreparable artifacts quarantined) and the run ends with a
+// durability health line — degrades/re-arms/quarantines are explicit,
+// never silent.
 //
 // Traffic model: each marketplace gets a create, then demand events in
 // bursts until --rounds rounds are requested, then a close. With
@@ -60,11 +66,14 @@ int main(int argc, char** argv) {
   auto seed = flags.GetInt("seed", 42);
   auto metrics_out = flags.GetString("metrics-out", "");
   auto chaos_kill = flags.GetInt("chaos-kill-shard", -1);
+  auto compact_after = flags.GetInt("compact-after-rounds", 0);
+  auto scrub_on_start = flags.GetBool("scrub-on-start", true);
   for (const util::Status& status :
        {wal_dir.status(), shards.status(), marketplaces.status(),
         rounds.status(), queue_capacity.status(), snapshot_every.status(),
         shed_policy.status(), max_dispatch.status(), seed.status(),
-        metrics_out.status(), chaos_kill.status()}) {
+        metrics_out.status(), chaos_kill.status(), compact_after.status(),
+        scrub_on_start.status()}) {
     if (!status.ok()) return Fail(status);
   }
 
@@ -73,6 +82,8 @@ int main(int argc, char** argv) {
   options.queue_capacity =
       static_cast<std::size_t>(queue_capacity.value());
   options.snapshot_every = snapshot_every.value();
+  options.durability.compact_after_rounds = compact_after.value();
+  options.scrub_on_start = scrub_on_start.value();
   options.max_rounds_per_dispatch = max_dispatch.value();
   if (shed_policy.value() == "reject") {
     options.shed_policy =
@@ -174,6 +185,20 @@ int main(int argc, char** argv) {
     std::printf("shed{reason=%s}=%llu\n", entry.first.c_str(),
                 static_cast<unsigned long long>(entry.second));
   }
+  std::printf("scrub repaired=%llu quarantined=%llu version_skew=%llu "
+              "orphans_removed=%llu\n",
+              static_cast<unsigned long long>(stats.scrub_repaired),
+              static_cast<unsigned long long>(stats.scrub_quarantined),
+              static_cast<unsigned long long>(stats.scrub_version_skew),
+              static_cast<unsigned long long>(stats.scrub_orphans_removed));
+  std::printf("durability wal_failures=%llu degrades=%llu rearms=%llu "
+              "failed=%llu quarantined=%llu compactions=%llu\n",
+              static_cast<unsigned long long>(stats.durability.wal_failures),
+              static_cast<unsigned long long>(stats.durability.degrades),
+              static_cast<unsigned long long>(stats.durability.rearms),
+              static_cast<unsigned long long>(stats.durability.failures),
+              static_cast<unsigned long long>(stats.durability.quarantines),
+              static_cast<unsigned long long>(stats.durability.compactions));
   if (interrupted) {
     std::printf("interrupted: drained %zu marketplaces to sealed WALs\n",
                 ids.size());
