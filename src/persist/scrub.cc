@@ -44,6 +44,29 @@ Status QuarantineFile(const std::string& path, const ScrubOptions& options) {
   return Status::OK();
 }
 
+/// Collects every regular file directly under `dir`. Traversal failures
+/// (including mid-iteration ones, which the range-for idiom would throw
+/// as filesystem_error) come back as IoError, never as an exception.
+Status ListRegularFiles(const std::string& dir,
+                        std::vector<std::string>* paths) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  const fs::directory_iterator end;
+  // increment(ec) resets the iterator to end() on failure, so the loop
+  // terminates and the error surfaces after it.
+  for (; !ec && it != end; it.increment(ec)) {
+    std::error_code type_ec;
+    if (!it->is_regular_file(type_ec)) continue;
+    paths->push_back(it->path().string());
+  }
+  if (ec) {
+    return Status::IoError("cannot scan directory '" + dir +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const char* ArtifactHealthName(ArtifactHealth health) {
@@ -220,15 +243,12 @@ Result<ScrubOutcome> ScrubSnapshotFile(const std::string& path,
 
 Result<ScrubReport> ScrubWalDirectory(const std::string& dir,
                                       const ScrubOptions& options) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
+  std::vector<std::string> files;
+  CDT_RETURN_NOT_OK(ListRegularFiles(dir, &files));
   std::vector<std::string> logs;
   std::vector<std::string> snapshots;
   std::vector<std::string> temps;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    std::error_code type_ec;
-    if (!entry.is_regular_file(type_ec)) continue;
-    const std::string path = entry.path().string();
+  for (const std::string& path : files) {
     if (EndsWith(path, ".tmp")) {
       temps.push_back(path);
     } else if (EndsWith(path, ".cdtlog")) {
@@ -237,17 +257,18 @@ Result<ScrubReport> ScrubWalDirectory(const std::string& dir,
       snapshots.push_back(path);
     }
   }
-  if (ec) {
-    return Status::IoError("cannot scan WAL directory '" + dir +
-                           "': " + ec.message());
-  }
   std::sort(temps.begin(), temps.end());
   std::sort(logs.begin(), logs.end());
   std::sort(snapshots.begin(), snapshots.end());
 
   ScrubReport report;
   for (const std::string& temp : temps) {
-    if (std::remove(temp.c_str()) == 0) ++report.orphan_temps_removed;
+    ++report.orphan_temps_found;
+    // Removing an orphan is a (safe) mutation all the same: report-only
+    // mode must leave it in place, so the sweep rides the repair flag.
+    if (options.repair && std::remove(temp.c_str()) == 0) {
+      ++report.orphan_temps_removed;
+    }
   }
   auto tally = [&report](ScrubOutcome outcome) {
     switch (outcome.health) {
@@ -281,22 +302,11 @@ Result<ScrubReport> ScrubWalDirectory(const std::string& dir,
 }
 
 Result<int> SweepOrphanTempFiles(const std::string& dir) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  std::vector<std::string> temps;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    std::error_code type_ec;
-    if (!entry.is_regular_file(type_ec)) continue;
-    const std::string path = entry.path().string();
-    if (EndsWith(path, ".tmp")) temps.push_back(path);
-  }
-  if (ec) {
-    return Status::IoError("cannot scan directory '" + dir +
-                           "': " + ec.message());
-  }
+  std::vector<std::string> files;
+  CDT_RETURN_NOT_OK(ListRegularFiles(dir, &files));
   int removed = 0;
-  for (const std::string& temp : temps) {
-    if (std::remove(temp.c_str()) == 0) ++removed;
+  for (const std::string& path : files) {
+    if (EndsWith(path, ".tmp") && std::remove(path.c_str()) == 0) ++removed;
   }
   return removed;
 }

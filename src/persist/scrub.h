@@ -49,7 +49,8 @@ struct ScrubOutcome {
 };
 
 struct ScrubOptions {
-  /// Truncate torn tails in place. Off = report-only.
+  /// Truncate torn tails in place and (directory scrubs) remove orphaned
+  /// *.tmp files. Off = report-only.
   bool repair = true;
   /// Rename irreparable artifacts to *.quarantined. Off = report-only.
   bool quarantine = true;
@@ -69,13 +70,15 @@ struct ScrubReport {
   int repaired = 0;
   int quarantined = 0;
   int version_skew = 0;
-  int orphan_temps_removed = 0;
+  int orphan_temps_found = 0;
+  int orphan_temps_removed = 0;  // <= found; 0 when repair is off
   /// Quarantine reason -> count (for metrics / operator triage).
   std::map<std::string, int> quarantine_reasons;
 };
 
 /// Scrubs every *.cdtlog and *.cdtsnap directly under `dir` (sorted
-/// order, deterministic) and removes orphaned *.tmp files. Skips
+/// order, deterministic) and, when `options.repair` is set, removes
+/// orphaned *.tmp files (report-only runs just count them). Skips
 /// *.quarantined and *.old artifacts.
 util::Result<ScrubReport> ScrubWalDirectory(const std::string& dir,
                                             const ScrubOptions& options);

@@ -8,6 +8,7 @@
 #include "market/trading_engine.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "persist/io_hooks.h"
 
 namespace cdt {
 namespace runtime {
@@ -159,7 +160,13 @@ Status DurabilityGuard::OnRound(const market::TradingEngine& engine,
     Status compacted = Compact(engine, report.round);
     if (!compacted.ok()) {
       if (!IsStorageFailure(compacted)) return compacted;
+      // Compact dismantles the writers before it can fail — the outgoing
+      // segment is sealed (retention) or already dropped by Rebase — so
+      // there is nothing left to append to in place. Open the breaker
+      // now instead of merely counting toward the threshold: a guard
+      // left kDurable here would touch dead writers next round.
       RecordWalFailure(compacted, report.round);
+      Degrade(report.round);
     }
   }
   return Status::OK();
@@ -247,8 +254,18 @@ Status DurabilityGuard::Compact(const market::TradingEngine& engine,
     // Seal the outgoing segment so the retained artifact is a valid,
     // footer-complete log in its own right.
     CDT_RETURN_NOT_OK(log_->Finish());
+    // Past this point the writer is sealed and can never accept another
+    // append: any failure below must surface as a storage failure so
+    // OnRound degrades (dropping the dead writer) rather than retrying.
     const std::string retained = options_.log_path + ".old";
     std::remove(retained.c_str());
+    const persist::IoDecision rename_fault =
+        persist::IoHooks::Instance().Check(persist::IoOp::kRename);
+    if (rename_fault.error != 0) {
+      errno = rename_fault.error;
+      return Status::IoError("cannot retain compacted segment as '" +
+                             retained + "': injected rename fault");
+    }
     if (std::rename(options_.log_path.c_str(), retained.c_str()) != 0) {
       return Status::IoError("cannot retain compacted segment as '" +
                              retained + "'");

@@ -167,6 +167,10 @@ class DurabilityGuard final : public market::RoundObserver {
   Options options_;
   core::MechanismConfig config_;
   core::PolicySpec policy_;
+  // Invariant: health_ == kDurable implies both writers are live. Every
+  // path that dismantles them (Rebase, Compact) either swings in fresh
+  // writers or leaves the guard degraded/failed — never kDurable with a
+  // null writer.
   std::unique_ptr<persist::EventLogWriter> log_;
   std::unique_ptr<JournalWriter> journal_;
   std::uint32_t config_crc_ = 0;

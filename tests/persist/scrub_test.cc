@@ -260,6 +260,7 @@ TEST_F(ScrubTest, DirectoryScrubTalliesAndSweepsOrphans) {
   EXPECT_EQ(report.value().clean, 1);
   EXPECT_EQ(report.value().repaired, 1);
   EXPECT_EQ(report.value().quarantined, 1);
+  EXPECT_EQ(report.value().orphan_temps_found, 2);
   EXPECT_EQ(report.value().orphan_temps_removed, 2);
   EXPECT_EQ(report.value().quarantine_reasons.at("snapshot_corrupt"), 1);
   EXPECT_FALSE(fs::exists(dir_ + "/m.cdtsnap.tmp"));
@@ -272,6 +273,31 @@ TEST_F(ScrubTest, DirectoryScrubTalliesAndSweepsOrphans) {
   EXPECT_EQ(again.value().clean, 2);
   EXPECT_EQ(again.value().repaired, 0);
   EXPECT_EQ(again.value().quarantined, 0);
+}
+
+TEST_F(ScrubTest, ReportOnlyDirectoryScrubLeavesOrphanTempsInPlace) {
+  // --repair=false --quarantine=false is documented as a pure read-only
+  // check: orphan temps are counted but must survive.
+  const std::string temp_path = dir_ + "/m.cdtsnap.tmp";
+  {
+    std::ofstream out(temp_path);
+    out << "partial";
+  }
+  ScrubOptions options;
+  options.repair = false;
+  options.quarantine = false;
+  auto report = ScrubWalDirectory(dir_, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().orphan_temps_found, 1);
+  EXPECT_EQ(report.value().orphan_temps_removed, 0);
+  EXPECT_TRUE(fs::exists(temp_path));
+
+  // A repairing pass then sweeps exactly what the report-only pass saw.
+  auto repairing = ScrubWalDirectory(dir_, {});
+  ASSERT_TRUE(repairing.ok());
+  EXPECT_EQ(repairing.value().orphan_temps_found, 1);
+  EXPECT_EQ(repairing.value().orphan_temps_removed, 1);
+  EXPECT_FALSE(fs::exists(temp_path));
 }
 
 TEST_F(ScrubTest, SweepOrphanTempFilesRemovesOnlyTemps) {

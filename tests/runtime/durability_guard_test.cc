@@ -218,6 +218,108 @@ TEST_F(DurabilityGuardTest, PermanentFaultExhaustsRearmsAndQuarantines) {
   EXPECT_FALSE(marketplace.guard()->stats().last_error.ok());
 }
 
+TEST_F(DurabilityGuardTest, CompactionRebaseFailureDegradesInsteadOfCrashing) {
+  // Rebase drops both writers before anything that can fail. If the
+  // rebase snapshot write fails mid-compaction, the guard must open the
+  // breaker immediately — one failure below the degrade threshold that
+  // left the guard kDurable would dereference the null writer next
+  // round. degrade_after_failures stays at the default 3 on purpose:
+  // that is exactly the configuration the immediate degrade protects.
+  HostedMarketplace::Options options;
+  options.wal_dir = dir_;
+  options.snapshot_every = 4;
+  options.durability.degrade_after_failures = 3;
+  options.durability.rearm_initial_rounds = 4;
+  options.durability.compact_after_rounds = 8;
+  auto reference = HostedMarketplace::Create("ref", SmallSpec(48), options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ApplyDemand(*reference.value(), 48);
+  const std::string want = EngineBytes(*reference.value());
+  ASSERT_TRUE(reference.value()->FinishWal().ok());
+
+  IoHooks::Instance().EnableCounting();
+  auto faulted = HostedMarketplace::Create("flt", SmallSpec(48), options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  HostedMarketplace& marketplace = *faulted.value();
+  ApplyDemand(marketplace, 7);
+  // Round 8 (checkpoint + first compaction) issues writes in a fixed
+  // order: round append, checkpoint snapshot, snapshot note, then the
+  // rebase snapshot inside Compact. Fail exactly the rebase snapshot,
+  // after Rebase has already dismantled the writers.
+  IoFault fault;
+  fault.op = IoOp::kWrite;
+  fault.from_index = IoHooks::Instance().ops_seen(IoOp::kWrite) + 3;
+  fault.count = 1;
+  IoHooks::Instance().Arm(fault);
+  ApplyDemand(marketplace, 41);
+
+  ASSERT_NE(marketplace.guard(), nullptr);
+  const DurabilityGuard::Stats stats = marketplace.guard()->stats();
+  EXPECT_EQ(stats.health, DurabilityGuard::Health::kDurable);
+  EXPECT_EQ(stats.degrades, 1u);
+  EXPECT_EQ(stats.rearms, 1u);
+  EXPECT_EQ(marketplace.state(), HostedMarketplace::State::kDone);
+
+  // The fault never leaked into trading, and the re-armed WAL recovers
+  // the exact engine.
+  EXPECT_EQ(EngineBytes(marketplace), want);
+  ASSERT_TRUE(marketplace.FinishWal().ok());
+  IoHooks::Instance().ClearFaults();
+  auto recovered = HostedMarketplace::Recover("flt", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(EngineBytes(*recovered.value()), want);
+}
+
+TEST_F(DurabilityGuardTest, RetentionRenameFailureDegradesNotQuarantines) {
+  // With retain_compacted, Compact seals the outgoing log before
+  // renaming it aside. A failed rename leaves a writer that can never
+  // append again: the guard must degrade (and later re-arm) instead of
+  // staying kDurable and tripping a FailedPrecondition — a programming
+  // error, which would quarantine the marketplace — on the next round.
+  HostedMarketplace::Options options;
+  options.wal_dir = dir_;
+  options.snapshot_every = 4;
+  options.durability.degrade_after_failures = 3;
+  options.durability.rearm_initial_rounds = 4;
+  options.durability.compact_after_rounds = 8;
+  options.durability.retain_compacted = true;
+  auto reference = HostedMarketplace::Create("ref", SmallSpec(48), options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ApplyDemand(*reference.value(), 48);
+  const std::string want = EngineBytes(*reference.value());
+  ASSERT_TRUE(reference.value()->FinishWal().ok());
+
+  IoHooks::Instance().EnableCounting();
+  auto faulted = HostedMarketplace::Create("flt", SmallSpec(48), options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  HostedMarketplace& marketplace = *faulted.value();
+  ApplyDemand(marketplace, 7);
+  // Round 8 renames in a fixed order: checkpoint snapshot, then the
+  // retention rename (after Finish() sealed the writer), then the
+  // rebase snapshot. Fail exactly the retention rename.
+  IoFault fault;
+  fault.op = IoOp::kRename;
+  fault.from_index = IoHooks::Instance().ops_seen(IoOp::kRename) + 1;
+  fault.count = 1;
+  IoHooks::Instance().Arm(fault);
+  ApplyDemand(marketplace, 41);
+
+  ASSERT_NE(marketplace.guard(), nullptr);
+  const DurabilityGuard::Stats stats = marketplace.guard()->stats();
+  EXPECT_EQ(stats.health, DurabilityGuard::Health::kDurable);
+  EXPECT_EQ(stats.degrades, 1u);
+  EXPECT_EQ(stats.rearms, 1u);
+  // One transient rename failure must never bypass the breaker.
+  EXPECT_EQ(marketplace.state(), HostedMarketplace::State::kDone);
+
+  EXPECT_EQ(EngineBytes(marketplace), want);
+  ASSERT_TRUE(marketplace.FinishWal().ok());
+  IoHooks::Instance().ClearFaults();
+  auto recovered = HostedMarketplace::Recover("flt", options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(EngineBytes(*recovered.value()), want);
+}
+
 TEST_F(DurabilityGuardTest, CompactionBoundsLogGrowthAndRecoversExactly) {
   HostedMarketplace::Options plain;
   plain.wal_dir = dir_;

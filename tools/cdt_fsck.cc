@@ -9,7 +9,8 @@
 //     NotFound instead of replaying poison;
 //   * artifacts from a different format version are reported and left
 //     intact (use a matching build to read them);
-//   * orphaned atomic-write temp files (*.tmp) are swept.
+//   * orphaned atomic-write temp files (*.tmp) are swept when
+//     --repair=true (report-only runs just count them).
 //
 //   cdt_fsck --wal-dir=DIR [--repair=true|false]
 //            [--quarantine=true|false]
@@ -69,10 +70,11 @@ int main(int argc, char** argv) {
                 file.detail.c_str());
   }
   std::printf("scanned=%zu clean=%d repaired=%d quarantined=%d "
-              "version_skew=%d orphan_temps_removed=%d\n",
+              "version_skew=%d orphan_temps_found=%d "
+              "orphan_temps_removed=%d\n",
               report.files.size(), report.clean, report.repaired,
               report.quarantined, report.version_skew,
-              report.orphan_temps_removed);
+              report.orphan_temps_found, report.orphan_temps_removed);
   for (const auto& entry : report.quarantine_reasons) {
     std::printf("quarantined{reason=%s}=%d\n", entry.first.c_str(),
                 entry.second);
