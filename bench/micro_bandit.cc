@@ -1,12 +1,15 @@
 // Micro-benchmarks for the bandit substrate: UCB index computation, top-K
-// selection at paper scale (M=300), estimator updates and environment
-// observation draws.
+// selection at paper scale (M=300) and in the large-M regime (M up to 1e6,
+// K ~ sqrt(M)), estimator updates and environment observation draws.
+
+#include <cmath>
 
 #include <benchmark/benchmark.h>
 
 #include "bandit/arm.h"
 #include "bandit/cucb_policy.h"
 #include "bandit/environment.h"
+#include "stats/rng.h"
 
 namespace {
 
@@ -20,6 +23,22 @@ bandit::EstimatorBank MakeWarmBank(int arms) {
   }
   return std::move(bank).value();
 }
+
+// Warm bank with distinct per-arm means, so large-M selection benchmarks
+// run on realistic (tie-free) estimate distributions.
+bandit::EstimatorBank MakeRandomWarmBank(int arms, double exploration) {
+  auto bank = bandit::EstimatorBank::Create(arms, exploration);
+  stats::Xoshiro256 rng(99);
+  std::vector<double> batch(4);
+  for (int i = 0; i < arms; ++i) {
+    for (double& q : batch) q = rng.NextDouble();
+    (void)bank.value().Update(i, batch);
+  }
+  return std::move(bank).value();
+}
+
+// K ~ sqrt(M): 1e4 -> 100, 1e5 -> 316, 1e6 -> 1000.
+int KForM(int m) { return static_cast<int>(std::lround(std::sqrt(m))); }
 
 void BM_EstimatorUpdate(benchmark::State& state) {
   bandit::EstimatorBank bank = MakeWarmBank(300);
@@ -87,6 +106,126 @@ void BM_CucbSelectRoundInto(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CucbSelectRoundInto)->Arg(10)->Arg(60);
+
+// --- large-M regime (see docs/PERFORMANCE.md) ---
+
+// Branch-free SoA scan: one fused mean + sqrt(scaled_log / n) pass over
+// the column arrays into a reused buffer.
+void BM_UcbScan(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  bandit::EstimatorBank bank = MakeRandomWarmBank(m, 11.0);
+  std::vector<double> ucb;
+  for (auto _ : state) {
+    bank.UcbValuesInto(&ucb);
+    benchmark::DoNotOptimize(ucb.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_UcbScan)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+// The pre-SoA scan (per-arm branch + uint64 conversion), the baseline the
+// branch-free pass above is measured against.
+void BM_UcbScanReference(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  bandit::EstimatorBank bank = MakeRandomWarmBank(m, 11.0);
+  std::vector<double> ucb;
+  for (auto _ : state) {
+    bank.UcbValuesReferenceInto(&ucb);
+    benchmark::DoNotOptimize(ucb.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_UcbScanReference)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Full-rescan top-K over the scanned values (the reference selection's
+// second half): bounded heap-select at K ~ sqrt(M).
+void BM_TopKByUcbLargeM(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  bandit::EstimatorBank bank = MakeRandomWarmBank(m, 11.0);
+  std::vector<double> ucb;
+  std::vector<int> selected;
+  for (auto _ : state) {
+    bank.TopKByUcbInto(KForM(m), &ucb, &selected);
+    benchmark::DoNotOptimize(selected.data());
+  }
+}
+BENCHMARK(BM_TopKByUcbLargeM)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Steady-state selection round at large M: select K, observe those K (the
+// bank update + selector invalidation that every trading round performs).
+// The optimized path pays ~K invalidations and a bounded pop loop; the
+// reference path rescans all M arms every round.
+void SelectRoundLargeM(benchmark::State& state, bool reference) {
+  int m = static_cast<int>(state.range(0));
+  int k = static_cast<int>(state.range(1));
+  bandit::CucbOptions options;
+  options.num_sellers = m;
+  options.num_selected = k;
+  options.reference_selection_path = reference;
+  auto policy = bandit::CucbPolicy::Create(options);
+  bandit::CucbPolicy& cucb = policy.value();  // hoisted: keep value() untimed
+
+  // Round 1 (Algorithm 1): observe every arm, distinct means.
+  {
+    stats::Xoshiro256 rng(99);
+    std::vector<int> all(static_cast<std::size_t>(m));
+    std::vector<std::vector<double>> warm(static_cast<std::size_t>(m),
+                                          std::vector<double>(4));
+    for (int i = 0; i < m; ++i) {
+      all[static_cast<std::size_t>(i)] = i;
+      for (double& q : warm[static_cast<std::size_t>(i)]) {
+        q = rng.NextDouble();
+      }
+    }
+    (void)cucb.Observe(all, warm);
+  }
+
+  std::vector<int> selected;
+  std::vector<std::vector<double>> obs(static_cast<std::size_t>(k),
+                                       std::vector<double>(4, 0.5));
+  std::int64_t round = 2;
+  for (auto _ : state) {
+    (void)cucb.SelectRoundInto(round++, &selected);
+    benchmark::DoNotOptimize(selected.data());
+    (void)cucb.Observe(selected, obs);
+  }
+}
+void BM_LazySelectRound(benchmark::State& state) {
+  SelectRoundLargeM(state, /*reference=*/false);
+}
+void BM_ReferenceSelectRound(benchmark::State& state) {
+  SelectRoundLargeM(state, /*reference=*/true);
+}
+// Two K regimes per M: the paper's coalition size (K = 10) and the
+// stress scaling K ~ sqrt(M) used throughout docs/PERFORMANCE.md.
+BENCHMARK(BM_LazySelectRound)
+    ->Args({10000, 10})
+    ->Args({10000, 100})
+    ->Args({100000, 10})
+    ->Args({100000, 316})
+    ->Args({1000000, 10})
+    ->Args({1000000, 1000})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ReferenceSelectRound)
+    ->Args({10000, 10})
+    ->Args({10000, 100})
+    ->Args({100000, 10})
+    ->Args({100000, 316})
+    ->Args({1000000, 10})
+    ->Args({1000000, 1000})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_EnvironmentObserve(benchmark::State& state) {
   bandit::EnvironmentConfig config;

@@ -13,8 +13,54 @@ namespace bandit {
 using util::Result;
 using util::Status;
 
+namespace {
+
+/// True when candidate (va, a) ranks ahead of (vb, b) under the selection
+/// order: descending value, ascending index on ties.
+inline bool RanksAhead(double va, int a, double vb, int b) {
+  if (va != vb) return va > vb;
+  return a < b;
+}
+
+}  // namespace
+
 void TopKIndicesInto(const std::vector<double>& values, int k,
                      std::vector<int>* out) {
+  std::vector<int>& best = *out;
+  const int m = static_cast<int>(values.size());
+  const int take = std::min(k, m);
+  if (take <= 0) {
+    best.clear();
+    return;
+  }
+  // Bounded heap-select: keep the running top-`take` in a heap whose front
+  // is the *worst* kept entry (heap comparator = RanksAhead, so the heap
+  // maximum under "ranks ahead" inverted sits at the front). A candidate
+  // is examined against the front only — O(1) per non-entering candidate,
+  // no full-M index permutation, no iota.
+  auto heap_cmp = [&values](int a, int b) {
+    return RanksAhead(values[static_cast<std::size_t>(a)], a,
+                      values[static_cast<std::size_t>(b)], b);
+  };
+  best.resize(static_cast<std::size_t>(take));
+  std::iota(best.begin(), best.begin() + take, 0);
+  std::make_heap(best.begin(), best.end(), heap_cmp);
+  for (int i = take; i < m; ++i) {
+    const int worst = best.front();
+    // A later index never displaces an equal value (ties rank by index),
+    // so a strict value comparison suffices.
+    if (values[static_cast<std::size_t>(i)] >
+        values[static_cast<std::size_t>(worst)]) {
+      std::pop_heap(best.begin(), best.end(), heap_cmp);
+      best.back() = i;
+      std::push_heap(best.begin(), best.end(), heap_cmp);
+    }
+  }
+  std::sort(best.begin(), best.end(), heap_cmp);
+}
+
+void TopKIndicesPartialSortInto(const std::vector<double>& values, int k,
+                                std::vector<int>* out) {
   std::vector<int>& order = *out;
   order.resize(values.size());
   std::iota(order.begin(), order.end(), 0);
@@ -40,7 +86,15 @@ std::vector<int> TopKIndices(const std::vector<double>& values, int k) {
 }
 
 EstimatorBank::EstimatorBank(int num_arms, double exploration)
-    : arms_(static_cast<std::size_t>(num_arms)), exploration_(exploration) {}
+    : means_(static_cast<std::size_t>(num_arms), 0.0),
+      observations_(static_cast<std::size_t>(num_arms), 0),
+      counts_(static_cast<std::size_t>(num_arms), 0.0),
+      bonus_bases_(static_cast<std::size_t>(num_arms), 0.0),
+      cold_list_(static_cast<std::size_t>(num_arms)),
+      num_unexplored_(num_arms),
+      exploration_(exploration) {
+  std::iota(cold_list_.begin(), cold_list_.end(), 0);
+}
 
 Result<EstimatorBank> EstimatorBank::Create(int num_arms,
                                             double exploration) {
@@ -51,6 +105,32 @@ Result<EstimatorBank> EstimatorBank::Create(int num_arms,
     return Status::InvalidArgument("exploration constant must be > 0");
   }
   return EstimatorBank(num_arms, exploration);
+}
+
+const std::vector<int>& EstimatorBank::cold_arms() const {
+  if (static_cast<int>(cold_list_.size()) != num_unexplored_) {
+    // Updates only flip arms warm, so compaction is a stable filter: the
+    // surviving entries keep their ascending order.
+    cold_list_.erase(
+        std::remove_if(cold_list_.begin(), cold_list_.end(),
+                       [this](int i) {
+                         return observations_[static_cast<std::size_t>(i)] !=
+                                0;
+                       }),
+        cold_list_.end());
+  }
+  return cold_list_;
+}
+
+double EstimatorBank::scaled_log() const {
+  return exploration_ *
+         std::log(
+             std::max<double>(static_cast<double>(total_observations_), 2.0));
+}
+
+double EstimatorBank::bonus_scalar() const {
+  return std::sqrt(std::log(
+      std::max<double>(static_cast<double>(total_observations_), 2.0)));
 }
 
 Status EstimatorBank::Update(int i, const std::vector<double>& observations) {
@@ -67,24 +147,27 @@ Status EstimatorBank::Update(int i, const std::vector<double>& observations) {
       return Status::OutOfRange("quality observation outside [0, 1]");
     }
   }
-  ArmState& arm = arms_[static_cast<std::size_t>(i)];
+  const std::size_t idx = static_cast<std::size_t>(i);
   // Eq. (18): q̄ <- (q̄ * n + Σ q_l) / (n + L); Eq. (17): n <- n + L.
   double batch_sum = 0.0;
   for (double q : observations) batch_sum += q;
-  double n_old = static_cast<double>(arm.observations);
+  double n_old = counts_[idx];
   double n_new = n_old + static_cast<double>(observations.size());
-  arm.mean = (arm.mean * n_old + batch_sum) / n_new;
-  arm.observations += observations.size();
+  means_[idx] = (means_[idx] * n_old + batch_sum) / n_new;
+  observations_[idx] += observations.size();
+  counts_[idx] = n_new;
+  bonus_bases_[idx] = std::sqrt(exploration_ / n_new);
+  if (n_old == 0.0) --num_unexplored_;  // cold_list_ compacts lazily
   total_observations_ += observations.size();
   return Status::OK();
 }
 
 Status EstimatorBank::Restore(const std::vector<ArmState>& arms,
                               std::uint64_t total_observations) {
-  if (arms.size() != arms_.size()) {
+  if (arms.size() != means_.size()) {
     return Status::InvalidArgument(
         "estimator restore arm count mismatch: have " +
-        std::to_string(arms_.size()) + ", snapshot has " +
+        std::to_string(means_.size()) + ", snapshot has " +
         std::to_string(arms.size()));
   }
   std::uint64_t sum = 0;
@@ -101,15 +184,29 @@ Status EstimatorBank::Restore(const std::vector<ArmState>& arms,
     return Status::InvalidArgument(
         "restored total_observations disagrees with per-arm counters");
   }
-  arms_ = arms;
+  cold_list_.clear();
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    means_[i] = arms[i].mean;
+    observations_[i] = arms[i].observations;
+    counts_[i] = static_cast<double>(arms[i].observations);
+    if (arms[i].observations == 0) {
+      bonus_bases_[i] = 0.0;
+      cold_list_.push_back(static_cast<int>(i));
+    } else {
+      bonus_bases_[i] = std::sqrt(exploration_ / counts_[i]);
+    }
+  }
+  num_unexplored_ = static_cast<int>(cold_list_.size());
   total_observations_ = total_observations;
+  ++epoch_;  // incremental consumers must resynchronise
   return Status::OK();
 }
 
 double EstimatorBank::UcbValue(int i) const {
-  const ArmState& arm = arms_.at(static_cast<std::size_t>(i));
-  return arm.mean + stats::UcbRadius(arm.observations, total_observations_,
-                                     exploration_);
+  const std::size_t idx = static_cast<std::size_t>(i);
+  return means_.at(idx) + stats::UcbRadius(observations_.at(idx),
+                                           total_observations_,
+                                           exploration_);
 }
 
 std::vector<double> EstimatorBank::UcbValues() const {
@@ -119,21 +216,33 @@ std::vector<double> EstimatorBank::UcbValues() const {
 }
 
 void EstimatorBank::UcbValuesInto(std::vector<double>* out) const {
-  out->resize(arms_.size());
+  const std::size_t m = means_.size();
+  out->resize(m);
   // The radius is sqrt((c · ln T) / n_i) with c · ln T shared by every
   // arm; hoisting it keeps the scan bit-identical to the per-arm call
   // (same association: (c * log) / n) while doing one log instead of M.
-  const double scaled_log =
-      exploration_ *
-      std::log(
-          std::max<double>(static_cast<double>(total_observations_), 2.0));
-  for (std::size_t i = 0; i < arms_.size(); ++i) {
-    const ArmState& arm = arms_[i];
+  // The loop is branch-free over the columns: a cold arm has counts == 0.0
+  // and mean == 0.0 (a Restore invariant), so sl / 0.0 == +inf reproduces
+  // the unexplored sentinel without a per-element test.
+  const double sl = scaled_log();
+  const double* means = means_.data();
+  const double* counts = counts_.data();
+  double* dst = out->data();
+  for (std::size_t i = 0; i < m; ++i) {
+    dst[i] = means[i] + std::sqrt(sl / counts[i]);
+  }
+}
+
+void EstimatorBank::UcbValuesReferenceInto(std::vector<double>* out) const {
+  const std::size_t m = means_.size();
+  out->resize(m);
+  const double sl = scaled_log();
+  for (std::size_t i = 0; i < m; ++i) {
     (*out)[i] =
-        arm.observations == 0
+        observations_[i] == 0
             ? std::numeric_limits<double>::infinity()
-            : arm.mean + std::sqrt(scaled_log /
-                                   static_cast<double>(arm.observations));
+            : means_[i] + std::sqrt(sl /
+                                    static_cast<double>(observations_[i]));
   }
 }
 
@@ -148,9 +257,13 @@ void EstimatorBank::TopKByUcbInto(int k, std::vector<double>* ucb_scratch,
 }
 
 std::vector<int> EstimatorBank::TopKByMean(int k) const {
-  std::vector<double> means(arms_.size());
-  for (std::size_t i = 0; i < arms_.size(); ++i) means[i] = arms_[i].mean;
-  return TopKIndices(means, k);
+  std::vector<int> out;
+  TopKByMeanInto(k, &out);
+  return out;
+}
+
+void EstimatorBank::TopKByMeanInto(int k, std::vector<int>* out) const {
+  TopKIndicesInto(means_, k, out);
 }
 
 }  // namespace bandit

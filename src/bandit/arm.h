@@ -1,5 +1,18 @@
 // Per-arm quality estimation: the paper's learning state (Eqs. 17–18) and
 // UCB index (Eq. 19), maintained for all M sellers by an EstimatorBank.
+//
+// Layout: the bank stores its state as structure-of-arrays (means[],
+// observations[], counts[] as doubles, and a cached bonus_base[] =
+// sqrt(exploration / n_i)) so the per-round Eq. (19) scan is a branch-free
+// pass over contiguous doubles that the compiler can vectorize. Eq. (19)
+// factors as
+//
+//   q̂_i = q̄_i + s · bonus_base_i   with   s = sqrt(ln Σ_j n_j)
+//
+// which the lazy top-K selector (topk.h) exploits for stale upper bounds;
+// the *exact* values reported by UcbValue(s) always use the canonical
+// association sqrt((exploration · ln T) / n_i) so they stay bit-identical
+// to the pre-SoA implementation (FP multiplication does not reassociate).
 
 #ifndef CDT_BANDIT_ARM_H_
 #define CDT_BANDIT_ARM_H_
@@ -12,7 +25,9 @@
 namespace cdt {
 namespace bandit {
 
-/// Learning state of one arm (seller).
+/// Learning state of one arm (seller). The bank stores this state
+/// column-wise; ArmState remains the row-wise exchange type used by
+/// snapshots and call sites that look at a single arm.
 struct ArmState {
   /// n_i^t: number of quality samples observed so far (L per selection).
   std::uint64_t observations = 0;
@@ -31,13 +46,54 @@ class EstimatorBank {
   /// Creates M unexplored arms. `exploration` must be > 0.
   static util::Result<EstimatorBank> Create(int num_arms, double exploration);
 
-  int num_arms() const { return static_cast<int>(arms_.size()); }
+  int num_arms() const { return static_cast<int>(means_.size()); }
   double exploration() const { return exploration_; }
 
   /// Σ_j n_j^t across all arms.
   std::uint64_t total_observations() const { return total_observations_; }
 
-  const ArmState& arm(int i) const { return arms_.at(i); }
+  /// One arm's state, assembled from the columns (by value — there is no
+  /// contiguous ArmState row to reference any more).
+  ArmState arm(int i) const {
+    return ArmState{observations_.at(static_cast<std::size_t>(i)),
+                    means_.at(static_cast<std::size_t>(i))};
+  }
+
+  // ---- Column views (the SoA hot-path surface) -------------------------
+
+  /// q̄_i for every arm (size M).
+  const std::vector<double>& means() const { return means_; }
+  /// n_i for every arm (size M).
+  const std::vector<std::uint64_t>& observation_counts() const {
+    return observations_;
+  }
+  /// n_i as doubles (0.0 for unexplored arms), kept in lock-step with
+  /// observation_counts() so the UCB scan never converts in the loop.
+  const std::vector<double>& counts() const { return counts_; }
+  /// sqrt(exploration / n_i); 0.0 for unexplored arms. With the per-round
+  /// scalar s = sqrt(ln Σ n_j) this factors Eq. (19) as mean + s · base.
+  const std::vector<double>& bonus_bases() const { return bonus_bases_; }
+
+  /// Number of arms with n_i == 0.
+  int num_unexplored() const { return num_unexplored_; }
+
+  /// Ascending indices of the unexplored arms. Maintained lazily: Update()
+  /// only decrements the count, and the list is filter-compacted here when
+  /// it is out of date (amortised O(#removed), never a full-M rescan).
+  const std::vector<int>& cold_arms() const;
+
+  /// exploration * ln(max(Σ n_j, 2)) — the shared numerator of Eq. (19).
+  double scaled_log() const;
+  /// s = sqrt(ln(max(Σ n_j, 2))): the per-round scalar of the factored
+  /// form. Monotone non-decreasing over time (Σ n_j only grows), which is
+  /// what makes stale factored upper bounds safe (see topk.h).
+  double bonus_scalar() const;
+
+  /// Incremented on every Restore(): lets incremental consumers (the lazy
+  /// top-K selector) detect out-of-band state replacement and rebuild.
+  std::uint64_t epoch() const { return epoch_; }
+
+  // ---- Learning updates ------------------------------------------------
 
   /// Feeds one round of observations for arm `i` (the L per-PoI samples).
   /// Observations outside [0,1] are rejected.
@@ -49,6 +105,8 @@ class EstimatorBank {
   util::Status Restore(const std::vector<ArmState>& arms,
                        std::uint64_t total_observations);
 
+  // ---- Eq. (19) scoring ------------------------------------------------
+
   /// UCB index q̂_i^t; +infinity for an unexplored arm, so cold-start
   /// selection naturally prefers unseen arms.
   double UcbValue(int i) const;
@@ -57,8 +115,19 @@ class EstimatorBank {
   std::vector<double> UcbValues() const;
 
   /// UcbValues into a caller-owned buffer (resized to M; allocation-free
-  /// once the buffer reached capacity — the round hot path).
+  /// once the buffer reached capacity — the round hot path). Branch-free
+  /// over the columns: an unexplored arm has counts()[i] == 0.0, so
+  /// scaled_log / 0.0 == +inf and the sentinel falls out of the same
+  /// expression that scores warm arms.
   void UcbValuesInto(std::vector<double>* out) const;
+
+  /// The pre-optimization scan, loop shape preserved: a per-arm branch on
+  /// the raw observation counter plus a uint64→double conversion inside
+  /// the loop (what the row-wise bank compiled to). Values are identical
+  /// to UcbValuesInto — counts() mirrors observation_counts() exactly —
+  /// so the reference selection path stays byte-compatible while its
+  /// benchmark measures the true pre-SoA scan cost.
+  void UcbValuesReferenceInto(std::vector<double>* out) const;
 
   /// Indices of the k arms with the largest UCB values (descending,
   /// deterministic tie-break by index).
@@ -72,12 +141,24 @@ class EstimatorBank {
   /// Indices of the k arms with the largest empirical means.
   std::vector<int> TopKByMean(int k) const;
 
+  /// TopKByMean into a caller-owned buffer; reads the mean column
+  /// directly, so no value scratch is needed.
+  void TopKByMeanInto(int k, std::vector<int>* out) const;
+
  private:
   EstimatorBank(int num_arms, double exploration);
 
-  std::vector<ArmState> arms_;
+  std::vector<double> means_;
+  std::vector<std::uint64_t> observations_;
+  std::vector<double> counts_;       // observations_ as doubles
+  std::vector<double> bonus_bases_;  // sqrt(exploration / n_i), 0 when cold
+  /// Unexplored arm indices, ascending; may contain stale (now-warm)
+  /// entries until the next cold_arms() call compacts it.
+  mutable std::vector<int> cold_list_;
+  int num_unexplored_ = 0;
   double exploration_;
   std::uint64_t total_observations_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Returns indices of the k largest entries of `values` (descending value,
@@ -85,11 +166,21 @@ class EstimatorBank {
 std::vector<int> TopKIndices(const std::vector<double>& values, int k);
 
 /// TopKIndices into a caller-owned buffer: `out` is resized to
-/// min(k, values.size()) and filled with the winning indices. The buffer
-/// is used as the full candidate ordering internally, so its capacity
-/// settles at values.size() and steady-state calls allocate nothing.
+/// min(k, values.size()) and filled with the winning indices. Implemented
+/// as a bounded heap-select — O(M) comparisons plus O(k log k) heap work
+/// for the entries that enter the running top-k — instead of materialising
+/// a full index permutation; output order is identical to a partial sort
+/// under (value desc, index asc).
 void TopKIndicesInto(const std::vector<double>& values, int k,
                      std::vector<int>* out);
+
+/// The pre-optimization iota + partial_sort implementation, kept verbatim
+/// as the reference selection path (pinned byte-identical to
+/// TopKIndicesInto by test, and the baseline the large-M benches compare
+/// against). `out` is used as the full candidate ordering internally, so
+/// its capacity settles at values.size().
+void TopKIndicesPartialSortInto(const std::vector<double>& values, int k,
+                                std::vector<int>* out);
 
 }  // namespace bandit
 }  // namespace cdt

@@ -29,8 +29,16 @@ Result<AvailabilityAwareCucbPolicy> AvailabilityAwareCucbPolicy::Create(
 
 Result<std::vector<int>> AvailabilityAwareCucbPolicy::SelectRound(
     std::int64_t round) {
+  std::vector<int> selected;
+  CDT_RETURN_NOT_OK(SelectRoundInto(round, &selected));
+  return selected;
+}
+
+Status AvailabilityAwareCucbPolicy::SelectRoundInto(std::int64_t round,
+                                                    std::vector<int>* out) {
   if (round < 1) return Status::InvalidArgument("rounds are 1-based");
-  std::vector<int> available;
+  std::vector<int>& available = available_scratch_;
+  available.clear();
   available.reserve(static_cast<std::size_t>(bank_.num_arms()));
   for (int i = 0; i < bank_.num_arms(); ++i) {
     if (availability_(i, round)) available.push_back(i);
@@ -39,18 +47,21 @@ Result<std::vector<int>> AvailabilityAwareCucbPolicy::SelectRound(
     return Status::FailedPrecondition("no seller available in round " +
                                       std::to_string(round));
   }
-  if (round == 1) return available;  // restricted initial exploration
+  if (round == 1) {
+    // Restricted initial exploration.
+    out->assign(available.begin(), available.end());
+    return Status::OK();
+  }
 
   // Top-K among the available by UCB.
-  std::vector<double> masked(static_cast<std::size_t>(bank_.num_arms()),
-                             -std::numeric_limits<double>::infinity());
+  masked_scratch_.assign(static_cast<std::size_t>(bank_.num_arms()),
+                         -std::numeric_limits<double>::infinity());
   for (int i : available) {
-    masked[static_cast<std::size_t>(i)] = bank_.UcbValue(i);
+    masked_scratch_[static_cast<std::size_t>(i)] = bank_.UcbValue(i);
   }
-  std::vector<int> top =
-      TopKIndices(masked, std::min<int>(k_, static_cast<int>(
-                                                available.size())));
-  return top;
+  TopKIndicesInto(masked_scratch_,
+                  std::min<int>(k_, static_cast<int>(available.size())), out);
+  return Status::OK();
 }
 
 Status AvailabilityAwareCucbPolicy::Observe(

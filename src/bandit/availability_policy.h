@@ -31,6 +31,11 @@ class AvailabilityAwareCucbPolicy : public SelectionPolicy {
   int num_sellers() const override { return bank_.num_arms(); }
 
   util::Result<std::vector<int>> SelectRound(std::int64_t round) override;
+
+  /// Allocation-free selection via reused availability/mask scratches.
+  util::Status SelectRoundInto(std::int64_t round,
+                               std::vector<int>* out) override;
+
   util::Status Observe(
       const std::vector<int>& selected,
       const std::vector<std::vector<double>>& observations) override;
@@ -47,6 +52,10 @@ class AvailabilityAwareCucbPolicy : public SelectionPolicy {
   EstimatorBank bank_;
   int k_;
   AvailabilityFn availability_;
+  /// Per-round scratches: the available subset and the masked UCB values
+  /// (-inf for off-shift sellers), reused every round.
+  std::vector<int> available_scratch_;
+  std::vector<double> masked_scratch_;
 };
 
 }  // namespace bandit

@@ -46,14 +46,21 @@ Status CucbPolicy::SelectRoundInto(std::int64_t round,
     std::iota(out->begin(), out->end(), 0);
     return Status::OK();
   }
-  // Eq. (19) scoring and the top-K pick under their own spans, so a trace
-  // shows how selection time splits between the two.
-  {
-    CDT_SPAN("bandit.ucb_score");
-    bank_.UcbValuesInto(&ucb_scratch_);
+  if (options_.reference_selection_path) {
+    // Eq. (19) scoring and the top-K pick under their own spans, so a
+    // trace shows how selection time splits between the two.
+    {
+      CDT_SPAN("bandit.ucb_score");
+      bank_.UcbValuesReferenceInto(&ucb_scratch_);
+    }
+    CDT_SPAN("bandit.topk");
+    TopKIndicesPartialSortInto(ucb_scratch_, options_.num_selected, out);
+    return Status::OK();
   }
-  CDT_SPAN("bandit.topk");
-  TopKIndicesInto(ucb_scratch_, options_.num_selected, out);
+  // Optimized path: no full-M rescan — the lazy selector re-validates only
+  // the arms whose stale upper bounds still compete for the top K.
+  CDT_SPAN("bandit.lazy_topk");
+  selector_.SelectInto(bank_, options_.num_selected, out);
   return Status::OK();
 }
 
@@ -66,6 +73,7 @@ Status CucbPolicy::Observe(
   }
   for (std::size_t j = 0; j < selected.size(); ++j) {
     CDT_RETURN_NOT_OK(bank_.Update(selected[j], observations[j]));
+    selector_.Invalidate(bank_, selected[j]);
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 #define CDT_BANDIT_CUCB_POLICY_H_
 
 #include "bandit/policy.h"
+#include "bandit/topk.h"
 
 namespace cdt {
 namespace bandit {
@@ -20,6 +21,12 @@ struct CucbOptions {
   /// Algorithm 1 selects all M sellers in round 1. Disable for the
   /// cold-start ablation (unexplored arms then carry a +inf UCB bonus).
   bool select_all_first_round = true;
+  /// Use the pre-optimization full-rescan selection path (Eq. 19 scan over
+  /// all M arms + iota/partial_sort top-K) instead of the incremental lazy
+  /// top-K selector. Both paths are byte-identical (pinned by the
+  /// determinism suite); the reference path exists as the comparison
+  /// baseline and a large-M escape hatch.
+  bool reference_selection_path = false;
 };
 
 /// The CMAB-HS seller-selection policy.
@@ -54,8 +61,13 @@ class CucbPolicy : public SelectionPolicy {
 
   CucbOptions options_;
   EstimatorBank bank_;
-  /// UCB scores scratch, reused every round (capacity M after round 2).
+  /// UCB scores scratch for the reference path, reused every round
+  /// (capacity M after round 2).
   std::vector<double> ucb_scratch_;
+  /// Incremental selector for the optimized path; kept in sync by
+  /// Observe() and self-healing on snapshot restores (bank epoch/total
+  /// mismatch forces a rebuild).
+  LazyTopKSelector selector_;
 };
 
 }  // namespace bandit

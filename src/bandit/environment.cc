@@ -77,10 +77,16 @@ Result<QualityEnvironment> QualityEnvironment::CreateWithQualities(
 }
 
 std::vector<double> QualityEnvironment::ObserveSeller(int seller) {
-  std::vector<double> out(static_cast<std::size_t>(num_pois_));
-  auto& sampler = samplers_.at(static_cast<std::size_t>(seller));
-  for (double& x : out) x = sampler.Sample(rng_);
+  std::vector<double> out;
+  ObserveSellerInto(seller, &out);
   return out;
+}
+
+void QualityEnvironment::ObserveSellerInto(int seller,
+                                           std::vector<double>* out) {
+  out->resize(static_cast<std::size_t>(num_pois_));
+  auto& sampler = samplers_.at(static_cast<std::size_t>(seller));
+  for (double& x : *out) x = sampler.Sample(rng_);
 }
 
 EnvironmentState QualityEnvironment::SaveState() const {

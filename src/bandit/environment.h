@@ -70,6 +70,11 @@ class QualityEnvironment {
   /// Draws the L per-PoI observations for `seller` (consumes RNG state).
   std::vector<double> ObserveSeller(int seller);
 
+  /// ObserveSeller into a caller-owned buffer (resized to L; identical
+  /// draw sequence). The engine's per-round collection loop reuses its
+  /// batch buffers through this, keeping the round allocation-free.
+  void ObserveSellerInto(int seller, std::vector<double>* out);
+
   /// Indices of the top-k sellers by effective quality (descending),
   /// deterministic tie-break by index.
   std::vector<int> OptimalSet(int k) const;

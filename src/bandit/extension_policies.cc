@@ -38,11 +38,20 @@ std::string EpsilonGreedyPolicy::name() const {
 
 Result<std::vector<int>> EpsilonGreedyPolicy::SelectRound(
     std::int64_t round) {
+  std::vector<int> selected;
+  CDT_RETURN_NOT_OK(SelectRoundInto(round, &selected));
+  return selected;
+}
+
+Status EpsilonGreedyPolicy::SelectRoundInto(std::int64_t round,
+                                            std::vector<int>* out) {
   if (round < 1) return Status::InvalidArgument("rounds are 1-based");
   if (rng_.NextDouble() < epsilon_) {
-    return SampleDistinct(rng_, bank_.num_arms(), k_);
+    *out = SampleDistinct(rng_, bank_.num_arms(), k_);
+    return Status::OK();
   }
-  return bank_.TopKByMean(k_);
+  bank_.TopKByMeanInto(k_, out);
+  return Status::OK();
 }
 
 Status EpsilonGreedyPolicy::Observe(
@@ -73,16 +82,25 @@ Result<ThompsonPolicy> ThompsonPolicy::Create(int num_sellers, int k,
 }
 
 Result<std::vector<int>> ThompsonPolicy::SelectRound(std::int64_t round) {
+  std::vector<int> selected;
+  CDT_RETURN_NOT_OK(SelectRoundInto(round, &selected));
+  return selected;
+}
+
+Status ThompsonPolicy::SelectRoundInto(std::int64_t round,
+                                       std::vector<int>* out) {
   if (round < 1) return Status::InvalidArgument("rounds are 1-based");
-  std::vector<double> draws(static_cast<std::size_t>(bank_.num_arms()));
+  draws_scratch_.resize(static_cast<std::size_t>(bank_.num_arms()));
   for (int i = 0; i < bank_.num_arms(); ++i) {
-    const ArmState& arm = bank_.arm(i);
+    const ArmState arm = bank_.arm(i);
     double mean = arm.observations > 0 ? arm.mean : 0.5;
     double stddev =
         1.0 / std::sqrt(static_cast<double>(arm.observations) + 1.0);
-    draws[static_cast<std::size_t>(i)] = gaussian_.Sample(rng_, mean, stddev);
+    draws_scratch_[static_cast<std::size_t>(i)] =
+        gaussian_.Sample(rng_, mean, stddev);
   }
-  return TopKIndices(draws, k_);
+  TopKIndicesInto(draws_scratch_, k_, out);
+  return Status::OK();
 }
 
 Status ThompsonPolicy::Observe(

@@ -23,6 +23,12 @@ class EpsilonGreedyPolicy : public SelectionPolicy {
   int num_sellers() const override { return bank_.num_arms(); }
 
   util::Result<std::vector<int>> SelectRound(std::int64_t round) override;
+
+  /// Allocation-free exploit rounds (top-K by mean straight into `out`);
+  /// explore rounds still draw a fresh uniform sample.
+  util::Status SelectRoundInto(std::int64_t round,
+                               std::vector<int>* out) override;
+
   util::Status Observe(
       const std::vector<int>& selected,
       const std::vector<std::vector<double>>& observations) override;
@@ -52,6 +58,11 @@ class ThompsonPolicy : public SelectionPolicy {
   int num_sellers() const override { return bank_.num_arms(); }
 
   util::Result<std::vector<int>> SelectRound(std::int64_t round) override;
+
+  /// Allocation-free selection via the reused posterior-draw scratch.
+  util::Status SelectRoundInto(std::int64_t round,
+                               std::vector<int>* out) override;
+
   util::Status Observe(
       const std::vector<int>& selected,
       const std::vector<std::vector<double>>& observations) override;
@@ -66,6 +77,8 @@ class ThompsonPolicy : public SelectionPolicy {
   int k_;
   stats::Xoshiro256 rng_;
   stats::GaussianSampler gaussian_;
+  /// Posterior draws scratch, reused every round.
+  std::vector<double> draws_scratch_;
 };
 
 }  // namespace bandit

@@ -47,27 +47,36 @@ std::size_t SlidingWindowCucbPolicy::WindowedCount(int arm) const {
 
 Result<std::vector<int>> SlidingWindowCucbPolicy::SelectRound(
     std::int64_t round) {
+  std::vector<int> selected;
+  CDT_RETURN_NOT_OK(SelectRoundInto(round, &selected));
+  return selected;
+}
+
+Status SlidingWindowCucbPolicy::SelectRoundInto(std::int64_t round,
+                                                std::vector<int>* out) {
   if (round < 1) return Status::InvalidArgument("rounds are 1-based");
   if (round == 1) {
     // Initial exploration (Algorithm 1): select everyone once.
-    std::vector<int> all(arms_.size());
-    std::iota(all.begin(), all.end(), 0);
-    return all;
+    out->resize(arms_.size());
+    std::iota(out->begin(), out->end(), 0);
+    return Status::OK();
   }
   std::size_t total = 0;
   for (const WindowArm& a : arms_) total += a.samples.size();
   double log_term = std::log(std::max<double>(static_cast<double>(total), 2.0));
-  std::vector<double> ucb(arms_.size());
+  ucb_scratch_.resize(arms_.size());
   for (std::size_t i = 0; i < arms_.size(); ++i) {
     std::size_t n = arms_[i].samples.size();
     if (n == 0) {
-      ucb[i] = std::numeric_limits<double>::infinity();
+      ucb_scratch_[i] = std::numeric_limits<double>::infinity();
     } else {
-      ucb[i] = arms_[i].sum / static_cast<double>(n) +
-               std::sqrt(exploration_ * log_term / static_cast<double>(n));
+      ucb_scratch_[i] =
+          arms_[i].sum / static_cast<double>(n) +
+          std::sqrt(exploration_ * log_term / static_cast<double>(n));
     }
   }
-  return TopKIndices(ucb, k_);
+  TopKIndicesInto(ucb_scratch_, k_, out);
+  return Status::OK();
 }
 
 Status SlidingWindowCucbPolicy::Observe(
@@ -130,25 +139,33 @@ double DiscountedUcbPolicy::DiscountedMean(int arm) const {
 
 Result<std::vector<int>> DiscountedUcbPolicy::SelectRound(
     std::int64_t round) {
+  std::vector<int> selected;
+  CDT_RETURN_NOT_OK(SelectRoundInto(round, &selected));
+  return selected;
+}
+
+Status DiscountedUcbPolicy::SelectRoundInto(std::int64_t round,
+                                            std::vector<int>* out) {
   if (round < 1) return Status::InvalidArgument("rounds are 1-based");
   if (round == 1) {
-    std::vector<int> all(counts_.size());
-    std::iota(all.begin(), all.end(), 0);
-    return all;
+    out->resize(counts_.size());
+    std::iota(out->begin(), out->end(), 0);
+    return Status::OK();
   }
   double total = 0.0;
   for (double n : counts_) total += n;
   double log_term = std::log(std::max(total, 2.0));
-  std::vector<double> ucb(counts_.size());
+  ucb_scratch_.resize(counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] <= 1e-12) {
-      ucb[i] = std::numeric_limits<double>::infinity();
+      ucb_scratch_[i] = std::numeric_limits<double>::infinity();
     } else {
-      ucb[i] = sums_[i] / counts_[i] +
-               std::sqrt(exploration_ * log_term / counts_[i]);
+      ucb_scratch_[i] = sums_[i] / counts_[i] +
+                        std::sqrt(exploration_ * log_term / counts_[i]);
     }
   }
-  return TopKIndices(ucb, k_);
+  TopKIndicesInto(ucb_scratch_, k_, out);
+  return Status::OK();
 }
 
 Status DiscountedUcbPolicy::Observe(

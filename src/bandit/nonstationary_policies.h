@@ -29,6 +29,11 @@ class SlidingWindowCucbPolicy : public SelectionPolicy {
   }
 
   util::Result<std::vector<int>> SelectRound(std::int64_t round) override;
+
+  /// Allocation-free selection via the reused UCB scratch.
+  util::Status SelectRoundInto(std::int64_t round,
+                               std::vector<int>* out) override;
+
   util::Status Observe(
       const std::vector<int>& selected,
       const std::vector<std::vector<double>>& observations) override;
@@ -55,6 +60,8 @@ class SlidingWindowCucbPolicy : public SelectionPolicy {
   int k_;
   std::size_t window_;
   double exploration_;
+  /// UCB scores scratch, reused every round.
+  std::vector<double> ucb_scratch_;
 };
 
 /// Discounted UCB: n_i and sums decay by γ every round, so stale evidence
@@ -72,6 +79,11 @@ class DiscountedUcbPolicy : public SelectionPolicy {
   }
 
   util::Result<std::vector<int>> SelectRound(std::int64_t round) override;
+
+  /// Allocation-free selection via the reused UCB scratch.
+  util::Status SelectRoundInto(std::int64_t round,
+                               std::vector<int>* out) override;
+
   util::Status Observe(
       const std::vector<int>& selected,
       const std::vector<std::vector<double>>& observations) override;
@@ -93,6 +105,8 @@ class DiscountedUcbPolicy : public SelectionPolicy {
   int k_;
   double gamma_;
   double exploration_;
+  /// UCB scores scratch, reused every round.
+  std::vector<double> ucb_scratch_;
 };
 
 }  // namespace bandit

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -191,16 +192,15 @@ void StackelbergSolver::BuildSupplyKinks() {
       }
     }
     if (activate > box.lo && activate < box.hi) {
-      events.push_back({activate, inv, off, 0.0});
+      events.push_back(
+          {activate, inv, off, 0.0, static_cast<int>(events.size())});
     }
     if (saturate > box.lo && saturate < box.hi && std::isfinite(saturate)) {
-      events.push_back({saturate, -inv, -off, t_cap});
+      events.push_back(
+          {saturate, -inv, -off, t_cap, static_cast<int>(events.size())});
     }
   }
-  std::sort(events.begin(), events.end(), [](const KinkEvent& x,
-                                             const KinkEvent& y) {
-    return x.price < y.price;
-  });
+  SortKinkEvents();
 
   kinks_.clear();
   kinks_.reserve(events.size() + 1);
@@ -215,6 +215,117 @@ void StackelbergSolver::BuildSupplyKinks() {
       kinks_.push_back({e.price, a_lin, b_lin, c_const});
     }
   }
+  BuildSegmentTable();
+}
+
+void StackelbergSolver::BuildSegmentTable() {
+  const util::Interval& box = config_.collection_price_bounds;
+  const double theta = config_.platform.theta;
+  const double lambda = config_.platform.lambda;
+  const std::size_t n = kinks_.size();
+  seg_.end_price.resize(n);
+  seg_.end_supply.resize(n);
+  seg_.end_d1.resize(n);
+  seg_.end_d2.resize(n);
+  seg_.c.resize(n);
+  seg_.denom.resize(n);
+  seg_.window_lo.resize(n);
+  seg_.window_hi.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const SupplyKink& k = kinks_[j];
+    const double seg_lo = k.price;
+    const double seg_hi = j + 1 < n ? kinks_[j + 1].price : box.hi;
+    // Endpoint candidate: (p^J − seg_hi)·s − θ·s·s − λ·s with s a
+    // coalition constant — exactly profit_at(seg_hi, k)'s expressions.
+    double s = k.a * seg_hi - k.b + k.c;
+    if (s < 0.0) s = 0.0;
+    seg_.end_price[j] = seg_hi;
+    seg_.end_supply[j] = s;
+    seg_.end_d1[j] = theta * s * s;
+    seg_.end_d2[j] = lambda * s;
+    if (k.a > 0.0) {
+      const double b_eff = k.b - k.c;
+      const double c = lambda * k.a - 2.0 * theta * k.a * b_eff - b_eff;
+      const double denom = 2.0 * k.a * (1.0 + theta * k.a);
+      seg_.c[j] = c;
+      seg_.denom[j] = denom;
+      // p*_j(p^J) = (p^J·a − c)/denom is increasing in p^J, so it lies
+      // strictly inside (seg_lo, seg_hi) on a single p^J interval. The
+      // window is widened so the exact strict test in the query can never
+      // be pruned away by the inversion's rounding.
+      const double lo = (seg_lo * denom + c) / k.a;
+      const double hi = (seg_hi * denom + c) / k.a;
+      seg_.window_lo[j] = lo - 1e-9 * (1.0 + std::fabs(lo));
+      seg_.window_hi[j] = hi + 1e-9 * (1.0 + std::fabs(hi));
+    } else {
+      seg_.c[j] = 0.0;
+      seg_.denom[j] = 1.0;
+      // Empty window: flat segments have no interior optimum.
+      seg_.window_lo[j] = std::numeric_limits<double>::infinity();
+      seg_.window_hi[j] = -std::numeric_limits<double>::infinity();
+    }
+  }
+  const SupplyKink& front = kinks_.front();
+  double s0 = front.a * box.lo - front.b + front.c;
+  if (s0 < 0.0) s0 = 0.0;
+  seg_.init_supply = s0;
+  seg_.init_d1 = theta * s0 * s0;
+  seg_.init_d2 = lambda * s0;
+}
+
+void StackelbergSolver::SortKinkEvents() {
+  std::vector<KinkEvent>& events = event_scratch_;
+  // Strict total order: equal prices are resolved by the deltas (so the
+  // kink accumulation sees one canonical sequence no matter which sort
+  // algorithm produced it), and fully-equal events by generation order.
+  auto less = [](const KinkEvent& x, const KinkEvent& y) {
+    if (x.price != y.price) return x.price < y.price;
+    if (x.delta_a != y.delta_a) return x.delta_a < y.delta_a;
+    if (x.delta_b != y.delta_b) return x.delta_b < y.delta_b;
+    if (x.delta_c != y.delta_c) return x.delta_c < y.delta_c;
+    return x.src < y.src;
+  };
+  const std::size_t n = events.size();
+  if (order_.size() == n && n > 1) {
+    // Seed with the previous build's ordering. Coalitions and learned
+    // qualities drift slowly between rounds, so after applying the old
+    // permutation the sequence is nearly sorted and insertion sort
+    // finishes in ~O(n); a move budget bounds the adversarial case, where
+    // we give up and let std::sort redo it from the permuted order (the
+    // result is the same unique sequence either way).
+    sort_scratch_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      sort_scratch_[j] = events[static_cast<std::size_t>(order_[j])];
+    }
+    std::size_t budget = 8 * n + 64;
+    bool within_budget = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      KinkEvent e = sort_scratch_[i];
+      std::size_t j = i;
+      while (j > 0 && less(e, sort_scratch_[j - 1])) {
+        sort_scratch_[j] = sort_scratch_[j - 1];
+        --j;
+        if (--budget == 0) {
+          within_budget = false;
+          break;
+        }
+      }
+      sort_scratch_[j] = e;
+      if (!within_budget) break;
+    }
+    if (within_budget) {
+      events.swap(sort_scratch_);
+      ++incremental_kink_sorts_;
+    } else {
+      std::sort(events.begin(), events.end(), less);
+      ++full_kink_sorts_;
+    }
+  } else {
+    std::sort(events.begin(), events.end(), less);
+    ++full_kink_sorts_;
+  }
+  order_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) order_[j] = events[j].src;
 }
 
 double StackelbergSolver::TotalTimeAt(double collection_price) const {
@@ -230,45 +341,64 @@ double StackelbergSolver::TotalTimeAt(double collection_price) const {
 }
 
 double StackelbergSolver::PlatformBestPrice(double consumer_price) const {
+  // Candidate set and per-candidate arithmetic are identical to the naive
+  // per-segment sweep (box.lo, then per segment: interior optimum when it
+  // lies strictly inside, then the upper endpoint), but every coalition
+  // constant comes precomputed from seg_ — the endpoint candidates reduce
+  // to a flat line scan and only the few segments whose p^J window admits
+  // an interior optimum pay the Theorem-15 division. Ties keep the naive
+  // sweep's first-candidate-wins semantics (updates were strict).
   const util::Interval& box = config_.collection_price_bounds;
-  double theta = config_.platform.theta;
-  double lambda = config_.platform.lambda;
+  const double theta = config_.platform.theta;
+  const double lambda = config_.platform.lambda;
+  const std::size_t n = kinks_.size();
 
-  auto profit_at = [&](double p, const SupplyKink& k) {
-    double s = k.a * p - k.b + k.c;
-    if (s < 0.0) s = 0.0;  // numerical guard; S(p) >= 0 by construction
-    return (consumer_price - p) * s - theta * s * s - lambda * s;
-  };
+  line_profit_scratch_.resize(n);
+  double* v = line_profit_scratch_.data();
+  const double* ep = seg_.end_price.data();
+  const double* es = seg_.end_supply.data();
+  const double* d1 = seg_.end_d1.data();
+  const double* d2 = seg_.end_d2.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    v[j] = (consumer_price - ep[j]) * es[j] - d1[j] - d2[j];
+  }
+  double best = v[0];
+  for (std::size_t j = 1; j < n; ++j) best = std::max(best, v[j]);
 
-  double best_p = box.lo;
-  double best_profit = profit_at(box.lo, kinks_.front());
-  for (std::size_t j = 0; j < kinks_.size(); ++j) {
+  interior_scratch_.clear();
+  const double* wlo = seg_.window_lo.data();
+  const double* whi = seg_.window_hi.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!(consumer_price > wlo[j] && consumer_price < whi[j])) continue;
     const SupplyKink& k = kinks_[j];
-    double seg_lo = k.price;
-    double seg_hi = j + 1 < kinks_.size() ? kinks_[j + 1].price : box.hi;
-    // Candidate 1: the segment's interior optimum (Thm. 15 restricted to
-    // the active set), when the slope is positive.
-    if (k.a > 0.0) {
-      double b_eff = k.b - k.c;  // S = a p − b_eff
-      double c = lambda * k.a - 2.0 * theta * k.a * b_eff - b_eff;
-      double p_star =
-          (consumer_price * k.a - c) / (2.0 * k.a * (1.0 + theta * k.a));
-      if (p_star > seg_lo && p_star < seg_hi) {
-        double v = profit_at(p_star, k);
-        if (v > best_profit) {
-          best_profit = v;
-          best_p = p_star;
-        }
-      }
-    }
-    // Candidate 2: the segment's upper endpoint.
-    double v_hi = profit_at(seg_hi, k);
-    if (v_hi > best_profit) {
-      best_profit = v_hi;
-      best_p = seg_hi;
+    const double p_star =
+        (consumer_price * k.a - seg_.c[j]) / seg_.denom[j];
+    if (p_star > k.price && p_star < ep[j]) {
+      double s = k.a * p_star - k.b + k.c;
+      if (s < 0.0) s = 0.0;  // numerical guard; S(p) >= 0 by construction
+      const double val =
+          (consumer_price - p_star) * s - theta * s * s - lambda * s;
+      interior_scratch_.push_back({static_cast<int>(j), p_star, val});
+      if (val > best) best = val;
     }
   }
-  return best_p;
+
+  const double v_init = (consumer_price - box.lo) * seg_.init_supply -
+                        seg_.init_d1 - seg_.init_d2;
+  if (v_init >= best) return box.lo;
+  // Walk the segments in sweep order; within a segment the interior
+  // candidate precedes the endpoint. The first candidate attaining the
+  // maximum is the naive sweep's winner.
+  std::size_t hit = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (hit < interior_scratch_.size() &&
+        static_cast<std::size_t>(interior_scratch_[hit].j) == j) {
+      if (interior_scratch_[hit].v == best) return interior_scratch_[hit].p;
+      ++hit;
+    }
+    if (v[j] == best) return ep[j];
+  }
+  return box.lo;  // NaN inputs only; the naive sweep kept box.lo too
 }
 
 bool StackelbergSolver::InteriorRegimeHolds(double collection_price) const {

@@ -19,6 +19,7 @@
 #ifndef CDT_GAME_STACKELBERG_H_
 #define CDT_GAME_STACKELBERG_H_
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -158,9 +159,39 @@ class StackelbergSolver {
   };
 
   /// One activation/saturation event while building the kink structure.
+  /// `src` is the event's position in generation order (seller order);
+  /// it lets consecutive builds reuse the previous round's ordering.
   struct KinkEvent {
     double price;
     double delta_a, delta_b, delta_c;
+    int src;
+  };
+
+  /// Per-segment constants of the stage-2 best-response sweep, derived
+  /// from kinks_ once per coalition (BuildSegmentTable). Everything a
+  /// PlatformBestPrice query re-derived per segment — the endpoint supply
+  /// and its θS²/λS profit terms, the Theorem-15 numerator constant and
+  /// denominator, and the consumer-price window in which the segment's
+  /// interior optimum can land inside the segment — is a coalition
+  /// constant, so hoisting it turns each query into a flat scan over
+  /// contiguous arrays. Each constant is computed with the exact
+  /// expression the per-query code used, so query results are
+  /// bit-identical to the naive re-derivation (pinned by test).
+  struct SegmentTable {
+    std::vector<double> end_price;   // segment upper endpoint (last = hi)
+    std::vector<double> end_supply;  // S at the endpoint, clamped >= 0
+    std::vector<double> end_d1;      // θ·S·S at the endpoint
+    std::vector<double> end_d2;      // λ·S at the endpoint
+    std::vector<double> c;           // λa − 2θa·b_eff − b_eff
+    std::vector<double> denom;       // 2a(1+θa)
+    /// Widened p^J window where the segment's interior optimum may fall
+    /// strictly inside the segment; the exact (original-expression) test
+    /// re-runs inside the window, so widening only costs false positives.
+    std::vector<double> window_lo;
+    std::vector<double> window_hi;
+    double init_supply = 0.0;  // S at box.lo under segment 0, clamped
+    double init_d1 = 0.0;      // θ·S·S at box.lo
+    double init_d2 = 0.0;      // λ·S at box.lo
   };
 
   StackelbergSolver(GameConfig config, Aggregates agg)
@@ -169,6 +200,19 @@ class StackelbergSolver {
   }
 
   void BuildSupplyKinks();
+
+  /// Rebuilds seg_ from kinks_ (tail of every BuildSupplyKinks).
+  void BuildSegmentTable();
+
+  /// Sorts event_scratch_ under the total order (price, delta_a, delta_b,
+  /// delta_c, src). When the previous build produced the same number of
+  /// events (the common ResetCoalition case: coalition size is K every
+  /// round), the previous ordering seeds a budgeted insertion sort —
+  /// learned qualities drift slowly, so the permuted sequence is nearly
+  /// sorted and the pass is ~O(K) — with std::sort as the fallback once
+  /// the move budget is exhausted. Both routes yield the identical unique
+  /// sorted sequence, so the kink accumulation is byte-stable either way.
+  void SortKinkEvents();
 
   /// True when (consumer_price, collection_price) reproduce the interior
   /// regime: prices strictly inside their boxes' interiors is not required,
@@ -180,8 +224,36 @@ class StackelbergSolver {
   /// Sorted by price; kinks_[0].price == collection box lower bound, so a
   /// binary search always lands on a valid segment.
   std::vector<SupplyKink> kinks_;
+  /// Hoisted per-segment query constants (parallel to kinks_).
+  SegmentTable seg_;
+  /// One interior stage-2 candidate surviving the exact in-segment test.
+  struct InteriorHit {
+    int j;     // segment index
+    double p;  // interior optimum p*_j(p^J)
+    double v;  // platform profit at p
+  };
+
+  /// Endpoint-line profits of the current query (PlatformBestPrice
+  /// scratch; the solver is not thread-safe, like the rest of the class).
+  mutable std::vector<double> line_profit_scratch_;
+  mutable std::vector<InteriorHit> interior_scratch_;
   /// Scratch reused across BuildSupplyKinks calls (ResetCoalition).
   std::vector<KinkEvent> event_scratch_;
+  /// Incremental-sort state: the previous build's sorted ordering as src
+  /// positions (order_[j] = src of the event at sorted rank j) plus the
+  /// permutation-apply scratch. Cleared implicitly by a size mismatch.
+  std::vector<int> order_;
+  std::vector<KinkEvent> sort_scratch_;
+  /// How many builds took the seeded insertion-sort route vs fell back to
+  /// std::sort (introspection for tests and the perf docs).
+  std::int64_t incremental_kink_sorts_ = 0;
+  std::int64_t full_kink_sorts_ = 0;
+
+ public:
+  std::int64_t incremental_kink_sorts() const {
+    return incremental_kink_sorts_;
+  }
+  std::int64_t full_kink_sorts() const { return full_kink_sorts_; }
 };
 
 /// Computes the Theorem 15/16 aggregates for a validated config.

@@ -114,7 +114,8 @@ Result<MarketplaceRoundReport> Marketplace::RunRound() {
   std::vector<bool> taken(static_cast<std::size_t>(
                               environment_->num_sellers()),
                           false);
-  std::vector<double> ucb = bank_.UcbValues();
+  bank_.UcbValuesInto(&ucb_scratch_);
+  const std::vector<double>& ucb = ucb_scratch_;
 
   for (std::size_t step = 0; step < num_jobs; ++step) {
     std::size_t j = (start + step) % num_jobs;

@@ -102,6 +102,8 @@ class Marketplace {
   bandit::EstimatorBank bank_;
   std::vector<JobSummary> summaries_;
   std::int64_t next_round_ = 1;
+  /// Shared-UCB scratch, reused every round (capacity M after round 1).
+  std::vector<double> ucb_scratch_;
 };
 
 }  // namespace market

@@ -487,13 +487,19 @@ Result<RoundReport> TradingEngine::RunRound() {
   // corrupted reports can never bias the quality estimates.
   if (!report.voided) {
     CDT_SPAN("engine.collect");
-    std::vector<int> learners;
-    std::vector<std::vector<double>> batches;
+    std::vector<int>& learners = learners_scratch_;
+    std::vector<std::vector<double>>& batches = batches_scratch_;
+    learners.clear();
+    batches.clear();
     learners.reserve(report.selected.size());
     batches.reserve(report.selected.size());
     for (std::size_t j = 0; j < report.selected.size(); ++j) {
       int seller = report.selected[j];
-      std::vector<double> observation = environment_->ObserveSeller(seller);
+      // Recycled batch buffer: slot batches.size() of the pool (rejected
+      // batches leave the slot in place for the next seller).
+      if (batch_pool_.size() <= batches.size()) batch_pool_.emplace_back();
+      std::vector<double>& observation = batch_pool_[batches.size()];
+      environment_->ObserveSellerInto(seller, &observation);
       if (injector_ != nullptr &&
           draws[j].outcome == DeliveryOutcome::kCorrupted) {
         injector_->Corrupt(t, seller, &observation);
@@ -520,6 +526,12 @@ Result<RoundReport> TradingEngine::RunRound() {
     if (!learners.empty()) {
       CDT_RETURN_NOT_OK(policy_->Observe(learners, batches));
     }
+    // Hand the moved-out buffers back to their pool slots so their
+    // capacity survives into the next round.
+    for (std::size_t j = 0; j < batches.size(); ++j) {
+      batch_pool_[j] = std::move(batches[j]);
+    }
+    batches.clear();
   }
 
   for (const FaultEvent& e : report.faults) {

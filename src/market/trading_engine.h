@@ -226,6 +226,13 @@ class TradingEngine {
   std::optional<game::StackelbergSolver> solver_;
   /// Selection scratch handed to SelectionPolicy::SelectRoundInto.
   std::vector<int> selected_scratch_;
+  /// Collection-stage scratches: accepted learner ids, their batches, and
+  /// the recycled batch buffers. Batches move pool → batches → pool each
+  /// round, so the inner buffers keep their capacity (no per-seller
+  /// allocation in steady state).
+  std::vector<int> learners_scratch_;
+  std::vector<std::vector<double>> batches_scratch_;
+  std::vector<std::vector<double>> batch_pool_;
 
   /// Non-null only when the config's fault profile is armed.
   std::unique_ptr<FaultInjector> injector_;

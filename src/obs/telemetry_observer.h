@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "market/faults.h"
 #include "market/invariants.h"
@@ -75,6 +76,10 @@ class TelemetryObserver : public market::RoundObserver {
   Counter* picks_explore_total_;
   Counter* picks_exploit_total_;
   Gauge* exploration_ratio_;
+
+  /// Greedy top-K-by-mean scratch for the exploration split, reused every
+  /// observed round.
+  std::vector<int> greedy_scratch_;
 
   double consumer_profit_cum_ = 0.0;
   double platform_profit_cum_ = 0.0;
